@@ -1,0 +1,159 @@
+// Benchmarks regenerating every table and figure of the Chaos evaluation.
+// Each benchmark runs the corresponding experiment of
+// internal/experiments; the first execution prints the reproduced
+// rows/series (compare against EXPERIMENTS.md and the paper). Set
+// CHAOS_BENCH_SCALE=quick for a fast smoke pass.
+package chaos_test
+
+import (
+	"io"
+	"os"
+	"sync"
+	"testing"
+
+	"chaos/internal/experiments"
+)
+
+var benchPrinted sync.Map
+
+func benchScale() experiments.Scale {
+	if os.Getenv("CHAOS_BENCH_SCALE") == "quick" {
+		return experiments.Quick
+	}
+	return experiments.Lab
+}
+
+func benchExperiment(b *testing.B, name string, f func(io.Writer, experiments.Scale) error) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		var w io.Writer = io.Discard
+		if _, loaded := benchPrinted.LoadOrStore(name, true); !loaded {
+			w = os.Stdout
+		}
+		if err := f(w, benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1_SingleMachine regenerates Table 1: X-Stream vs
+// single-machine Chaos across the ten algorithms.
+func BenchmarkTable1_SingleMachine(b *testing.B) {
+	benchExperiment(b, "table1", experiments.Table1)
+}
+
+// BenchmarkFigure5_Utilization regenerates Figure 5: theoretical storage
+// utilization rho(m,k) (Equation 4).
+func BenchmarkFigure5_Utilization(b *testing.B) {
+	benchExperiment(b, "fig5", experiments.Figure5)
+}
+
+// BenchmarkFigure7_WeakScaling regenerates Figure 7: weak scaling of all
+// ten algorithms, normalized to one machine.
+func BenchmarkFigure7_WeakScaling(b *testing.B) {
+	benchExperiment(b, "fig7", experiments.Figure7)
+}
+
+// BenchmarkFigure8_StrongScaling regenerates Figure 8: strong scaling on a
+// fixed RMAT graph.
+func BenchmarkFigure8_StrongScaling(b *testing.B) {
+	benchExperiment(b, "fig8", experiments.Figure8)
+}
+
+// BenchmarkFigure9_DataCommons regenerates Figure 9: strong scaling on the
+// synthetic web crawl from HDDs.
+func BenchmarkFigure9_DataCommons(b *testing.B) {
+	benchExperiment(b, "fig9", experiments.Figure9)
+}
+
+// BenchmarkCapacity_Trillion regenerates the §9.3 capacity experiment via
+// measured-I/O extrapolation to a trillion edges.
+func BenchmarkCapacity_Trillion(b *testing.B) {
+	benchExperiment(b, "capacity", experiments.Capacity)
+}
+
+// BenchmarkFigure10_Cores regenerates Figure 10: the CPU-core sweep.
+func BenchmarkFigure10_Cores(b *testing.B) {
+	benchExperiment(b, "fig10", experiments.Figure10)
+}
+
+// BenchmarkFigure11_Storage regenerates Figure 11: SSD vs HDD.
+func BenchmarkFigure11_Storage(b *testing.B) {
+	benchExperiment(b, "fig11", experiments.Figure11)
+}
+
+// BenchmarkFigure12_Network regenerates Figure 12: 40 GigE vs 1 GigE.
+func BenchmarkFigure12_Network(b *testing.B) {
+	benchExperiment(b, "fig12", experiments.Figure12)
+}
+
+// BenchmarkFigure13_Checkpoint regenerates Figure 13: checkpoint overhead.
+func BenchmarkFigure13_Checkpoint(b *testing.B) {
+	benchExperiment(b, "fig13", experiments.Figure13)
+}
+
+// BenchmarkFigure14_Bandwidth regenerates Figure 14: aggregate achieved
+// storage bandwidth vs the theoretical maximum.
+func BenchmarkFigure14_Bandwidth(b *testing.B) {
+	benchExperiment(b, "fig14", experiments.Figure14)
+}
+
+// BenchmarkFigure15_Centralized regenerates Figure 15: randomized placement
+// vs a centralized chunk directory.
+func BenchmarkFigure15_Centralized(b *testing.B) {
+	benchExperiment(b, "fig15", experiments.Figure15)
+}
+
+// BenchmarkFigure16_BatchFactor regenerates Figure 16: the request-window
+// (phi*k) sweep.
+func BenchmarkFigure16_BatchFactor(b *testing.B) {
+	benchExperiment(b, "fig16", experiments.Figure16)
+}
+
+// BenchmarkFigure17_Breakdown regenerates Figure 17: the runtime breakdown.
+func BenchmarkFigure17_Breakdown(b *testing.B) {
+	benchExperiment(b, "fig17", experiments.Figure17)
+}
+
+// BenchmarkFigure18_StealBias regenerates Figure 18: the stealing-bias
+// (alpha) sweep.
+func BenchmarkFigure18_StealBias(b *testing.B) {
+	benchExperiment(b, "fig18", experiments.Figure18)
+}
+
+// BenchmarkFigure19_Giraph regenerates Figure 19: Chaos vs the Giraph-style
+// baseline.
+func BenchmarkFigure19_Giraph(b *testing.B) {
+	benchExperiment(b, "fig19", experiments.Figure19)
+}
+
+// BenchmarkFigure20_Partitioning regenerates Figure 20: dynamic rebalancing
+// cost vs grid partitioning time.
+func BenchmarkFigure20_Partitioning(b *testing.B) {
+	benchExperiment(b, "fig20", experiments.Figure20)
+}
+
+// BenchmarkAblation_Combiners measures Pregel-style update aggregation
+// (§11.1): the paper rejected it because merging costs outweigh the
+// traffic reduction.
+func BenchmarkAblation_Combiners(b *testing.B) {
+	benchExperiment(b, "abl-comb", experiments.AblationCombiner)
+}
+
+// BenchmarkAblation_EdgeCompaction measures the §6.1 extended model: MCST
+// rewriting away intra-component edges each Borůvka round.
+func BenchmarkAblation_EdgeCompaction(b *testing.B) {
+	benchExperiment(b, "abl-compact", experiments.AblationCompaction)
+}
+
+// BenchmarkAblation_Replication measures the §6.6 vertex-set mirroring
+// overhead.
+func BenchmarkAblation_Replication(b *testing.B) {
+	benchExperiment(b, "abl-repl", experiments.AblationReplication)
+}
+
+// BenchmarkAblation_PartitionCount sweeps the streaming-partition multiple,
+// the §3 sequentiality-vs-balance trade-off.
+func BenchmarkAblation_PartitionCount(b *testing.B) {
+	benchExperiment(b, "abl-parts", experiments.AblationPartitionCount)
+}

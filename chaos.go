@@ -1,0 +1,268 @@
+// Package chaos is a Go reproduction of Chaos (Roy, Bindschaedler,
+// Malicevic, Zwaenepoel — SOSP 2015): scale-out graph processing from
+// secondary storage.
+//
+// Chaos extends X-Stream's streaming partitions to a cluster with three
+// synergistic techniques: partitioning only for sequential storage access,
+// uniformly random placement of all graph data with no attempt at locality,
+// and randomized work stealing that lets several machines process one
+// partition. This package exposes the ten evaluation algorithms over a
+// deterministic simulation of the paper's rack (devices, NICs and latencies
+// are modeled; graph data and algorithm execution are real). See DESIGN.md
+// for the hardware substitution argument and EXPERIMENTS.md for the
+// reproduced evaluation.
+//
+// Quick start:
+//
+//	edges := chaos.GenerateRMAT(16, false, 42)
+//	ranks, report, err := chaos.RunPageRank(edges, 0, 5, chaos.Options{Machines: 8})
+package chaos
+
+import (
+	"math"
+
+	"chaos/internal/cluster"
+	"chaos/internal/core"
+	"chaos/internal/graph"
+	"chaos/internal/metrics"
+	"chaos/internal/rmat"
+	"chaos/internal/webgraph"
+)
+
+// Edge is a directed edge with an optional weight.
+type Edge = graph.Edge
+
+// VertexID identifies a vertex; IDs are dense in [0, NumVertices).
+type VertexID = graph.VertexID
+
+// Storage selects the modeled storage device.
+type Storage int
+
+// Storage devices from the paper's testbed (§8).
+const (
+	// SSD models the 480 GB SSDs (400 MB/s).
+	SSD Storage = iota
+	// HDD models the 2x6 TB magnetic-disk RAID0 (200 MB/s).
+	HDD
+)
+
+// Network selects the modeled interconnect.
+type Network int
+
+// Networks from the paper's evaluation.
+const (
+	// Net40GigE is the default 40 GigE top-of-rack switch.
+	Net40GigE Network = iota
+	// Net1GigE is the slow network of Figure 12, where the interconnect
+	// becomes the bottleneck.
+	Net1GigE
+)
+
+// Options configures a run. The zero value is a single 16-core machine
+// with SSD storage and a 40 GigE network, the paper's defaults.
+type Options struct {
+	// Machines is the cluster size (default 1; the paper evaluates up
+	// to 32).
+	Machines int
+	// Storage picks SSD (default) or HDD.
+	Storage Storage
+	// Network picks 40 GigE (default) or 1 GigE.
+	Network Network
+	// Cores per machine (default 16; Figure 10 sweeps 8..16).
+	Cores int
+	// ChunkBytes is the chunk size (default 4 MB, §7). Benches use
+	// smaller chunks with lab-scale graphs.
+	ChunkBytes int
+	// VertexChunkBytes defaults to ChunkBytes.
+	VertexChunkBytes int
+	// MemBudgetBytes bounds one streaming partition's vertex set per
+	// machine, determining the partition count (§3). Zero means
+	// unconstrained (one partition per machine).
+	MemBudgetBytes int64
+	// BatchK is the batch factor k of §6.5 (default 5).
+	BatchK int
+	// WindowOverride fixes the request window phi*k directly (Figure 16).
+	WindowOverride int
+	// Alpha biases the steal criterion (§10.2). Zero means the paper
+	// default alpha = 1; set DisableStealing for alpha = 0 or
+	// AlwaysSteal for alpha = infinity.
+	Alpha float64
+	// DisableStealing turns work stealing off entirely.
+	DisableStealing bool
+	// AlwaysSteal accepts every steal proposal with work remaining.
+	AlwaysSteal bool
+	// CheckpointEvery enables vertex-state checkpoints every n
+	// iterations (§6.6).
+	CheckpointEvery int
+	// FailAtIteration injects a transient failure at the given 1-based
+	// iteration (requires CheckpointEvery).
+	FailAtIteration int
+	// CentralDirectory enables the Figure 15 centralized-metadata
+	// baseline instead of randomized placement.
+	CentralDirectory bool
+	// CombineUpdates applies Pregel-style update aggregation inside the
+	// scatter buffers (§11.1) for algorithms that support it (BFS, WCC,
+	// SSSP, PR). The paper found the merge cost outweighs the traffic
+	// reduction; the ablation benchmark measures the trade.
+	CombineUpdates bool
+	// RewriteEdges enables the §6.1 extended model for algorithms that
+	// rewrite their edge set during computation (MCST drops
+	// intra-component edges, shrinking later rounds).
+	RewriteEdges bool
+	// ReplicateVertices mirrors every vertex chunk on a second storage
+	// engine, the storage-failure tolerance sketched in §6.6.
+	ReplicateVertices bool
+	// MaxIterations caps the main loop.
+	MaxIterations int
+	// LatencyScale multiplies every fixed latency (device, network hop,
+	// loopback). Laboratory runs that shrink ChunkBytes by some factor
+	// should scale latencies by the same factor to preserve the paper's
+	// latency-to-service-time ratios (see DESIGN.md). Zero means 1.
+	LatencyScale float64
+	// Seed drives all randomized decisions; equal seeds reproduce runs
+	// exactly.
+	Seed int64
+}
+
+// spec builds the cluster hardware description.
+func (o Options) spec() cluster.Spec {
+	m := o.Machines
+	if m <= 0 {
+		m = 1
+	}
+	var s cluster.Spec
+	if o.Storage == HDD {
+		s = cluster.HDD(m)
+	} else {
+		s = cluster.SSD(m)
+	}
+	if o.Network == Net1GigE {
+		s = cluster.GigE1(s)
+	}
+	if o.Cores > 0 {
+		s = cluster.WithCores(s, o.Cores)
+	}
+	if o.LatencyScale > 0 && o.LatencyScale != 1 {
+		s = cluster.ScaleLatencies(s, o.LatencyScale)
+	}
+	return s
+}
+
+// config translates Options into the engine configuration.
+func (o Options) config() core.Config {
+	cfg := core.DefaultConfig(o.spec())
+	if o.ChunkBytes > 0 {
+		cfg.ChunkBytes = o.ChunkBytes
+	}
+	if o.VertexChunkBytes > 0 {
+		cfg.VertexChunkBytes = o.VertexChunkBytes
+	}
+	if o.MemBudgetBytes > 0 {
+		cfg.MemBudget = o.MemBudgetBytes
+	}
+	if o.BatchK > 0 {
+		cfg.BatchK = o.BatchK
+	}
+	cfg.WindowOverride = o.WindowOverride
+	switch {
+	case o.DisableStealing:
+		cfg.Alpha = 0
+	case o.AlwaysSteal:
+		cfg.Alpha = math.Inf(1)
+	case o.Alpha > 0:
+		cfg.Alpha = o.Alpha
+	}
+	cfg.CheckpointEvery = o.CheckpointEvery
+	cfg.FailAtIteration = o.FailAtIteration
+	cfg.CentralDirectory = o.CentralDirectory
+	cfg.CombineUpdates = o.CombineUpdates
+	cfg.RewriteEdges = o.RewriteEdges
+	cfg.ReplicateVertices = o.ReplicateVertices
+	if o.MaxIterations > 0 {
+		cfg.MaxIterations = o.MaxIterations
+	}
+	if o.Seed != 0 {
+		cfg.Seed = o.Seed
+	}
+	return cfg
+}
+
+// Report summarizes a run: simulated wall-clock (including pre-processing,
+// as in the paper), I/O volumes and the Figure 17 breakdown.
+type Report struct {
+	Algorithm         string
+	Machines          int
+	SimulatedSeconds  float64
+	PreprocessSeconds float64
+	Iterations        int
+	BytesRead         int64
+	BytesWritten      int64
+	// AggregateBandwidth is device bytes moved per simulated second
+	// (Figure 14).
+	AggregateBandwidth float64
+	// DeviceUtilization is the mean storage-device utilization.
+	DeviceUtilization float64
+	StealsAccepted    int
+	StealsRejected    int
+	// Breakdown maps Figure 17 categories to runtime fractions.
+	Breakdown map[string]float64
+	// RebalanceSeconds is the worst-case per-machine dynamic load
+	// balancing cost (Figure 20 numerator).
+	RebalanceSeconds float64
+	CheckpointBytes  int64
+	Recoveries       int
+}
+
+func reportFrom(run *metrics.Run, machines int) *Report {
+	r := &Report{
+		Algorithm:          run.Algorithm,
+		Machines:           machines,
+		SimulatedSeconds:   run.Runtime.Seconds(),
+		PreprocessSeconds:  run.Preprocess.Seconds(),
+		Iterations:         run.Iterations,
+		BytesRead:          run.BytesRead,
+		BytesWritten:       run.BytesWritten,
+		AggregateBandwidth: run.AggregateBandwidth(),
+		DeviceUtilization:  run.DeviceUtilization,
+		StealsAccepted:     run.StealsAccepted,
+		StealsRejected:     run.StealsRejected,
+		Breakdown:          make(map[string]float64),
+		RebalanceSeconds:   run.RebalanceTime().Seconds(),
+		CheckpointBytes:    run.CheckpointBytes,
+		Recoveries:         run.Recoveries,
+	}
+	for _, c := range metrics.Categories() {
+		r.Breakdown[c.String()] = run.Fraction(c)
+	}
+	return r
+}
+
+// GenerateRMAT produces a scale-n R-MAT graph (2^n vertices, 2^(n+4)
+// edges), the synthetic workload of the evaluation (§8).
+func GenerateRMAT(scale int, weighted bool, seed int64) []Edge {
+	g := rmat.New(scale, seed)
+	g.Weighted = weighted
+	return g.Generate()
+}
+
+// GenerateWebGraph produces a synthetic hyperlink graph with Data-Commons-
+// like skew (the paper's real-world workload stand-in; see DESIGN.md).
+func GenerateWebGraph(pages uint64, seed int64) []Edge {
+	return webgraph.New(pages, seed).Generate()
+}
+
+// Undirected returns edges plus their reverses, the conversion §8 applies
+// for the undirected algorithms (BFS, WCC, MCST, MIS, SSSP).
+func Undirected(edges []Edge) []Edge { return graph.Undirected(edges) }
+
+// NumVertices returns one past the largest vertex ID in edges.
+func NumVertices(edges []Edge) uint64 { return graph.MaxVertex(edges) }
+
+// TheoreticalUtilization returns rho(m, k) = 1 - (1 - k/m)^m, the storage
+// utilization bound of Equation 4 plotted in Figure 5.
+func TheoreticalUtilization(machines int, batchK float64) float64 {
+	return core.Utilization(machines, batchK)
+}
+
+// UtilizationFloor returns the asymptotic bound 1 - e^-k of Equation 5.
+func UtilizationFloor(batchK float64) float64 { return core.UtilizationFloor(batchK) }

@@ -1,0 +1,81 @@
+// chaos-bench regenerates the tables and figures of the Chaos evaluation
+// (SOSP 2015) on the simulated cluster. Each experiment prints the same
+// rows/series the paper reports; EXPERIMENTS.md records paper-vs-measured.
+//
+// Usage:
+//
+//	chaos-bench                     # run everything at laboratory scale
+//	chaos-bench -experiment fig16   # just the batch-factor sweep
+//	chaos-bench -quick              # reduced smoke scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"chaos/internal/experiments"
+)
+
+var all = []struct {
+	name string
+	run  func(io.Writer, experiments.Scale) error
+}{
+	{"table1", experiments.Table1},
+	{"fig5", experiments.Figure5},
+	{"fig7", experiments.Figure7},
+	{"fig8", experiments.Figure8},
+	{"fig9", experiments.Figure9},
+	{"capacity", experiments.Capacity},
+	{"fig10", experiments.Figure10},
+	{"fig11", experiments.Figure11},
+	{"fig12", experiments.Figure12},
+	{"fig13", experiments.Figure13},
+	{"fig14", experiments.Figure14},
+	{"fig15", experiments.Figure15},
+	{"fig16", experiments.Figure16},
+	{"fig17", experiments.Figure17},
+	{"fig18", experiments.Figure18},
+	{"fig19", experiments.Figure19},
+	{"fig20", experiments.Figure20},
+	{"abl-combiners", experiments.AblationCombiner},
+	{"abl-compaction", experiments.AblationCompaction},
+	{"abl-replication", experiments.AblationReplication},
+	{"abl-partitions", experiments.AblationPartitionCount},
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("chaos-bench: ")
+	var (
+		which = flag.String("experiment", "all", "experiment id (all, table1, fig5..fig20, capacity)")
+		quick = flag.Bool("quick", false, "use the reduced smoke scale")
+	)
+	flag.Parse()
+
+	scale := experiments.Lab
+	if *quick {
+		scale = experiments.Quick
+	}
+	ran := 0
+	for _, e := range all {
+		if *which != "all" && e.name != *which {
+			continue
+		}
+		if err := e.run(os.Stdout, scale); err != nil {
+			log.Fatalf("%s: %v", e.name, err)
+		}
+		ran++
+	}
+	if ran == 0 {
+		names := make([]string, len(all))
+		for i, e := range all {
+			names[i] = e.name
+		}
+		log.Fatalf("unknown experiment %q (want all or one of %s)", *which, strings.Join(names, " "))
+	}
+	fmt.Println()
+}

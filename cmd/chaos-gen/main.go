@@ -1,0 +1,77 @@
+// chaos-gen generates binary edge-list files: R-MAT graphs (the synthetic
+// workload of the Chaos evaluation, §8) or synthetic web crawls (the Data
+// Commons stand-in).
+//
+// Usage:
+//
+//	chaos-gen -type rmat -scale 16 -weighted -o graph.bin
+//	chaos-gen -type web -pages 100000 -o crawl.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"chaos/internal/graph"
+	"chaos/internal/rmat"
+	"chaos/internal/webgraph"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("chaos-gen: ")
+	var (
+		typ      = flag.String("type", "rmat", "graph type: rmat or web")
+		scale    = flag.Int("scale", 14, "R-MAT scale (2^scale vertices, 2^(scale+4) edges)")
+		pages    = flag.Uint64("pages", 1<<14, "web graph page count")
+		weighted = flag.Bool("weighted", false, "attach uniform [0,1) edge weights")
+		seed     = flag.Int64("seed", 42, "generator seed")
+		out      = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var f graph.Format
+	var each func(func(graph.Edge))
+	var nv uint64
+	switch *typ {
+	case "rmat":
+		g := rmat.New(*scale, *seed)
+		g.Weighted = *weighted
+		f = g.Format()
+		each = g.Each
+		nv = g.NumVertices()
+	case "web":
+		g := webgraph.New(*pages, *seed)
+		f = g.Format()
+		each = g.Each
+		nv = g.NumVertices()
+	default:
+		log.Fatalf("unknown graph type %q (want rmat or web)", *typ)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		file, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := file.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = file
+	}
+	ew := graph.NewWriter(w, f)
+	each(func(e graph.Edge) {
+		if err := ew.WriteEdge(e); err != nil {
+			log.Fatal(err)
+		}
+	})
+	if err := ew.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d edges (%d vertices declared, format %v)\n", ew.Count(), nv, f)
+}

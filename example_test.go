@@ -1,0 +1,73 @@
+package chaos_test
+
+import (
+	"fmt"
+
+	"chaos"
+)
+
+// ExampleRunBFS runs breadth-first search on a small deterministic graph
+// over a simulated 2-machine cluster.
+func ExampleRunBFS() {
+	// A path 0 - 1 - 2 plus an isolated vertex 3.
+	edges := []chaos.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 3, Dst: 3}}
+	levels, _, err := chaos.RunBFS(edges, 4, 0, chaos.Options{Machines: 2, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(levels[0], levels[1], levels[2], levels[3] == ^uint32(0))
+	// Output: 0 1 2 true
+}
+
+// ExampleRunWCC labels weakly connected components by their smallest
+// member.
+func ExampleRunWCC() {
+	edges := []chaos.Edge{{Src: 0, Dst: 1}, {Src: 2, Dst: 3}}
+	labels, _, err := chaos.RunWCC(edges, 4, chaos.Options{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(labels)
+	// Output: [0 0 2 2]
+}
+
+// ExampleRunMCST computes a minimum spanning forest weight.
+func ExampleRunMCST() {
+	// Triangle with weights 1, 1, 5: the MST takes the two cheap edges.
+	edges := []chaos.Edge{
+		{Src: 0, Dst: 1, Weight: 1},
+		{Src: 1, Dst: 2, Weight: 1},
+		{Src: 0, Dst: 2, Weight: 5},
+	}
+	res, _, err := chaos.RunMCST(edges, 3, chaos.Options{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.0f over %d edges\n", res.TotalWeight, res.Edges)
+	// Output: 2 over 2 edges
+}
+
+// ExampleTheoreticalUtilization evaluates Equation 4 at the paper's
+// operating point: batch factor k=5 keeps all storage engines above 99.3%
+// utilization regardless of cluster size.
+func ExampleTheoreticalUtilization() {
+	fmt.Printf("%.4f %.4f\n",
+		chaos.TheoreticalUtilization(32, 5), chaos.UtilizationFloor(5))
+	// Output: 0.9956 0.9933
+}
+
+// ExampleRunSSSP runs weighted shortest paths with checkpointing enabled.
+func ExampleRunSSSP() {
+	edges := []chaos.Edge{
+		{Src: 0, Dst: 1, Weight: 5},
+		{Src: 1, Dst: 2, Weight: 1},
+		{Src: 0, Dst: 2, Weight: 2},
+	}
+	dists, rep, err := chaos.RunSSSP(edges, 3, 0, chaos.Options{CheckpointEvery: 1, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.0f %.0f %.0f (checkpointed: %v)\n",
+		dists[0], dists[1], dists[2], rep.CheckpointBytes > 0)
+	// Output: 0 3 2 (checkpointed: true)
+}

@@ -1,0 +1,72 @@
+// Webgraph: analyze a synthetic web crawl (the paper's Data Commons
+// stand-in) on a simulated 16-machine cluster with HDD storage, the
+// configuration of the paper's Figure 9: breadth-first search from a portal
+// page, connectivity, and the conductance of a hash partition of the pages.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chaos"
+)
+
+func main() {
+	const pages = 1 << 14
+	edges := chaos.GenerateWebGraph(pages, 2014)
+	opt := chaos.Options{
+		Machines:     16,
+		Storage:      chaos.HDD,
+		ChunkBytes:   16 << 10,
+		LatencyScale: 16.0 / 4096,
+		Seed:         3,
+	}
+
+	fmt.Printf("synthetic web crawl: %d pages, %d hyperlinks, 16 machines, HDD\n\n", pages, len(edges))
+
+	levels, bfsRep, err := chaos.RunBFS(edges, pages, 0, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var reached, maxDepth uint32
+	hist := map[uint32]int{}
+	for _, l := range levels {
+		if l == ^uint32(0) {
+			continue
+		}
+		reached++
+		hist[l]++
+		if l > maxDepth {
+			maxDepth = l
+		}
+	}
+	fmt.Printf("BFS from page 0: reached %d/%d pages, depth %d, %.3fs simulated\n",
+		reached, pages, maxDepth, bfsRep.SimulatedSeconds)
+	for d := uint32(0); d <= maxDepth && d < 8; d++ {
+		fmt.Printf("  depth %d: %6d pages\n", d, hist[d])
+	}
+
+	labels, _, err := chaos.RunWCC(edges, pages, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	comps := map[uint32]int{}
+	for _, l := range labels {
+		comps[l]++
+	}
+	largest := 0
+	for _, c := range comps {
+		if c > largest {
+			largest = c
+		}
+	}
+	fmt.Printf("\nconnectivity: %d weakly connected components, largest holds %.1f%% of pages\n",
+		len(comps), 100*float64(largest)/float64(pages))
+
+	cond, condRep, err := chaos.RunConductance(edges, pages, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nconductance of hash-split page subset: %.4f (single pass, %.3fs simulated)\n",
+		cond, condRep.SimulatedSeconds)
+}

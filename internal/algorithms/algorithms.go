@@ -1,0 +1,24 @@
+// Package algorithms implements the ten graph algorithms of the Chaos
+// evaluation (Table 1) as GAS programs: BFS, WCC, MCST, MIS and SSSP on
+// undirected graphs; Pagerank, SCC, Conductance, SpMV and BP on directed
+// graphs. Callers convert directed inputs to undirected (graph.Undirected)
+// for the first group, as §8 describes.
+package algorithms
+
+import "chaos/internal/graph"
+
+// mix64 is a splitmix64-style hash used for deterministic per-vertex
+// pseudo-randomness (MIS priorities, BP priors).
+func mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// hashPrio returns a deterministic priority for vertex v in round r.
+func hashPrio(v graph.VertexID, r int) uint64 {
+	return mix64(uint64(v)*0x100000001B3 + uint64(r))
+}
+
+const unreachable = ^uint32(0)

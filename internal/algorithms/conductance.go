@@ -1,0 +1,127 @@
+package algorithms
+
+import (
+	"encoding/binary"
+
+	"chaos/internal/gas"
+	"chaos/internal/graph"
+)
+
+// CondVertex records, per vertex, its out-degree and the number of incoming
+// edges whose source lies in the subset S.
+type CondVertex struct {
+	Degree uint32
+	InS    bool
+	FromS  uint32
+	FromO  uint32
+}
+
+// CondAccum counts incoming edges by source-side membership.
+type CondAccum struct{ FromS, FromO uint32 }
+
+// Conductance measures the conductance of the vertex subset S = {v : hash
+// bit set} in a single edge pass: each edge reports its source's
+// membership; the host aggregates cut size and volumes from the vertex
+// states (see Aggregate). It is the cheapest algorithm of Table 1.
+type Conductance struct{}
+
+// InSubset reports membership of v in the measured subset S (a
+// deterministic hash bit, giving an even split).
+func InSubset(v graph.VertexID) bool { return mix64(uint64(v))&1 == 1 }
+
+// Name implements gas.Program.
+func (*Conductance) Name() string { return "Cond" }
+
+// Weighted implements gas.Program.
+func (*Conductance) Weighted() bool { return false }
+
+// NeedsDegrees implements gas.Program.
+func (*Conductance) NeedsDegrees() bool { return true }
+
+// Init implements gas.Program.
+func (*Conductance) Init(id graph.VertexID, v *CondVertex, outDegree uint32) {
+	v.Degree = outDegree
+	v.InS = InSubset(id)
+}
+
+// Scatter implements gas.Program: each edge carries its source membership.
+func (*Conductance) Scatter(_ int, e graph.Edge, src *CondVertex) (graph.VertexID, uint32, bool) {
+	if src.InS {
+		return e.Dst, 1, true
+	}
+	return e.Dst, 0, true
+}
+
+// InitAccum implements gas.Program.
+func (*Conductance) InitAccum() CondAccum { return CondAccum{} }
+
+// Gather implements gas.Program.
+func (*Conductance) Gather(a CondAccum, u uint32, _ *CondVertex) CondAccum {
+	if u == 1 {
+		a.FromS++
+	} else {
+		a.FromO++
+	}
+	return a
+}
+
+// Merge implements gas.Program.
+func (*Conductance) Merge(a, b CondAccum) CondAccum {
+	return CondAccum{FromS: a.FromS + b.FromS, FromO: a.FromO + b.FromO}
+}
+
+// Apply implements gas.Program.
+func (*Conductance) Apply(_ int, _ graph.VertexID, v *CondVertex, a CondAccum) bool {
+	v.FromS = a.FromS
+	v.FromO = a.FromO
+	return false
+}
+
+// Converged implements gas.Program: a single pass.
+func (*Conductance) Converged(iter int, _ uint64) bool { return iter >= 0 }
+
+// VertexCodec implements gas.Program.
+func (*Conductance) VertexCodec() gas.Codec[CondVertex] {
+	return gas.Codec[CondVertex]{
+		Bytes: 13,
+		Put: func(buf []byte, v *CondVertex) {
+			binary.LittleEndian.PutUint32(buf, v.Degree)
+			buf[4] = b2u(v.InS)
+			binary.LittleEndian.PutUint32(buf[5:], v.FromS)
+			binary.LittleEndian.PutUint32(buf[9:], v.FromO)
+		},
+		Get: func(buf []byte, v *CondVertex) {
+			v.Degree = binary.LittleEndian.Uint32(buf)
+			v.InS = buf[4] != 0
+			v.FromS = binary.LittleEndian.Uint32(buf[5:])
+			v.FromO = binary.LittleEndian.Uint32(buf[9:])
+		},
+	}
+}
+
+// UpdateCodec implements gas.Program.
+func (*Conductance) UpdateCodec() gas.Codec[uint32] { return gas.Uint32Codec() }
+
+// AccumBytes implements gas.Program.
+func (*Conductance) AccumBytes() int { return 8 }
+
+// Aggregate computes the conductance cut(S, S̄) / min(vol(S), vol(S̄)) from
+// the final vertex states.
+func (*Conductance) Aggregate(verts []CondVertex) float64 {
+	var cut, volS, volO uint64
+	for i := range verts {
+		v := &verts[i]
+		if v.InS {
+			volS += uint64(v.Degree)
+			cut += uint64(v.FromO)
+		} else {
+			volO += uint64(v.Degree)
+			cut += uint64(v.FromS)
+		}
+	}
+	den := min(volS, volO)
+	if den == 0 {
+		return 0
+	}
+	return float64(cut) / float64(den)
+}

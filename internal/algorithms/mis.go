@@ -1,0 +1,177 @@
+package algorithms
+
+import (
+	"encoding/binary"
+
+	"chaos/internal/gas"
+	"chaos/internal/graph"
+)
+
+// MIS vertex states.
+const (
+	misUndecided = uint8(0)
+	misIn        = uint8(1)
+	misOut       = uint8(2)
+)
+
+// MISVertex is the per-vertex state of maximal independent set.
+type MISVertex struct {
+	State uint8
+	Fresh bool // joined the set last round; must eliminate neighbors
+}
+
+// MISUpdate is either a priority announcement (select step) or an
+// elimination notice (Elim).
+type MISUpdate struct {
+	Prio uint64
+	ID   uint32
+	Elim bool
+}
+
+// MISAccum keeps the minimum (priority, id) heard and whether an
+// elimination notice arrived.
+type MISAccum struct {
+	Prio uint64
+	ID   uint32
+	Seen bool
+	Hit  bool
+}
+
+// MIS computes a maximal independent set with Luby's algorithm on an
+// undirected edge list. Rounds alternate two iterations: in the select
+// step every undecided vertex announces a fresh deterministic random
+// priority and joins the set if it beats all undecided neighbors; in the
+// eliminate step new members knock out their undecided neighbors.
+type MIS struct{}
+
+// Name implements gas.Program.
+func (*MIS) Name() string { return "MIS" }
+
+// Weighted implements gas.Program.
+func (*MIS) Weighted() bool { return false }
+
+// NeedsDegrees implements gas.Program.
+func (*MIS) NeedsDegrees() bool { return false }
+
+// Init implements gas.Program.
+func (*MIS) Init(_ graph.VertexID, v *MISVertex, _ uint32) {
+	v.State = misUndecided
+	v.Fresh = false
+}
+
+// Scatter implements gas.Program: self-loops are ignored — a vertex never
+// blocks itself.
+func (*MIS) Scatter(iter int, e graph.Edge, src *MISVertex) (graph.VertexID, MISUpdate, bool) {
+	if e.Src == e.Dst {
+		return 0, MISUpdate{}, false
+	}
+	if iter%2 == 0 {
+		if src.State != misUndecided {
+			return 0, MISUpdate{}, false
+		}
+		return e.Dst, MISUpdate{Prio: hashPrio(e.Src, iter/2), ID: uint32(e.Src)}, true
+	}
+	if src.State == misIn && src.Fresh {
+		return e.Dst, MISUpdate{Elim: true}, true
+	}
+	return 0, MISUpdate{}, false
+}
+
+// InitAccum implements gas.Program.
+func (*MIS) InitAccum() MISAccum {
+	return MISAccum{Prio: ^uint64(0), ID: ^uint32(0)}
+}
+
+// Gather implements gas.Program.
+func (*MIS) Gather(a MISAccum, u MISUpdate, _ *MISVertex) MISAccum {
+	if u.Elim {
+		a.Hit = true
+		return a
+	}
+	if !a.Seen || u.Prio < a.Prio || (u.Prio == a.Prio && u.ID < a.ID) {
+		a.Prio, a.ID, a.Seen = u.Prio, u.ID, true
+	}
+	return a
+}
+
+// Merge implements gas.Program.
+func (*MIS) Merge(a, b MISAccum) MISAccum {
+	if b.Hit {
+		a.Hit = true
+	}
+	if b.Seen && (!a.Seen || b.Prio < a.Prio || (b.Prio == a.Prio && b.ID < a.ID)) {
+		a.Prio, a.ID, a.Seen = b.Prio, b.ID, true
+	}
+	return a
+}
+
+// Apply implements gas.Program.
+func (*MIS) Apply(iter int, id graph.VertexID, v *MISVertex, a MISAccum) bool {
+	if iter%2 == 0 {
+		// Select step: join if my priority beats every undecided
+		// neighbor's.
+		if v.State != misUndecided {
+			return false
+		}
+		mine := hashPrio(id, iter/2)
+		if !a.Seen || mine < a.Prio || (mine == a.Prio && uint32(id) < a.ID) {
+			v.State = misIn
+			v.Fresh = true
+			return true
+		}
+		return false
+	}
+	// Eliminate step.
+	if v.State == misIn && v.Fresh {
+		v.Fresh = false
+	}
+	if v.State == misUndecided && a.Hit {
+		v.State = misOut
+		return true
+	}
+	return false
+}
+
+// Converged implements gas.Program: a select step that adds nobody means no
+// undecided vertices remain.
+func (*MIS) Converged(iter int, changed uint64) bool {
+	return iter%2 == 0 && changed == 0
+}
+
+// VertexCodec implements gas.Program.
+func (*MIS) VertexCodec() gas.Codec[MISVertex] {
+	return gas.Codec[MISVertex]{
+		Bytes: 2,
+		Put: func(buf []byte, v *MISVertex) {
+			buf[0] = v.State
+			buf[1] = b2u(v.Fresh)
+		},
+		Get: func(buf []byte, v *MISVertex) {
+			v.State = buf[0]
+			v.Fresh = buf[1] != 0
+		},
+	}
+}
+
+// UpdateCodec implements gas.Program.
+func (*MIS) UpdateCodec() gas.Codec[MISUpdate] {
+	return gas.Codec[MISUpdate]{
+		Bytes: 13,
+		Put: func(buf []byte, u *MISUpdate) {
+			binary.LittleEndian.PutUint64(buf, u.Prio)
+			binary.LittleEndian.PutUint32(buf[8:], u.ID)
+			buf[12] = b2u(u.Elim)
+		},
+		Get: func(buf []byte, u *MISUpdate) {
+			u.Prio = binary.LittleEndian.Uint64(buf)
+			u.ID = binary.LittleEndian.Uint32(buf[8:])
+			u.Elim = buf[12] != 0
+		},
+	}
+}
+
+// AccumBytes implements gas.Program.
+func (*MIS) AccumBytes() int { return 14 }
+
+// InSet reports whether vertex state v is in the computed set.
+func (*MIS) InSet(v MISVertex) bool { return v.State == misIn }

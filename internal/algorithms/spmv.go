@@ -1,0 +1,79 @@
+package algorithms
+
+import (
+	"encoding/binary"
+	"math"
+
+	"chaos/internal/gas"
+	"chaos/internal/graph"
+)
+
+// SpMVVertex holds the input vector element X and the output Y.
+type SpMVVertex struct {
+	X, Y float32
+}
+
+// SpMV computes one sparse matrix-vector product y = A*x over the weighted
+// directed edge list (entry A[dst][src] = weight): a single scatter of
+// w*x[src] and a gather-sum.
+type SpMV struct{}
+
+// Name implements gas.Program.
+func (*SpMV) Name() string { return "SpMV" }
+
+// Weighted implements gas.Program.
+func (*SpMV) Weighted() bool { return true }
+
+// NeedsDegrees implements gas.Program.
+func (*SpMV) NeedsDegrees() bool { return false }
+
+// Init implements gas.Program: x_i derives deterministically from the
+// vertex ID so results are reproducible without a separate input vector.
+func (*SpMV) Init(id graph.VertexID, v *SpMVVertex, _ uint32) {
+	v.X = 1 + float32(mix64(uint64(id))%1000)/1000
+	v.Y = 0
+}
+
+// Scatter implements gas.Program.
+func (*SpMV) Scatter(_ int, e graph.Edge, src *SpMVVertex) (graph.VertexID, float32, bool) {
+	return e.Dst, e.Weight * src.X, true
+}
+
+// InitAccum implements gas.Program.
+func (*SpMV) InitAccum() float64 { return 0 }
+
+// Gather implements gas.Program.
+func (*SpMV) Gather(a float64, u float32, _ *SpMVVertex) float64 { return a + float64(u) }
+
+// Merge implements gas.Program.
+func (*SpMV) Merge(a, b float64) float64 { return a + b }
+
+// Apply implements gas.Program.
+func (*SpMV) Apply(_ int, _ graph.VertexID, v *SpMVVertex, a float64) bool {
+	v.Y = float32(a)
+	return true
+}
+
+// Converged implements gas.Program: one product, one iteration.
+func (*SpMV) Converged(iter int, _ uint64) bool { return iter >= 0 }
+
+// VertexCodec implements gas.Program.
+func (*SpMV) VertexCodec() gas.Codec[SpMVVertex] {
+	return gas.Codec[SpMVVertex]{
+		Bytes: 8,
+		Put: func(buf []byte, v *SpMVVertex) {
+			binary.LittleEndian.PutUint32(buf, math.Float32bits(v.X))
+			binary.LittleEndian.PutUint32(buf[4:], math.Float32bits(v.Y))
+		},
+		Get: func(buf []byte, v *SpMVVertex) {
+			v.X = math.Float32frombits(binary.LittleEndian.Uint32(buf))
+			v.Y = math.Float32frombits(binary.LittleEndian.Uint32(buf[4:]))
+		},
+	}
+}
+
+// UpdateCodec implements gas.Program.
+func (*SpMV) UpdateCodec() gas.Codec[float32] { return gas.Float32Codec() }
+
+// AccumBytes implements gas.Program.
+func (*SpMV) AccumBytes() int { return 8 }

@@ -1,0 +1,904 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"chaos/internal/graph"
+	"chaos/internal/metrics"
+	"chaos/internal/sim"
+	"chaos/internal/storage"
+)
+
+// degreeDelta carries one machine's out-degree counts for a partition to
+// that partition's master during pre-processing.
+type degreeDelta struct {
+	part   int
+	counts []uint32
+	from   int
+}
+
+// machine is one computation engine plus the master-side steal state shared
+// with its arbiter process. All fields are confined to simulation context.
+type machine[V, U, A any] struct {
+	id    int
+	eng   *engine[V, U, A]
+	inbox *sim.Mailbox
+	stats *metrics.MachineStats
+
+	// Master-side steal state, shared with the arbiter and reset at the
+	// start of every phase.
+	workers  map[int]int
+	stealers map[int][]int
+	closed   map[int]bool
+
+	// pendingWrites counts unacknowledged write-class requests.
+	pendingWrites int
+
+	// updBuf holds encoded update records per destination partition,
+	// flushed as chunks fill (§5.1).
+	updBuf [][]byte
+
+	// combBuf replaces updBuf when the Pregel-style combiner is active:
+	// updates to the same destination merge in place before spilling.
+	combBuf []map[graph.VertexID]U
+
+	// edgeNextBuf accumulates rewritten next-generation edge records per
+	// partition under the §6.1 extended model.
+	edgeNextBuf [][]byte
+
+	// Gather-steal accumulator hand-off state.
+	stolenAccums    map[int][]A
+	requestedAccums map[int]bool
+
+	// Pre-processing degree exchange.
+	degAcc map[int][]uint32
+	degGot int
+
+	// Central-directory continuations by request tag.
+	dirTag     uint64
+	dirPending map[uint64]func(dirResp)
+}
+
+func newMachine[V, U, A any](eng *engine[V, U, A], id int) *machine[V, U, A] {
+	m := &machine[V, U, A]{
+		id:              id,
+		eng:             eng,
+		inbox:           sim.NewMailbox(eng.env, fmt.Sprintf("compute%d", id)),
+		stats:           &eng.run.Machines[id],
+		workers:         make(map[int]int),
+		stealers:        make(map[int][]int),
+		closed:          make(map[int]bool),
+		stolenAccums:    make(map[int][]A),
+		requestedAccums: make(map[int]bool),
+		degAcc:          make(map[int][]uint32),
+		dirPending:      make(map[uint64]func(dirResp)),
+		updBuf:          make([][]byte, eng.layout.NumPartitions),
+		edgeNextBuf:     make([][]byte, eng.layout.NumPartitions),
+	}
+	if eng.combiner != nil {
+		m.combBuf = make([]map[graph.VertexID]U, eng.layout.NumPartitions)
+	}
+	return m
+}
+
+func (m *machine[V, U, A]) send(dst int, bytes int64, mb *sim.Mailbox, msg any) {
+	m.eng.clu.Send(m.id, dst, bytes, mb, msg)
+}
+
+func (m *machine[V, U, A]) cpu(p *sim.Proc, ops int) {
+	if ops > 0 {
+		m.eng.clu.Machines[m.id].CPU.Use(p, int64(ops))
+	}
+}
+
+// handleAsync processes messages that may interleave with any blocking
+// wait: write acknowledgements, directory responses, accumulator requests
+// from masters, and pre-processing degree deltas. It reports whether the
+// message was consumed.
+func (m *machine[V, U, A]) handleAsync(msg any) bool {
+	switch t := msg.(type) {
+	case writeAck:
+		m.pendingWrites--
+		if m.pendingWrites < 0 {
+			panic(fmt.Sprintf("core: machine %d: unexpected write ack", m.id))
+		}
+		return true
+	case dirResp:
+		cont, ok := m.dirPending[t.tag]
+		if !ok {
+			panic(fmt.Sprintf("core: machine %d: directory response with unknown tag %d", m.id, t.tag))
+		}
+		delete(m.dirPending, t.tag)
+		cont(t)
+		return true
+	case getAccums:
+		if accums, ok := m.stolenAccums[t.part]; ok {
+			bytes := int64(len(accums))*int64(m.eng.prog.AccumBytes()) + controlMsgBytes
+			m.send(t.from, bytes, t.replyTo, accumReply{part: t.part, from: m.id, accums: accums})
+			delete(m.stolenAccums, t.part)
+		} else {
+			m.requestedAccums[t.part] = true
+		}
+		return true
+	case degreeDelta:
+		acc := m.degAcc[t.part]
+		if acc == nil {
+			acc = make([]uint32, m.eng.layout.Size(t.part))
+			m.degAcc[t.part] = acc
+		}
+		for i, d := range t.counts {
+			acc[i] += d
+		}
+		m.degGot++
+		return true
+	default:
+		return false
+	}
+}
+
+// recvExpect blocks until a message satisfying match arrives, servicing
+// async traffic in between. Unexpected messages indicate a protocol bug
+// and panic immediately.
+func (m *machine[V, U, A]) recvExpect(p *sim.Proc, what string, match func(any) bool) any {
+	for {
+		msg := m.inbox.Recv(p)
+		if m.handleAsync(msg) {
+			continue
+		}
+		if match(msg) {
+			return msg
+		}
+		panic(fmt.Sprintf("core: machine %d: got %T while expecting %s", m.id, msg, what))
+	}
+}
+
+// drainWrites blocks until all write-class requests have been acknowledged.
+func (m *machine[V, U, A]) drainWrites(p *sim.Proc) {
+	for m.pendingWrites > 0 {
+		if !m.handleAsync(m.inbox.Recv(p)) {
+			panic(fmt.Sprintf("core: machine %d: unexpected message while draining writes", m.id))
+		}
+	}
+}
+
+// resetPhaseState clears the master-side steal bookkeeping at a phase
+// boundary. All machines leave the previous barrier at the same instant
+// and reset before any new proposal can cross the network.
+func (m *machine[V, U, A]) resetPhaseState() {
+	clear(m.workers)
+	clear(m.stealers)
+	clear(m.closed)
+}
+
+// main is the computation engine's top-level loop: pre-processing, then
+// iterations of scatter / gather+apply with barriers after each phase (§4),
+// convergence voting, optional checkpointing and failure recovery.
+func (m *machine[V, U, A]) main(p *sim.Proc) {
+	eng := m.eng
+	m.preprocess(p)
+	iter := 0
+	for {
+		m.scatterRun(p, iter)
+		m.gatherRun(p, iter)
+		if m.id == 0 {
+			eng.decide(iter)
+		}
+		t0 := p.Now()
+		eng.barrier.Wait(p)
+		m.stats.Add(metrics.Barrier, p.Now()-t0)
+		d := eng.decision
+		if d.rollbackTo >= 0 {
+			m.restore(p)
+			eng.barrier.Wait(p)
+			m.resetEdgeCursors()
+			iter = d.rollbackTo + 1
+			continue
+		}
+		if d.done {
+			eng.run.Iterations = iter + 1
+			break
+		}
+		m.resetEdgeCursors()
+		iter++
+	}
+	// Orderly shutdown of this machine's service processes.
+	m.eng.storeIn[m.id].Put(shutdown{})
+	m.eng.arbIn[m.id].Put(shutdown{})
+	if m.id == 0 && eng.dirIn != nil {
+		eng.dirIn.Put(shutdown{})
+	}
+}
+
+// resetEdgeCursors rewinds the local store's edge consumption for the next
+// iteration (the file-pointer reset of §7), or promotes the rewritten
+// next-generation edge sets under the §6.1 extended model. Pure metadata.
+func (m *machine[V, U, A]) resetEdgeCursors() {
+	for part := 0; part < m.eng.layout.NumPartitions; part++ {
+		if m.eng.rewriter != nil {
+			if err := m.eng.stores[m.id].PromoteEdges(part); err != nil {
+				panic(fmt.Sprintf("core: machine %d: promoting edges: %v", m.id, err))
+			}
+			continue
+		}
+		m.eng.stores[m.id].ResetConsumption(storage.EdgeSet, part)
+	}
+	if m.eng.dir != nil && m.id == 0 {
+		for part := 0; part < m.eng.layout.NumPartitions; part++ {
+			m.eng.dir.Reset(storage.EdgeSet, part)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Pre-processing (§3): one pass over the input edge list, binning edges by
+// source partition into chunks spread randomly over the storage engines,
+// counting out-degrees if the program wants them, then initializing and
+// writing the vertex sets.
+
+func (m *machine[V, U, A]) preprocess(p *sim.Proc) {
+	eng := m.eng
+	myEdges := eng.inputEdges[m.id]
+	edgeSize := eng.edgeFmt.EdgeSize()
+	perChunk := eng.cfg.ChunkBytes / edgeSize
+	if perChunk < 1 {
+		perChunk = 1
+	}
+	needDeg := eng.prog.NeedsDegrees()
+	localDeg := make(map[int][]uint32)
+	edgeBufs := make([][]byte, eng.layout.NumPartitions)
+	dev := eng.clu.Machines[m.id].Device
+
+	for i := 0; i < len(myEdges); i += perChunk {
+		hi := i + perChunk
+		if hi > len(myEdges) {
+			hi = len(myEdges)
+		}
+		batch := myEdges[i:hi]
+		dev.Use(p, int64(len(batch)*edgeSize)) // read the raw input
+		eng.run.BytesRead += int64(len(batch) * edgeSize)
+		m.cpu(p, len(batch))
+		for _, e := range batch {
+			part := eng.layout.Of(e.Src)
+			buf := edgeBufs[part]
+			off := len(buf)
+			buf = append(buf, make([]byte, edgeSize)...)
+			eng.edgeFmt.Encode(buf[off:], e)
+			if len(buf) >= perChunk*edgeSize {
+				m.writeDataChunk(storage.EdgeSet, part, buf)
+				buf = nil
+			}
+			edgeBufs[part] = buf
+			if needDeg {
+				deg := localDeg[part]
+				if deg == nil {
+					deg = make([]uint32, eng.layout.Size(part))
+					localDeg[part] = deg
+				}
+				lo, _ := eng.layout.Range(part)
+				deg[e.Src-lo]++
+			}
+		}
+	}
+	for part, buf := range edgeBufs {
+		if len(buf) > 0 {
+			m.writeDataChunk(storage.EdgeSet, part, buf)
+		}
+	}
+	m.drainWrites(p)
+	eng.barrier.Wait(p)
+
+	if needDeg {
+		// Every machine sends its per-partition counts to the
+		// partition master; masters fold them.
+		for part := 0; part < eng.layout.NumPartitions; part++ {
+			master := eng.layout.Master(part)
+			counts := localDeg[part]
+			bytes := int64(4*len(counts)) + controlMsgBytes
+			m.send(master, bytes, eng.machines[master].inbox, degreeDelta{part: part, counts: counts, from: m.id})
+		}
+		expect := eng.layout.NumMachines * len(eng.layout.PartitionsOf(m.id))
+		for m.degGot < expect {
+			if !m.handleAsync(m.inbox.Recv(p)) {
+				panic(fmt.Sprintf("core: machine %d: unexpected message during degree exchange", m.id))
+			}
+		}
+		eng.barrier.Wait(p)
+	}
+
+	// Initialize vertex values and record them on storage.
+	for _, part := range eng.layout.PartitionsOf(m.id) {
+		size := eng.layout.Size(part)
+		if size == 0 {
+			continue
+		}
+		lo, _ := eng.layout.Range(part)
+		verts := make([]V, size)
+		deg := m.degAcc[part]
+		for i := range verts {
+			var d uint32
+			if deg != nil {
+				d = deg[i]
+			}
+			eng.prog.Init(lo+graph.VertexID(i), &verts[i], d)
+		}
+		m.writeVertices(part, verts, false)
+	}
+	m.drainWrites(p)
+	eng.barrier.Wait(p)
+	if m.id == 0 {
+		eng.run.Preprocess = p.Now()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Chunk I/O helpers.
+
+// writeDataChunk stores a chunk of edges or updates on a uniformly random
+// storage engine (§6.3), or on the engine the central directory picks in
+// directory mode. The write is asynchronous; drainWrites collects the ack.
+func (m *machine[V, U, A]) writeDataChunk(kind storage.SetKind, part int, data []byte) {
+	eng := m.eng
+	m.pendingWrites++
+	if eng.dir != nil {
+		m.dirRequest(dirPlace, kind, part, func(r dirResp) {
+			m.send(r.machine, int64(len(data))+controlMsgBytes, eng.storeIn[r.machine],
+				writeChunk{kind: kind, part: part, from: m.id, data: data})
+		})
+		return
+	}
+	target := eng.env.Rand().Intn(eng.layout.NumMachines)
+	m.send(target, int64(len(data))+controlMsgBytes, eng.storeIn[target],
+		writeChunk{kind: kind, part: part, from: m.id, data: data})
+}
+
+// dirRequest sends an asynchronous request to the central directory and
+// registers a continuation for its response.
+func (m *machine[V, U, A]) dirRequest(op dirOp, kind storage.SetKind, part int, cont func(dirResp)) {
+	m.dirTag++
+	tag := m.dirTag
+	m.dirPending[tag] = cont
+	m.send(0, controlMsgBytes, m.eng.dirIn, dirReq{op: op, kind: kind, part: part, from: m.id, tag: tag, replyTo: m.inbox})
+}
+
+// streamChunks drives the batched chunk protocol of §6.5 for one partition's
+// edge or update set: keep a window of phi*k requests outstanding to
+// uniformly random storage engines, process chunks as they arrive, and
+// finish when every engine has reported empty.
+func (m *machine[V, U, A]) streamChunks(p *sim.Proc, kind storage.SetKind, part int, onChunk func([]byte)) {
+	eng := m.eng
+	nm := eng.layout.NumMachines
+	outstanding := 0
+
+	if eng.dir != nil {
+		// Directory mode: each slot is a locate followed by a fetch.
+		exhausted := false
+		issue := func() bool {
+			if exhausted {
+				return false
+			}
+			outstanding++
+			m.dirRequest(dirLocate, kind, part, func(r dirResp) {
+				if !r.ok {
+					exhausted = true
+					outstanding--
+					return
+				}
+				m.send(r.machine, controlMsgBytes, eng.storeIn[r.machine],
+					chunkReq{kind: kind, part: part, from: m.id, replyTo: m.inbox})
+			})
+			return true
+		}
+		for outstanding < eng.window && issue() {
+		}
+		for outstanding > 0 {
+			msg := m.inbox.Recv(p)
+			if m.handleAsync(msg) {
+				continue
+			}
+			r, ok := msg.(chunkReply)
+			if !ok || r.kind != kind || r.part != part {
+				panic(fmt.Sprintf("core: machine %d: got %T while streaming %v of partition %d", m.id, msg, kind, part))
+			}
+			outstanding--
+			if r.empty {
+				// The directory said the chunk was there; a race
+				// would be a protocol bug.
+				panic(fmt.Sprintf("core: machine %d: directory pointed at empty store %d", m.id, r.from))
+			}
+			onChunk(r.data)
+			for outstanding < eng.window && issue() {
+			}
+		}
+		return
+	}
+
+	empty := make([]bool, nm)
+	nEmpty := 0
+	issue := func() bool {
+		if nEmpty == nm {
+			return false
+		}
+		t := eng.env.Rand().Intn(nm)
+		for empty[t] {
+			t = (t + 1) % nm
+		}
+		m.send(t, controlMsgBytes, eng.storeIn[t], chunkReq{kind: kind, part: part, from: m.id, replyTo: m.inbox})
+		outstanding++
+		return true
+	}
+	for outstanding < eng.window && issue() {
+	}
+	for outstanding > 0 {
+		msg := m.inbox.Recv(p)
+		if m.handleAsync(msg) {
+			continue
+		}
+		r, ok := msg.(chunkReply)
+		if !ok || r.kind != kind || r.part != part {
+			panic(fmt.Sprintf("core: machine %d: got %T while streaming %v of partition %d", m.id, msg, kind, part))
+		}
+		outstanding--
+		if r.empty {
+			if !empty[r.from] {
+				empty[r.from] = true
+				nEmpty++
+			}
+		} else {
+			onChunk(r.data)
+		}
+		for outstanding < eng.window && issue() {
+		}
+	}
+}
+
+// loadVertices reads a partition's vertex set into memory, pipelining chunk
+// reads from their hashed homes (§6.4).
+func (m *machine[V, U, A]) loadVertices(p *sim.Proc, part int) []V {
+	eng := m.eng
+	size := eng.layout.Size(part)
+	if size == 0 {
+		return nil
+	}
+	codec := eng.prog.VertexCodec()
+	verts := make([]V, size)
+	per := eng.verticesPerChunk()
+	n := eng.vertexChunks(part)
+	issued, done := 0, 0
+	for done < n {
+		for issued < n && issued-done < eng.window {
+			home := storage.VertexChunkHome(part, issued, eng.layout.NumMachines)
+			m.send(home, controlMsgBytes, eng.storeIn[home], vertexRead{part: part, idx: issued, from: m.id, replyTo: m.inbox})
+			issued++
+		}
+		msg := m.inbox.Recv(p)
+		if m.handleAsync(msg) {
+			continue
+		}
+		r, ok := msg.(vertexReadReply)
+		if !ok || r.part != part {
+			panic(fmt.Sprintf("core: machine %d: got %T while loading vertices of partition %d", m.id, msg, part))
+		}
+		base := r.idx * per
+		nrec := len(r.data) / codec.Bytes
+		for i := 0; i < nrec; i++ {
+			codec.Get(r.data[i*codec.Bytes:], &verts[base+i])
+		}
+		done++
+	}
+	return verts
+}
+
+// writeVertices records a partition's vertex set back to storage,
+// asynchronously, optionally also charging the checkpoint shadow copy and
+// capturing its bytes (phase 1 of §6.6).
+func (m *machine[V, U, A]) writeVertices(part int, verts []V, checkpoint bool) {
+	eng := m.eng
+	codec := eng.prog.VertexCodec()
+	per := eng.verticesPerChunk()
+	n := eng.vertexChunks(part)
+	var ckptChunks [][]byte
+	if checkpoint {
+		ckptChunks = make([][]byte, n)
+	}
+	for idx := 0; idx < n; idx++ {
+		lo := idx * per
+		hi := lo + per
+		if hi > len(verts) {
+			hi = len(verts)
+		}
+		data := make([]byte, (hi-lo)*codec.Bytes)
+		for i := lo; i < hi; i++ {
+			codec.Put(data[(i-lo)*codec.Bytes:], &verts[i])
+		}
+		home := storage.VertexChunkHome(part, idx, eng.layout.NumMachines)
+		m.pendingWrites++
+		m.send(home, int64(len(data))+controlMsgBytes, eng.storeIn[home],
+			vertexWrite{part: part, idx: idx, from: m.id, data: data})
+		if eng.cfg.ReplicateVertices {
+			rep := storage.VertexChunkReplica(part, idx, eng.layout.NumMachines)
+			m.pendingWrites++
+			m.send(rep, int64(len(data))+controlMsgBytes, eng.storeIn[rep],
+				vertexWrite{part: part, idx: idx, from: m.id, data: data})
+		}
+		if checkpoint {
+			ckptChunks[idx] = data
+			m.pendingWrites++
+			m.send(home, int64(len(data))+controlMsgBytes, eng.storeIn[home],
+				ckptWrite{bytes: len(data), from: m.id, ackTo: m.inbox})
+		}
+	}
+	if checkpoint {
+		eng.ckptPending[part] = ckptChunks
+	}
+}
+
+// restore rewrites this machine's partitions' vertex sets from the last
+// committed checkpoint after a transient failure.
+func (m *machine[V, U, A]) restore(p *sim.Proc) {
+	eng := m.eng
+	for _, part := range eng.layout.PartitionsOf(m.id) {
+		chunks, ok := eng.ckptVerts[part]
+		if !ok {
+			continue // empty partition
+		}
+		for idx, data := range chunks {
+			home := storage.VertexChunkHome(part, idx, eng.layout.NumMachines)
+			m.pendingWrites++
+			m.send(home, int64(len(data))+controlMsgBytes, eng.storeIn[home],
+				vertexWrite{part: part, idx: idx, from: m.id, data: data})
+		}
+	}
+	m.drainWrites(p)
+}
+
+// ---------------------------------------------------------------------------
+// Update record encoding: destination ID (4 or 8 bytes, §8) plus payload.
+
+func (m *machine[V, U, A]) appendUpdate(buf []byte, dst graph.VertexID, val *U) []byte {
+	eng := m.eng
+	off := len(buf)
+	buf = append(buf, make([]byte, eng.updBytes)...)
+	if eng.idBytes == 4 {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(dst))
+	} else {
+		binary.LittleEndian.PutUint64(buf[off:], uint64(dst))
+	}
+	eng.prog.UpdateCodec().Put(buf[off+eng.idBytes:], val)
+	return buf
+}
+
+func (m *machine[V, U, A]) decodeUpdate(buf []byte) (graph.VertexID, U) {
+	eng := m.eng
+	var dst graph.VertexID
+	if eng.idBytes == 4 {
+		dst = graph.VertexID(binary.LittleEndian.Uint32(buf))
+	} else {
+		dst = graph.VertexID(binary.LittleEndian.Uint64(buf))
+	}
+	var u U
+	eng.prog.UpdateCodec().Get(buf[eng.idBytes:], &u)
+	return dst, u
+}
+
+// ---------------------------------------------------------------------------
+// Scatter phase (§5.1).
+
+func (m *machine[V, U, A]) scatterRun(p *sim.Proc, iter int) {
+	eng := m.eng
+	m.resetPhaseState()
+	for _, part := range eng.layout.PartitionsOf(m.id) {
+		m.workers[part]++
+		t0 := p.Now()
+		verts := m.loadVertices(p, part)
+		m.scatterPartition(p, iter, part, verts)
+		m.stats.Add(metrics.GPMasterMe, p.Now()-t0)
+	}
+	m.stealSweep(p, scatterPhase, iter)
+	m.flushAllUpdates()
+	m.drainWrites(p)
+	t0 := p.Now()
+	eng.barrier.Wait(p)
+	m.stats.Add(metrics.Barrier, p.Now()-t0)
+}
+
+// scatterPartition streams a partition's edges and emits updates. With a
+// combiner, updates to the same destination merge inside the buffers
+// (§11.1); with a rewriter, the surviving edges are written into the
+// next-generation edge set (§6.1 extended model).
+func (m *machine[V, U, A]) scatterPartition(p *sim.Proc, iter, part int, verts []V) {
+	eng := m.eng
+	lo, _ := eng.layout.Range(part)
+	edgeSize := eng.edgeFmt.EdgeSize()
+	m.streamChunks(p, storage.EdgeSet, part, func(data []byte) {
+		n := len(data) / edgeSize
+		m.cpu(p, n)
+		combineOps := 0
+		for i := 0; i < n; i++ {
+			e := eng.edgeFmt.Decode(data[i*edgeSize:])
+			src := &verts[e.Src-lo]
+			if eng.rewriter != nil {
+				if ne, keep := eng.rewriter.RewriteEdge(iter, e, src); keep {
+					buf := m.edgeNextBuf[part]
+					off := len(buf)
+					buf = append(buf, make([]byte, edgeSize)...)
+					eng.edgeFmt.Encode(buf[off:], ne)
+					if len(buf) >= eng.cfg.ChunkBytes {
+						m.writeDataChunk(storage.EdgeSetNext, part, buf)
+						buf = nil
+					}
+					m.edgeNextBuf[part] = buf
+				}
+			}
+			dst, val, emit := eng.prog.Scatter(iter, e, src)
+			if !emit {
+				continue
+			}
+			tp := eng.layout.Of(dst)
+			if eng.combiner != nil {
+				mp := m.combBuf[tp]
+				if mp == nil {
+					mp = make(map[graph.VertexID]U, eng.updatesPerChunk())
+					m.combBuf[tp] = mp
+				}
+				if old, ok := mp[dst]; ok {
+					mp[dst] = eng.combiner.Combine(old, val)
+				} else {
+					mp[dst] = val
+				}
+				combineOps++
+				if len(mp) >= eng.updatesPerChunk() {
+					m.flushCombined(tp)
+				}
+				continue
+			}
+			m.updBuf[tp] = m.appendUpdate(m.updBuf[tp], dst, &val)
+			if len(m.updBuf[tp]) >= eng.updatesPerChunk()*eng.updBytes {
+				m.writeDataChunk(storage.UpdateSet, tp, m.updBuf[tp])
+				m.updBuf[tp] = nil
+			}
+		}
+		// Combining costs an extra hash-merge per emitted update; the
+		// paper found this overhead outweighs the traffic reduction.
+		m.cpu(p, 2*combineOps)
+	})
+}
+
+// flushCombined encodes and spills one destination partition's combined
+// update buffer.
+func (m *machine[V, U, A]) flushCombined(tp int) {
+	mp := m.combBuf[tp]
+	if len(mp) == 0 {
+		return
+	}
+	var buf []byte
+	for dst, val := range mp {
+		val := val
+		buf = m.appendUpdate(buf, dst, &val)
+	}
+	clear(mp)
+	m.writeDataChunk(storage.UpdateSet, tp, buf)
+}
+
+func (eng *engine[V, U, A]) updatesPerChunk() int {
+	per := eng.cfg.ChunkBytes / eng.updBytes
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+// flushAllUpdates writes out the partially filled update (and rewritten
+// edge) buffers at the end of a scatter phase.
+func (m *machine[V, U, A]) flushAllUpdates() {
+	for part, buf := range m.updBuf {
+		if len(buf) > 0 {
+			m.writeDataChunk(storage.UpdateSet, part, buf)
+			m.updBuf[part] = nil
+		}
+	}
+	if m.eng.combiner != nil {
+		for tp := range m.combBuf {
+			m.flushCombined(tp)
+		}
+	}
+	if m.eng.rewriter != nil {
+		for part, buf := range m.edgeNextBuf {
+			if len(buf) > 0 {
+				m.writeDataChunk(storage.EdgeSetNext, part, buf)
+				m.edgeNextBuf[part] = nil
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Gather + apply phase (§5.2, §5.3).
+
+func (m *machine[V, U, A]) gatherRun(p *sim.Proc, iter int) {
+	eng := m.eng
+	m.resetPhaseState()
+	for _, part := range eng.layout.PartitionsOf(m.id) {
+		m.workers[part]++
+		t0 := p.Now()
+		verts := m.loadVertices(p, part)
+		accums := m.newAccums(len(verts))
+		m.gatherPartition(p, part, verts, accums)
+		m.stats.Add(metrics.GPMasterMe, p.Now()-t0)
+		m.applyPartition(p, iter, part, verts, accums)
+	}
+	m.stealSweep(p, gatherPhase, iter)
+	m.drainWrites(p)
+	t0 := p.Now()
+	eng.barrier.Wait(p)
+	m.stats.Add(metrics.Barrier, p.Now()-t0)
+}
+
+func (m *machine[V, U, A]) newAccums(n int) []A {
+	accums := make([]A, n)
+	for i := range accums {
+		accums[i] = m.eng.prog.InitAccum()
+	}
+	return accums
+}
+
+// gatherPartition streams a partition's updates into accumulators. verts is
+// the partition's vertex set, read-only during gather.
+func (m *machine[V, U, A]) gatherPartition(p *sim.Proc, part int, verts []V, accums []A) {
+	eng := m.eng
+	lo, _ := eng.layout.Range(part)
+	m.streamChunks(p, storage.UpdateSet, part, func(data []byte) {
+		n := len(data) / eng.updBytes
+		m.cpu(p, n)
+		for i := 0; i < n; i++ {
+			dst, u := m.decodeUpdate(data[i*eng.updBytes:])
+			accums[dst-lo] = eng.prog.Gather(accums[dst-lo], u, &verts[dst-lo])
+		}
+	})
+}
+
+// applyPartition is the master-side wrap-up for one of its partitions:
+// close the partition to new stealers, fetch and merge their accumulators,
+// apply, write the vertex set back, and delete the update set.
+func (m *machine[V, U, A]) applyPartition(p *sim.Proc, iter, part int, verts []V, accums []A) {
+	eng := m.eng
+	m.closed[part] = true
+	stealers := m.stealers[part]
+	for _, s := range stealers {
+		m.send(s, controlMsgBytes, eng.machines[s].inbox, getAccums{part: part, from: m.id, replyTo: m.inbox})
+	}
+	for range stealers {
+		t0 := p.Now()
+		msg := m.recvExpect(p, fmt.Sprintf("accumulators for partition %d", part), func(msg any) bool {
+			r, ok := msg.(accumReply)
+			return ok && r.part == part
+		})
+		m.stats.Add(metrics.MergeWait, p.Now()-t0)
+		t0 = p.Now()
+		theirs := msg.(accumReply).accums.([]A)
+		m.cpu(p, len(theirs))
+		for i := range accums {
+			accums[i] = eng.prog.Merge(accums[i], theirs[i])
+		}
+		m.stats.Add(metrics.Merge, p.Now()-t0)
+	}
+
+	t0 := p.Now()
+	lo, _ := eng.layout.Range(part)
+	m.cpu(p, len(verts))
+	var changed uint64
+	for i := range verts {
+		if eng.prog.Apply(iter, lo+graph.VertexID(i), &verts[i], accums[i]) {
+			changed++
+		}
+	}
+	eng.changed += changed
+	m.writeVertices(part, verts, eng.checkpointDue(iter))
+	// Delete the consumed update set everywhere (§6.1).
+	for s := 0; s < eng.layout.NumMachines; s++ {
+		m.pendingWrites++
+		m.send(s, controlMsgBytes, eng.storeIn[s], deleteUpdates{part: part, from: m.id})
+	}
+	if eng.dir != nil {
+		m.pendingWrites++
+		m.dirRequest(dirDelete, storage.UpdateSet, part, func(dirResp) { m.pendingWrites-- })
+	}
+	m.stats.Add(metrics.GPMasterMe, p.Now()-t0)
+}
+
+// ---------------------------------------------------------------------------
+// Work stealing (§5.3, §5.4).
+
+// stealSweep repeatedly offers help to the masters of other partitions in
+// random order until a full sweep finds no partition that needs it.
+func (m *machine[V, U, A]) stealSweep(p *sim.Proc, ph phase, iter int) {
+	eng := m.eng
+	if eng.cfg.Alpha == 0 || eng.layout.NumMachines == 1 {
+		return
+	}
+	var others []int
+	for part := 0; part < eng.layout.NumPartitions; part++ {
+		if eng.layout.Master(part) != m.id {
+			others = append(others, part)
+		}
+	}
+	for {
+		helped := false
+		rng := eng.env.Rand()
+		rng.Shuffle(len(others), func(i, j int) { others[i], others[j] = others[j], others[i] })
+		for _, part := range others {
+			if !m.propose(p, ph, part) {
+				continue
+			}
+			helped = true
+			if ph == scatterPhase {
+				m.scatterSteal(p, iter, part)
+			} else {
+				m.gatherSteal(p, part)
+			}
+		}
+		if !helped {
+			return
+		}
+	}
+}
+
+// propose sends a steal proposal to the partition's master and waits for
+// the verdict.
+func (m *machine[V, U, A]) propose(p *sim.Proc, ph phase, part int) bool {
+	eng := m.eng
+	master := eng.layout.Master(part)
+	m.send(master, controlMsgBytes, eng.arbIn[master], stealPropose{ph: ph, part: part, from: m.id, replyTo: m.inbox})
+	msg := m.recvExpect(p, fmt.Sprintf("steal response for partition %d", part), func(msg any) bool {
+		r, ok := msg.(stealResp)
+		return ok && r.part == part
+	})
+	return msg.(stealResp).accepted
+}
+
+// scatterSteal processes part of another machine's partition during
+// scatter: read the vertex set (the cost of stealing), then stream and
+// scatter edges exactly as the master does.
+func (m *machine[V, U, A]) scatterSteal(p *sim.Proc, iter, part int) {
+	t0 := p.Now()
+	verts := m.loadVertices(p, part)
+	m.stats.Add(metrics.Copy, p.Now()-t0)
+	t0 = p.Now()
+	m.scatterPartition(p, iter, part, verts)
+	m.stats.Add(metrics.GPMasterOther, p.Now()-t0)
+}
+
+// gatherSteal processes part of another machine's partition during gather,
+// keeping a private accumulator array that the master fetches when it has
+// finished its own part (§5.3). Per the paper, the stealer waits for the
+// master's request before doing anything else; the wait is very short
+// because everyone drains the same chunk pool.
+func (m *machine[V, U, A]) gatherSteal(p *sim.Proc, part int) {
+	eng := m.eng
+	t0 := p.Now()
+	verts := m.loadVertices(p, part)
+	m.stats.Add(metrics.Copy, p.Now()-t0)
+	t0 = p.Now()
+	accums := m.newAccums(len(verts))
+	m.gatherPartition(p, part, verts, accums)
+	m.stats.Add(metrics.GPMasterOther, p.Now()-t0)
+
+	t0 = p.Now()
+	if m.requestedAccums[part] {
+		delete(m.requestedAccums, part)
+		master := eng.layout.Master(part)
+		bytes := int64(len(accums))*int64(eng.prog.AccumBytes()) + controlMsgBytes
+		m.send(master, bytes, eng.machines[master].inbox, accumReply{part: part, from: m.id, accums: accums})
+	} else {
+		m.stolenAccums[part] = accums
+		for {
+			if _, pending := m.stolenAccums[part]; !pending {
+				break
+			}
+			if !m.handleAsync(m.inbox.Recv(p)) {
+				panic(fmt.Sprintf("core: machine %d: unexpected message while awaiting accumulator request", m.id))
+			}
+		}
+	}
+	m.stats.Add(metrics.MergeWait, p.Now()-t0)
+}

@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"chaos"
+	"chaos/internal/cluster"
+	"chaos/internal/giraph"
+	"chaos/internal/gridpart"
+	"chaos/internal/metrics"
+)
+
+// Figure14 reproduces Figure 14: aggregate storage bandwidth achieved
+// during the weak-scaling experiment, against the devices' theoretical
+// maximum.
+func Figure14(w io.Writer, s Scale) error {
+	header(w, "Figure 14", "aggregate bandwidth, normalized to 1 machine, vs theoretical max",
+		"bandwidth scales linearly with machines, within 3% of device maximum")
+	res, err := RunWeakScaling(s, chaos.Algorithms())
+	if err != nil {
+		return err
+	}
+	xAxis(w, "machines", res.Machines)
+	for _, alg := range chaos.Algorithms() {
+		bw := res.Bandwidth[alg]
+		vals := make([]float64, len(bw))
+		for i := range bw {
+			vals[i] = bw[i] / bw[0]
+		}
+		series(w, alg, res.Machines, vals, "%8.2f")
+	}
+	maxNorm := make([]float64, len(res.Machines))
+	for i := range maxNorm {
+		maxNorm[i] = res.MaxBandwidth[i] / res.MaxBandwidth[0]
+	}
+	series(w, "max", res.Machines, maxNorm, "%8.2f")
+	return nil
+}
+
+// Figure15 reproduces Figure 15: randomized placement vs a centralized
+// chunk directory.
+func Figure15(w io.Writer, s Scale) error {
+	header(w, "Figure 15", "Chaos vs centralized chunk directory (weak scaling)",
+		"the centralized entity becomes a bottleneck: its runtime grows faster with machines")
+	xAxis(w, "machines", s.Machines)
+	for _, alg := range []string{"BFS", "PR"} {
+		for _, central := range []bool{false, true} {
+			var base float64
+			var vals []float64
+			for i, m := range s.Machines {
+				scale := s.WeakBase + log2(m)
+				edges, n := graphFor(alg, scale)
+				opt := s.options(m, n)
+				opt.CentralDirectory = central
+				rep, err := chaos.RunByName(alg, edges, n, opt)
+				if err != nil {
+					return fmt.Errorf("%s central=%v m=%d: %w", alg, central, m, err)
+				}
+				if i == 0 {
+					base = rep.SimulatedSeconds
+				}
+				vals = append(vals, rep.SimulatedSeconds/base)
+			}
+			name := alg
+			if central {
+				name += " central"
+			}
+			series(w, name, s.Machines, vals, "%8.2f")
+		}
+	}
+	return nil
+}
+
+// Figure16 reproduces Figure 16: runtime as a function of the request
+// window phi*k.
+func Figure16(w io.Writer, s Scale) error {
+	header(w, "Figure 16", "runtime vs batch factor phi*k (normalized to phi*k=10)",
+		"sweet spot at phi*k=10 (k=5, phi=2); small windows idle devices, huge windows add queueing")
+	m := s.Machines[len(s.Machines)-1]
+	windows := []int{1, 2, 3, 5, 10, 16, 32}
+	fmt.Fprintf(w, "  %-10s", "phi*k")
+	for _, pk := range windows {
+		fmt.Fprintf(w, " %8d", pk)
+	}
+	fmt.Fprintln(w)
+	for _, alg := range chaos.Algorithms() {
+		edges, n := graphFor(alg, s.StrongScale)
+		var at10 float64
+		times := make([]float64, len(windows))
+		for i, pk := range windows {
+			opt := s.options(m, n)
+			opt.WindowOverride = pk
+			rep, err := chaos.RunByName(alg, edges, n, opt)
+			if err != nil {
+				return fmt.Errorf("%s phi*k=%d: %w", alg, pk, err)
+			}
+			times[i] = rep.SimulatedSeconds
+			if pk == 10 {
+				at10 = rep.SimulatedSeconds
+			}
+		}
+		for i := range times {
+			times[i] /= at10
+		}
+		fmt.Fprintf(w, "  %-10s", alg)
+		for _, t := range times {
+			fmt.Fprintf(w, " %8.2f", t)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Figure17 reproduces Figure 17: the runtime breakdown at the largest
+// cluster size.
+func Figure17(w io.Writer, s Scale) error {
+	header(w, "Figure 17", "runtime breakdown (largest cluster, weak-scaled graph)",
+		"graph processing 74-87% (avg 83%), idle <4%, copy+merge up to 22% (avg 14%)")
+	m := s.Machines[len(s.Machines)-1]
+	scale := s.WeakBase + log2(m)
+	fmt.Fprintf(w, "  %-6s", "alg")
+	for _, c := range metrics.Categories() {
+		fmt.Fprintf(w, " %13s", c)
+	}
+	fmt.Fprintln(w)
+	for _, alg := range chaos.Algorithms() {
+		edges, n := graphFor(alg, scale)
+		rep, err := chaos.RunByName(alg, edges, n, s.options(m, n))
+		if err != nil {
+			return fmt.Errorf("%s: %w", alg, err)
+		}
+		fmt.Fprintf(w, "  %-6s", alg)
+		for _, c := range metrics.Categories() {
+			fmt.Fprintf(w, " %12.1f%%", 100*rep.Breakdown[c.String()])
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Figure18 reproduces Figure 18: the work-stealing bias sweep.
+func Figure18(w io.Writer, s Scale) error {
+	header(w, "Figure 18", "runtime vs stealing bias alpha, normalized to alpha=1",
+		"alpha=1 (the analytic criterion) is fastest; no stealing and always-steal both lose")
+	m := s.Machines[len(s.Machines)-1]
+	scale := s.WeakBase + log2(m)
+	alphas := []float64{0, 0.8, 1.0, 1.2, math.Inf(1)}
+	fmt.Fprintf(w, "  %-6s %8s %8s %8s %8s %8s\n", "alg", "a=0", "a=0.8", "a=1", "a=1.2", "a=inf")
+	for _, alg := range []string{"BFS", "PR"} {
+		edges, n := graphFor(alg, scale)
+		times := make([]float64, len(alphas))
+		var at1 float64
+		for i, a := range alphas {
+			opt := s.options(m, n)
+			switch {
+			case a == 0:
+				opt.DisableStealing = true
+			case math.IsInf(a, 1):
+				opt.AlwaysSteal = true
+			default:
+				opt.Alpha = a
+			}
+			rep, err := chaos.RunByName(alg, edges, n, opt)
+			if err != nil {
+				return fmt.Errorf("%s alpha=%v: %w", alg, a, err)
+			}
+			times[i] = rep.SimulatedSeconds
+			if a == 1.0 {
+				at1 = rep.SimulatedSeconds
+			}
+		}
+		fmt.Fprintf(w, "  %-6s", alg)
+		for _, t := range times {
+			fmt.Fprintf(w, " %8.3f", t/at1)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Figure19 reproduces Figure 19: Chaos vs the Giraph baseline on PageRank,
+// each normalized to its own single-machine runtime.
+func Figure19(w io.Writer, s Scale) error {
+	header(w, "Figure 19", "Chaos vs Giraph, PR strong scaling, each self-normalized",
+		"static partitioning caps Giraph's scalability; Chaos scales much closer to linear")
+	edges, n := graphFor("PR", s.StrongScale)
+	xAxis(w, "machines", s.Machines)
+
+	var chaosBase float64
+	var chaosVals []float64
+	for i, m := range s.Machines {
+		rep, err := chaos.RunByName("PR", edges, n, s.options(m, n))
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			chaosBase = rep.SimulatedSeconds
+		}
+		chaosVals = append(chaosVals, rep.SimulatedSeconds/chaosBase)
+	}
+	series(w, "Chaos", s.Machines, chaosVals, "%8.3f")
+
+	var giraphBase float64
+	var giraphVals []float64
+	for i, m := range s.Machines {
+		spec := cluster.ScaleLatencies(cluster.SSD(m), float64(s.ChunkBytes)/float64(4<<20))
+		cfg := giraph.DefaultConfig(spec)
+		res, err := giraph.RunPageRank(cfg, edges, n)
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			giraphBase = res.Runtime.Seconds()
+		}
+		giraphVals = append(giraphVals, res.Runtime.Seconds()/giraphBase)
+	}
+	series(w, "Giraph", s.Machines, giraphVals, "%8.3f")
+	last := len(s.Machines) - 1
+	fmt.Fprintf(w, "  speedup at %d machines: Chaos %.1fx, Giraph %.1fx\n",
+		s.Machines[last], 1/chaosVals[last], 1/giraphVals[last])
+	return nil
+}
+
+// Figure20 reproduces Figure 20: the worst-case dynamic rebalancing cost of
+// Chaos against PowerGraph's in-memory grid partitioning time.
+func Figure20(w io.Writer, s Scale) error {
+	header(w, "Figure 20", "rebalance time / grid partitioning time",
+		"dynamic load balancing costs about a tenth of up-front grid partitioning")
+	m := s.Machines[len(s.Machines)-1]
+	grid, err := gridpart.New(m)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %-6s %14s %14s %8s\n", "alg", "rebalance(s)", "partition(s)", "ratio")
+	for _, alg := range chaos.Algorithms() {
+		edges, n := graphFor(alg, s.StrongScale)
+		rep, err := chaos.RunByName(alg, edges, n, s.options(m, n))
+		if err != nil {
+			return fmt.Errorf("%s: %w", alg, err)
+		}
+		part := grid.Partition(cluster.SSD(m), edges, n)
+		ratio := rep.RebalanceSeconds / part.Time.Seconds()
+		fmt.Fprintf(w, "  %-6s %14.3f %14.3f %8.2f\n", alg, rep.RebalanceSeconds, part.Time.Seconds(), ratio)
+	}
+	return nil
+}
+
+// All runs every experiment in paper order.
+func All(w io.Writer, s Scale) error {
+	steps := []func(io.Writer, Scale) error{
+		Table1, Figure5, Figure7, Figure8, Figure9, Capacity,
+		Figure10, Figure11, Figure12, Figure13, Figure14, Figure15,
+		Figure16, Figure17, Figure18, Figure19, Figure20,
+	}
+	for _, f := range steps {
+		if err := f(w, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}

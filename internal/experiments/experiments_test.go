@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestEveryExperimentRunsAtQuickScale executes each experiment end to end
+// at the smoke scale and checks it emits its banner and at least one data
+// row. Full-scale outputs are exercised by the benchmarks.
+func TestEveryExperimentRunsAtQuickScale(t *testing.T) {
+	cases := map[string]func(*bytes.Buffer) error{
+		"Table 1":   func(b *bytes.Buffer) error { return Table1(b, Quick) },
+		"Figure 5":  func(b *bytes.Buffer) error { return Figure5(b, Quick) },
+		"Figure 7":  func(b *bytes.Buffer) error { return Figure7(b, Quick) },
+		"Figure 8":  func(b *bytes.Buffer) error { return Figure8(b, Quick) },
+		"Figure 9":  func(b *bytes.Buffer) error { return Figure9(b, Quick) },
+		"Capacity":  func(b *bytes.Buffer) error { return Capacity(b, Quick) },
+		"Figure 10": func(b *bytes.Buffer) error { return Figure10(b, Quick) },
+		"Figure 11": func(b *bytes.Buffer) error { return Figure11(b, Quick) },
+		"Figure 12": func(b *bytes.Buffer) error { return Figure12(b, Quick) },
+		"Figure 13": func(b *bytes.Buffer) error { return Figure13(b, Quick) },
+		"Figure 14": func(b *bytes.Buffer) error { return Figure14(b, Quick) },
+		"Figure 15": func(b *bytes.Buffer) error { return Figure15(b, Quick) },
+		"Figure 16": func(b *bytes.Buffer) error { return Figure16(b, Quick) },
+		"Figure 17": func(b *bytes.Buffer) error { return Figure17(b, Quick) },
+		"Figure 18": func(b *bytes.Buffer) error { return Figure18(b, Quick) },
+		"Figure 19": func(b *bytes.Buffer) error { return Figure19(b, Quick) },
+		"Figure 20": func(b *bytes.Buffer) error { return Figure20(b, Quick) },
+	}
+	for name, run := range cases {
+		name, run := name, run
+		t.Run(strings.ReplaceAll(name, " ", ""), func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(&buf); err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, name) {
+				t.Errorf("output missing banner %q:\n%s", name, out)
+			}
+			if strings.Count(out, "\n") < 4 {
+				t.Errorf("output suspiciously short:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestWeakScalingCacheHits(t *testing.T) {
+	a, err := RunWeakScaling(Quick, []string{"Cond"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunWeakScaling(Quick, []string{"Cond"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("second identical sweep should hit the cache")
+	}
+}
+
+func TestLog2(t *testing.T) {
+	for _, tc := range []struct{ m, want int }{{1, 0}, {2, 1}, {4, 2}, {32, 5}} {
+		if got := log2(tc.m); got != tc.want {
+			t.Errorf("log2(%d) = %d, want %d", tc.m, got, tc.want)
+		}
+	}
+}
+
+func TestLabScaleSanity(t *testing.T) {
+	if Lab.WeakBase <= 0 || Lab.ChunkBytes <= 0 || len(Lab.Machines) == 0 {
+		t.Errorf("lab scale malformed: %+v", Lab)
+	}
+	if Lab.Machines[len(Lab.Machines)-1] != 32 {
+		t.Error("lab scale should sweep to 32 machines like the paper")
+	}
+	opt := Lab.options(4, 1<<12)
+	if opt.LatencyScale <= 0 || opt.LatencyScale > 1 {
+		t.Errorf("latency scale %f out of range", opt.LatencyScale)
+	}
+}

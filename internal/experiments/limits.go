@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"chaos"
+)
+
+// bfsAndPR runs the two representative algorithms of §9.4 for a machine
+// sweep under an option transform, returning normalized runtimes against
+// the baseline series.
+func bfsAndPR(s Scale, mutate func(*chaos.Options)) (map[string][]float64, error) {
+	out := make(map[string][]float64)
+	for _, alg := range []string{"BFS", "PR"} {
+		edges, n := graphFor(alg, s.StrongScale)
+		for _, m := range s.Machines {
+			opt := s.options(m, n)
+			if mutate != nil {
+				mutate(&opt)
+			}
+			rep, err := chaos.RunByName(alg, edges, n, opt)
+			if err != nil {
+				return nil, fmt.Errorf("%s m=%d: %w", alg, m, err)
+			}
+			out[alg] = append(out[alg], rep.SimulatedSeconds)
+		}
+	}
+	return out, nil
+}
+
+// Figure10 reproduces Figure 10: sensitivity to the number of CPU cores.
+func Figure10(w io.Writer, s Scale) error {
+	header(w, "Figure 10", "runtime vs machines for p in {8,12,16} cores",
+		"adequate performance with half the cores; minimum cores needed to sustain network throughput")
+	base, err := bfsAndPR(s, nil) // 16 cores
+	if err != nil {
+		return err
+	}
+	xAxis(w, "machines", s.Machines)
+	for _, p := range []int{16, 12, 8} {
+		p := p
+		runs, err := bfsAndPR(s, func(o *chaos.Options) { o.Cores = p })
+		if err != nil {
+			return err
+		}
+		for _, alg := range []string{"BFS", "PR"} {
+			vals := make([]float64, len(s.Machines))
+			for i := range vals {
+				vals[i] = runs[alg][i] / base[alg][0]
+			}
+			series(w, fmt.Sprintf("%s p=%d", alg, p), s.Machines, vals, "%8.3f")
+		}
+	}
+	return nil
+}
+
+// Figure11 reproduces Figure 11: SSD vs HDD.
+func Figure11(w io.Writer, s Scale) error {
+	header(w, "Figure 11", "runtime with SSD vs HDD, normalized to 1-machine SSD",
+		"identical scaling; runtime inversely proportional to storage bandwidth (HDD ~2x slower)")
+	ssd, err := bfsAndPR(s, nil)
+	if err != nil {
+		return err
+	}
+	hdd, err := bfsAndPR(s, func(o *chaos.Options) { o.Storage = chaos.HDD })
+	if err != nil {
+		return err
+	}
+	xAxis(w, "machines", s.Machines)
+	for _, alg := range []string{"BFS", "PR"} {
+		vals := make([]float64, len(s.Machines))
+		for i := range vals {
+			vals[i] = ssd[alg][i] / ssd[alg][0]
+		}
+		series(w, alg+" SSD", s.Machines, vals, "%8.3f")
+		for i := range vals {
+			vals[i] = hdd[alg][i] / ssd[alg][0]
+		}
+		series(w, alg+" HDD", s.Machines, vals, "%8.3f")
+		fmt.Fprintf(w, "  %s HDD/SSD single-machine ratio: %.2fx\n", alg, hdd[alg][0]/ssd[alg][0])
+	}
+	return nil
+}
+
+// Figure12 reproduces Figure 12: 40 GigE vs 1 GigE.
+func Figure12(w io.Writer, s Scale) error {
+	header(w, "Figure 12", "runtime with 40GigE vs 1GigE, normalized to 1-machine",
+		"1GigE (slower than storage) breaks scaling: runtime grows with machines instead of holding flat")
+	fast, err := bfsAndPR(s, nil)
+	if err != nil {
+		return err
+	}
+	slow, err := bfsAndPR(s, func(o *chaos.Options) { o.Network = chaos.Net1GigE })
+	if err != nil {
+		return err
+	}
+	xAxis(w, "machines", s.Machines)
+	for _, alg := range []string{"BFS", "PR"} {
+		vals := make([]float64, len(s.Machines))
+		for i := range vals {
+			vals[i] = fast[alg][i] / fast[alg][0]
+		}
+		series(w, alg+" 40G", s.Machines, vals, "%8.3f")
+		for i := range vals {
+			vals[i] = slow[alg][i] / slow[alg][0]
+		}
+		series(w, alg+" 1G", s.Machines, vals, "%8.3f")
+	}
+	return nil
+}
+
+// Figure13 reproduces Figure 13: checkpointing overhead.
+func Figure13(w io.Writer, s Scale) error {
+	header(w, "Figure 13", "checkpointing overhead (BFS, PR)",
+		"under 6% despite writing the full vertex state at every barrier")
+	m := s.Machines[len(s.Machines)-1]
+	fmt.Fprintf(w, "  %-6s %14s %14s %10s\n", "alg", "no-ckpt(s)", "ckpt(s)", "overhead")
+	// Placement randomness perturbs individual runs by a few percent at
+	// laboratory scale, so average both configurations over seeds.
+	seeds := []int64{1, 2, 3, 4, 5}
+	for _, alg := range []string{"PR", "BFS"} {
+		edges, n := graphFor(alg, s.StrongScale)
+		var plain, ckpt float64
+		for _, seed := range seeds {
+			opt := s.options(m, n)
+			opt.Seed = seed
+			rep, err := chaos.RunByName(alg, edges, n, opt)
+			if err != nil {
+				return err
+			}
+			plain += rep.SimulatedSeconds
+			opt.CheckpointEvery = 1
+			repCk, err := chaos.RunByName(alg, edges, n, opt)
+			if err != nil {
+				return err
+			}
+			ckpt += repCk.SimulatedSeconds
+		}
+		plain /= float64(len(seeds))
+		ckpt /= float64(len(seeds))
+		fmt.Fprintf(w, "  %-6s %14.4f %14.4f %9.1f%%\n", alg, plain, ckpt, 100*(ckpt/plain-1))
+	}
+	return nil
+}
+
+// Capacity reproduces the §9.3 capacity-scaling experiment by accounting:
+// the trillion-edge graph cannot be materialized here, so per-edge,
+// per-iteration I/O is measured at laboratory scale and extrapolated to
+// RMAT-36 (16 TB input) over the aggregate HDD bandwidth of 32 machines,
+// exactly the arithmetic that governs the paper's 9-hour BFS and 19-hour
+// PageRank runs (214 TB and 395 TB of I/O at ~7 GB/s).
+func Capacity(w io.Writer, s Scale) error {
+	header(w, "Capacity (§9.3)", "trillion-edge projection from measured I/O ratios",
+		"BFS a little over 9h (214 TB I/O), 5-iteration PR 19h (395 TB I/O) at ~7 GB/s aggregate")
+	const (
+		trillionEdges = 1e12
+		inputBytes    = 16e12 // 16 TB input, non-compact weighted records
+		aggBW         = 7e9   // paper-measured aggregate from 64 HDDs
+	)
+	for _, alg := range []string{"BFS", "PR"} {
+		edges, n := graphFor(alg, s.StrongScale)
+		opt := s.options(8, n)
+		opt.Storage = chaos.HDD
+		rep, err := chaos.RunByName(alg, edges, n, opt)
+		if err != nil {
+			return err
+		}
+		// The lab graph uses compact 4-byte IDs; RMAT-36 exceeds 2^32
+		// vertices, doubling every ID field on disk (§8).
+		const formatCorrection = 2.0
+		bytesPerEdge := formatCorrection * float64(rep.BytesRead+rep.BytesWritten) / float64(len(edges))
+		projectedIO := bytesPerEdge * trillionEdges
+		hours := projectedIO / aggBW / 3600
+		fmt.Fprintf(w, "  %-4s measured %6.1f B/edge total I/O (non-compact) -> projected %7.0f TB, %6.1f h at %.0f GB/s\n",
+			alg, bytesPerEdge, projectedIO/1e12, hours, aggBW/1e9)
+	}
+	fmt.Fprintf(w, "  input: %.0f TB for %.0g edges (non-compact weighted records)\n", inputBytes/1e12, trillionEdges)
+	return nil
+}

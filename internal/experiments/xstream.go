@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"fmt"
+
+	"chaos"
+	"chaos/internal/algorithms"
+	"chaos/internal/gas"
+	"chaos/internal/graph"
+	"chaos/internal/xstream"
+)
+
+// xstreamRun adapts the generic single-machine engine to one call site per
+// vertex-state type.
+func xstreamRun[V, U, A any](cfg xstream.Config, prog gas.Program[V, U, A], edges []chaos.Edge, n uint64) (float64, error) {
+	res, err := xstream.Run(cfg, prog, edges, n)
+	if err != nil {
+		return 0, err
+	}
+	return res.Runtime.Seconds(), nil
+}
+
+// xstreamByName runs the named algorithm on the X-Stream baseline with the
+// same input conventions as chaos.RunByName.
+func xstreamByName(cfg xstream.Config, alg string, edges []chaos.Edge, n uint64) (float64, error) {
+	und := func() []chaos.Edge { return graph.Undirected(edges) }
+	switch alg {
+	case "BFS":
+		return xstreamRun(cfg, &algorithms.BFS{}, und(), n)
+	case "WCC":
+		return xstreamRun(cfg, &algorithms.WCC{}, und(), n)
+	case "MCST":
+		return xstreamRun(cfg, &algorithms.MCST{}, und(), n)
+	case "MIS":
+		return xstreamRun(cfg, &algorithms.MIS{}, und(), n)
+	case "SSSP":
+		return xstreamRun(cfg, &algorithms.SSSP{}, und(), n)
+	case "PR":
+		return xstreamRun(cfg, &algorithms.PageRank{Iterations: 5}, edges, n)
+	case "SCC":
+		return xstreamRun(cfg, &algorithms.SCC{}, algorithms.AugmentEdges(edges), n)
+	case "Cond":
+		return xstreamRun(cfg, &algorithms.Conductance{}, edges, n)
+	case "SpMV":
+		return xstreamRun(cfg, &algorithms.SpMV{}, edges, n)
+	case "BP":
+		return xstreamRun(cfg, &algorithms.BP{Iterations: 5}, edges, n)
+	default:
+		return 0, fmt.Errorf("experiments: unknown algorithm %s", alg)
+	}
+}

@@ -1,0 +1,33 @@
+package gas
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Uint32Codec serializes a uint32 in 4 bytes.
+func Uint32Codec() Codec[uint32] {
+	return Codec[uint32]{
+		Bytes: 4,
+		Put:   func(b []byte, v *uint32) { binary.LittleEndian.PutUint32(b, *v) },
+		Get:   func(b []byte, v *uint32) { *v = binary.LittleEndian.Uint32(b) },
+	}
+}
+
+// Uint64Codec serializes a uint64 in 8 bytes.
+func Uint64Codec() Codec[uint64] {
+	return Codec[uint64]{
+		Bytes: 8,
+		Put:   func(b []byte, v *uint64) { binary.LittleEndian.PutUint64(b, *v) },
+		Get:   func(b []byte, v *uint64) { *v = binary.LittleEndian.Uint64(b) },
+	}
+}
+
+// Float32Codec serializes a float32 in 4 bytes.
+func Float32Codec() Codec[float32] {
+	return Codec[float32]{
+		Bytes: 4,
+		Put:   func(b []byte, v *float32) { binary.LittleEndian.PutUint32(b, math.Float32bits(*v)) },
+		Get:   func(b []byte, v *float32) { *v = math.Float32frombits(binary.LittleEndian.Uint32(b)) },
+	}
+}

@@ -1,0 +1,71 @@
+package gas
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUint32CodecRoundTrip(t *testing.T) {
+	c := Uint32Codec()
+	prop := func(v uint32) bool {
+		buf := make([]byte, c.Bytes)
+		c.Put(buf, &v)
+		var got uint32
+		c.Get(buf, &got)
+		return got == v
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUint64CodecRoundTrip(t *testing.T) {
+	c := Uint64Codec()
+	prop := func(v uint64) bool {
+		buf := make([]byte, c.Bytes)
+		c.Put(buf, &v)
+		var got uint64
+		c.Get(buf, &got)
+		return got == v
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloat32CodecRoundTrip(t *testing.T) {
+	c := Float32Codec()
+	for _, v := range []float32{0, 1.5, -3.25, 1e30, -1e-30} {
+		buf := make([]byte, c.Bytes)
+		c.Put(buf, &v)
+		var got float32
+		c.Get(buf, &got)
+		if got != v {
+			t.Errorf("round trip %g -> %g", v, got)
+		}
+	}
+}
+
+func TestEncodeDecodeSlice(t *testing.T) {
+	c := Uint32Codec()
+	in := []uint32{1, 2, 3, 4, 5}
+	buf := c.EncodeSlice(in)
+	if len(buf) != 20 {
+		t.Fatalf("buffer %d bytes, want 20", len(buf))
+	}
+	got := c.DecodeSlice(nil, buf)
+	for i := range in {
+		if got[i] != in[i] {
+			t.Fatalf("slice round trip: got %v", got)
+		}
+	}
+}
+
+func TestDecodeSliceAppends(t *testing.T) {
+	c := Uint32Codec()
+	buf := c.EncodeSlice([]uint32{7})
+	got := c.DecodeSlice([]uint32{1, 2}, buf)
+	if len(got) != 3 || got[2] != 7 {
+		t.Errorf("append decode: %v", got)
+	}
+}

@@ -1,0 +1,6 @@
+package graph
+
+import "math"
+
+func floatBits(f float32) uint32     { return math.Float32bits(f) }
+func floatFromBits(b uint32) float32 { return math.Float32frombits(b) }

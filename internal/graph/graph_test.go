@@ -1,0 +1,192 @@
+package graph
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var allFormats = []Format{
+	{Compact: true},
+	{Compact: true, Weighted: true},
+	{Compact: false},
+	{Compact: false, Weighted: true},
+}
+
+func TestFormatSizes(t *testing.T) {
+	want := map[Format]int{
+		{Compact: true}:                  8,
+		{Compact: true, Weighted: true}:  12,
+		{Compact: false}:                 16,
+		{Compact: false, Weighted: true}: 20,
+	}
+	for f, w := range want {
+		if got := f.EdgeSize(); got != w {
+			t.Errorf("%v EdgeSize = %d, want %d", f, got, w)
+		}
+	}
+}
+
+func TestFormatForMatchesPaperRule(t *testing.T) {
+	if f := FormatFor(1<<32-1, false); !f.Compact {
+		t.Error("graph just under 2^32 vertices should be compact")
+	}
+	if f := FormatFor(1<<32, false); f.Compact {
+		t.Error("graph with 2^32 vertices must be non-compact")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, f := range allFormats {
+		e := Edge{Src: 123456, Dst: 654321, Weight: 3.5}
+		buf := make([]byte, f.EdgeSize())
+		f.Encode(buf, e)
+		got := f.Decode(buf)
+		want := e
+		if !f.Weighted {
+			want.Weight = 0
+		}
+		if got != want {
+			t.Errorf("%v round trip: got %+v want %+v", f, got, want)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTripProperty(t *testing.T) {
+	for _, f := range allFormats {
+		f := f
+		prop := func(src, dst uint32, w float32) bool {
+			e := Edge{Src: VertexID(src), Dst: VertexID(dst), Weight: w}
+			buf := make([]byte, f.EdgeSize())
+			f.Encode(buf, e)
+			got := f.Decode(buf)
+			if !f.Weighted {
+				e.Weight = 0
+			}
+			// NaN weights compare unequal; compare bit patterns via re-encode.
+			buf2 := make([]byte, f.EdgeSize())
+			f.Encode(buf2, got)
+			return bytes.Equal(buf, buf2) && got.Src == e.Src && got.Dst == e.Dst
+		}
+		if err := quick.Check(prop, nil); err != nil {
+			t.Errorf("%v: %v", f, err)
+		}
+	}
+}
+
+func TestNonCompactCarries64BitIDs(t *testing.T) {
+	f := Format{Compact: false}
+	e := Edge{Src: 1 << 40, Dst: 1<<40 + 7}
+	buf := make([]byte, f.EdgeSize())
+	f.Encode(buf, e)
+	if got := f.Decode(buf); got.Src != e.Src || got.Dst != e.Dst {
+		t.Errorf("64-bit IDs mangled: %+v", got)
+	}
+}
+
+func TestWriterReaderStream(t *testing.T) {
+	for _, f := range allFormats {
+		rng := rand.New(rand.NewSource(1))
+		var edges []Edge
+		for i := 0; i < 1000; i++ {
+			e := Edge{Src: VertexID(rng.Uint32()), Dst: VertexID(rng.Uint32())}
+			if f.Weighted {
+				e.Weight = rng.Float32()
+			}
+			edges = append(edges, e)
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf, f)
+		for _, e := range edges {
+			if err := w.WriteEdge(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if w.Count() != 1000 {
+			t.Errorf("writer count %d, want 1000", w.Count())
+		}
+		if got := buf.Len(); got != 1000*f.EdgeSize() {
+			t.Errorf("%v: stream size %d, want %d", f, got, 1000*f.EdgeSize())
+		}
+		got, err := NewReader(&buf, f).ReadAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(edges) {
+			t.Fatalf("read %d edges, want %d", len(got), len(edges))
+		}
+		for i := range got {
+			if got[i] != edges[i] {
+				t.Fatalf("%v: edge %d: got %+v want %+v", f, i, got[i], edges[i])
+			}
+		}
+	}
+}
+
+func TestReaderReportsTruncation(t *testing.T) {
+	f := Format{Compact: true}
+	r := NewReader(bytes.NewReader([]byte{1, 2, 3}), f)
+	if _, err := r.ReadEdge(); err == nil || err == io.EOF {
+		t.Errorf("truncated record: err = %v, want explicit error", err)
+	}
+}
+
+func TestUndirectedDoublesEdges(t *testing.T) {
+	in := []Edge{{Src: 1, Dst: 2, Weight: 5}, {Src: 3, Dst: 4, Weight: 7}}
+	out := Undirected(in)
+	if len(out) != 4 {
+		t.Fatalf("got %d edges, want 4", len(out))
+	}
+	if out[1] != (Edge{Src: 2, Dst: 1, Weight: 5}) {
+		t.Errorf("reverse edge wrong: %+v", out[1])
+	}
+}
+
+func TestMaxVertex(t *testing.T) {
+	if got := MaxVertex(nil); got != 0 {
+		t.Errorf("empty: %d, want 0", got)
+	}
+	if got := MaxVertex([]Edge{{Src: 5, Dst: 9}}); got != 10 {
+		t.Errorf("got %d, want 10", got)
+	}
+}
+
+func TestBuildAdjacency(t *testing.T) {
+	edges := []Edge{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 2, Dst: 0}}
+	a := BuildAdjacency(edges, 0)
+	if a.N != 3 {
+		t.Errorf("N = %d, want 3", a.N)
+	}
+	if a.OutDegree(0) != 2 || a.OutDegree(1) != 0 || a.OutDegree(2) != 1 {
+		t.Errorf("degrees wrong: %d %d %d", a.OutDegree(0), a.OutDegree(1), a.OutDegree(2))
+	}
+	if a.NumEdges() != 3 {
+		t.Errorf("NumEdges = %d, want 3", a.NumEdges())
+	}
+}
+
+func TestEncodeDecodeEdgesBatch(t *testing.T) {
+	f := Format{Compact: true, Weighted: true}
+	edges := []Edge{{1, 2, 0.5}, {3, 4, 1.5}, {5, 6, 2.5}}
+	buf := f.EncodeEdges(nil, edges)
+	got := f.DecodeEdges(nil, buf)
+	for i := range edges {
+		if got[i] != edges[i] {
+			t.Fatalf("edge %d: got %+v want %+v", i, got[i], edges[i])
+		}
+	}
+}
+
+func TestDecodeEdgesPanicsOnPartialRecord(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on partial record")
+		}
+	}()
+	Format{Compact: true}.DecodeEdges(nil, make([]byte, 9))
+}

@@ -1,0 +1,74 @@
+package gridpart
+
+import (
+	"testing"
+
+	"chaos/internal/cluster"
+	"chaos/internal/graph"
+	"chaos/internal/rmat"
+)
+
+func TestGridShapes(t *testing.T) {
+	for _, tc := range []struct{ m, rows, cols int }{
+		{1, 1, 1}, {4, 2, 2}, {8, 2, 4}, {16, 4, 4}, {32, 4, 8}, {6, 2, 3},
+	} {
+		g, err := New(tc.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.rows != tc.rows || g.cols != tc.cols {
+			t.Errorf("m=%d: grid %dx%d, want %dx%d", tc.m, g.rows, g.cols, tc.rows, tc.cols)
+		}
+	}
+	if _, err := New(0); err == nil {
+		t.Error("zero machines should error")
+	}
+}
+
+func TestAssignInRangeAndDeterministic(t *testing.T) {
+	g, _ := New(16)
+	for i := 0; i < 1000; i++ {
+		e := graph.Edge{Src: graph.VertexID(i * 7), Dst: graph.VertexID(i * 13)}
+		m := g.Assign(e)
+		if m < 0 || m >= 16 || m != g.Assign(e) {
+			t.Fatalf("assign(%v) = %d", e, m)
+		}
+	}
+}
+
+func TestReplicationFactorBounded(t *testing.T) {
+	// Grid partitioning bounds the replication factor by
+	// rows + cols - 1; RMAT graphs should come in well under that for
+	// low-degree vertices but above 1.
+	gen := rmat.New(10, 9)
+	edges := gen.Generate()
+	g, _ := New(16)
+	res := g.Partition(cluster.SSD(16), edges, gen.NumVertices())
+	if res.ReplicationFactor < 1 || res.ReplicationFactor > 7 {
+		t.Errorf("replication factor %.2f outside (1, rows+cols-1]", res.ReplicationFactor)
+	}
+	if res.Balance < 1 {
+		t.Errorf("balance %.2f below 1", res.Balance)
+	}
+	if res.Time <= 0 {
+		t.Error("no partitioning time modeled")
+	}
+	var total int64
+	for _, c := range res.PerMachine {
+		total += c
+	}
+	if total != int64(len(edges)) {
+		t.Errorf("placed %d edges, want %d", total, len(edges))
+	}
+}
+
+func TestPartitioningCostGrowsWithGraph(t *testing.T) {
+	g, _ := New(4)
+	small := rmat.New(8, 1)
+	large := rmat.New(11, 1)
+	rs := g.Partition(cluster.SSD(4), small.Generate(), small.NumVertices())
+	rl := g.Partition(cluster.SSD(4), large.Generate(), large.NumVertices())
+	if rl.Time <= rs.Time {
+		t.Errorf("larger graph partitioned faster: %v vs %v", rl.Time, rs.Time)
+	}
+}

@@ -1,0 +1,157 @@
+package refalgo
+
+import (
+	"math"
+	"testing"
+
+	"chaos/internal/graph"
+)
+
+// line returns the path graph 0-1-2-...-(n-1) as a symmetric edge list.
+func line(n int) *graph.Adjacency {
+	var edges []graph.Edge
+	for i := 0; i < n-1; i++ {
+		edges = append(edges,
+			graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID(i + 1), Weight: 1},
+			graph.Edge{Src: graph.VertexID(i + 1), Dst: graph.VertexID(i), Weight: 1})
+	}
+	return graph.BuildAdjacency(edges, uint64(n))
+}
+
+func TestBFSLevelsOnLine(t *testing.T) {
+	levels := BFSLevels(line(5), 0)
+	for i, want := range []uint32{0, 1, 2, 3, 4} {
+		if levels[i] != want {
+			t.Errorf("level[%d] = %d, want %d", i, levels[i], want)
+		}
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	adj := graph.BuildAdjacency([]graph.Edge{{Src: 0, Dst: 1}}, 3)
+	levels := BFSLevels(adj, 0)
+	if levels[2] != ^uint32(0) {
+		t.Errorf("isolated vertex level = %d, want unreachable", levels[2])
+	}
+}
+
+func TestWCCLabelsTwoComponents(t *testing.T) {
+	edges := []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 0},
+		{Src: 2, Dst: 3}, {Src: 3, Dst: 2},
+	}
+	labels := WCCLabels(graph.BuildAdjacency(edges, 4))
+	if labels[0] != 0 || labels[1] != 0 || labels[2] != 2 || labels[3] != 2 {
+		t.Errorf("labels = %v", labels)
+	}
+}
+
+func TestSSSPOnWeightedTriangle(t *testing.T) {
+	edges := graph.Undirected([]graph.Edge{
+		{Src: 0, Dst: 1, Weight: 5},
+		{Src: 1, Dst: 2, Weight: 1},
+		{Src: 0, Dst: 2, Weight: 2},
+	})
+	d := SSSPDistances(graph.BuildAdjacency(edges, 3), 0)
+	if d[0] != 0 || d[2] != 2 || d[1] != 3 {
+		t.Errorf("distances = %v, want [0 3 2]", d)
+	}
+}
+
+func TestPageRankSinksAndSources(t *testing.T) {
+	// 0 -> 1, 1 has no out-edges.
+	ranks := PageRank(graph.BuildAdjacency([]graph.Edge{{Src: 0, Dst: 1}}, 2), 1)
+	if ranks[0] != 0.15 {
+		t.Errorf("source rank = %f, want 0.15", ranks[0])
+	}
+	if math.Abs(ranks[1]-(0.15+0.85)) > 1e-12 {
+		t.Errorf("sink rank = %f, want 1.0", ranks[1])
+	}
+}
+
+func TestMSTWeightOnKnownGraph(t *testing.T) {
+	// Square with a diagonal: MST = 1 + 1 + 2 = 4... edges (0-1:1),
+	// (1-2:1), (2-3:3), (0-3:2), (0-2:5): MST takes 1,1,2.
+	edges := graph.Undirected([]graph.Edge{
+		{Src: 0, Dst: 1, Weight: 1},
+		{Src: 1, Dst: 2, Weight: 1},
+		{Src: 2, Dst: 3, Weight: 3},
+		{Src: 0, Dst: 3, Weight: 2},
+		{Src: 0, Dst: 2, Weight: 5},
+	})
+	w, n := MSTWeight(graph.BuildAdjacency(edges, 4))
+	if w != 4 || n != 3 {
+		t.Errorf("MST weight=%f edges=%d, want 4 and 3", w, n)
+	}
+}
+
+func TestSCCIDsOnTwoCycles(t *testing.T) {
+	// Cycle {0,1,2} -> cycle {3,4}.
+	edges := []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0},
+		{Src: 2, Dst: 3},
+		{Src: 3, Dst: 4}, {Src: 4, Dst: 3},
+	}
+	ids := SCCIDs(graph.BuildAdjacency(edges, 5))
+	if ids[0] != ids[1] || ids[1] != ids[2] {
+		t.Errorf("first cycle split: %v", ids)
+	}
+	if ids[3] != ids[4] {
+		t.Errorf("second cycle split: %v", ids)
+	}
+	if ids[0] == ids[3] {
+		t.Errorf("cycles merged: %v", ids)
+	}
+}
+
+func TestSpMVIdentityLike(t *testing.T) {
+	// Diagonal-ish: edge i -> i with weight 2 doubles x.
+	edges := []graph.Edge{{Src: 0, Dst: 0, Weight: 2}, {Src: 1, Dst: 1, Weight: 2}}
+	y := SpMV(graph.BuildAdjacency(edges, 2), []float32{3, 4})
+	if y[0] != 6 || y[1] != 8 {
+		t.Errorf("y = %v, want [6 8]", y)
+	}
+}
+
+func TestConductanceFullCut(t *testing.T) {
+	// 0 <-> 1 with S={0}: both directed edges cross, volumes are 1 and 1.
+	adj := graph.BuildAdjacency([]graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 0}}, 2)
+	c := Conductance(adj, func(v graph.VertexID) bool { return v == 0 })
+	if c != 2 {
+		t.Errorf("conductance = %f, want 2 (both edges cross, min volume 1)", c)
+	}
+	// Zero min-volume side yields zero by convention.
+	one := graph.BuildAdjacency([]graph.Edge{{Src: 0, Dst: 1}}, 2)
+	if got := Conductance(one, func(v graph.VertexID) bool { return v == 0 }); got != 0 {
+		t.Errorf("conductance with empty side = %f, want 0", got)
+	}
+}
+
+func TestIndependentSetCheckers(t *testing.T) {
+	adj := line(4) // path 0-1-2-3
+	if !IsIndependentSet(adj, []bool{true, false, true, false}) {
+		t.Error("alternating set should be independent")
+	}
+	if IsIndependentSet(adj, []bool{true, true, false, false}) {
+		t.Error("adjacent pair should not be independent")
+	}
+	if !IsMaximalIndependentSet(adj, []bool{true, false, true, false}) {
+		t.Error("alternating set on a path is maximal")
+	}
+	if IsMaximalIndependentSet(adj, []bool{true, false, false, false}) {
+		t.Error("non-maximal set accepted (vertices 2,3 uncovered)")
+	}
+}
+
+func TestBPBeliefsMatchesHandRolled(t *testing.T) {
+	edges := []graph.Edge{{Src: 0, Dst: 1, Weight: 1}}
+	prior := func(v graph.VertexID) float32 { return 0.5 }
+	b := BPBeliefs(graph.BuildAdjacency(edges, 2), prior, 1)
+	want1 := 0.5 + 0.5*math.Tanh(0.5)
+	if math.Abs(float64(b[1])-want1) > 1e-6 {
+		t.Errorf("belief[1] = %f, want %f", b[1], want1)
+	}
+	if b[0] != 0.5 {
+		t.Errorf("belief[0] = %f, want prior 0.5 (no in-edges)", b[0])
+	}
+}

@@ -1,0 +1,106 @@
+// Package rmat generates R-MAT graphs (Chakrabarti, Zhan, Faloutsos, SDM
+// 2004), the synthetic workload used throughout the Chaos evaluation. A
+// scale-n graph has 2^n vertices and 2^(n+4) edges (§8), i.e. an average
+// degree of 16, and a heavily skewed degree distribution — the skew is what
+// makes streaming partitions unbalanced and work stealing worthwhile.
+package rmat
+
+import (
+	"math/rand"
+
+	"chaos/internal/graph"
+)
+
+// Default recursion probabilities, the values popularized by Graph500.
+const (
+	DefaultA = 0.57
+	DefaultB = 0.19
+	DefaultC = 0.19
+	DefaultD = 0.05
+)
+
+// Generator produces R-MAT edges deterministically from a seed.
+type Generator struct {
+	// Scale is the R-MAT scale: 2^Scale vertices, 2^(Scale+4) edges.
+	Scale int
+	// A, B, C, D are the quadrant probabilities; they must sum to 1.
+	A, B, C, D float64
+	// Weighted attaches uniform [0,1) weights to edges.
+	Weighted bool
+	// Seed selects the random stream.
+	Seed int64
+	// NoiseSmoothing perturbs quadrant probabilities per level, the
+	// standard trick that prevents exactly repeated degree ties.
+	NoiseSmoothing bool
+}
+
+// New returns a generator for the given scale with default parameters.
+func New(scale int, seed int64) *Generator {
+	return &Generator{Scale: scale, A: DefaultA, B: DefaultB, C: DefaultC, D: DefaultD, Seed: seed}
+}
+
+// NumVertices returns 2^Scale.
+func (g *Generator) NumVertices() uint64 { return 1 << uint(g.Scale) }
+
+// NumEdges returns 2^(Scale+4).
+func (g *Generator) NumEdges() uint64 { return 1 << uint(g.Scale+4) }
+
+// Format returns the natural binary format for this graph (§8: compact
+// below 2^32 vertices).
+func (g *Generator) Format() graph.Format {
+	return graph.FormatFor(g.NumVertices(), g.Weighted)
+}
+
+// Generate materializes the full edge list in memory. Intended for
+// laboratory scales; for streaming use Each.
+func (g *Generator) Generate() []graph.Edge {
+	edges := make([]graph.Edge, 0, g.NumEdges())
+	g.Each(func(e graph.Edge) { edges = append(edges, e) })
+	return edges
+}
+
+// Each invokes fn for every generated edge in a deterministic order.
+func (g *Generator) Each(fn func(graph.Edge)) {
+	rng := rand.New(rand.NewSource(g.Seed))
+	n := g.NumEdges()
+	for i := uint64(0); i < n; i++ {
+		fn(g.edge(rng))
+	}
+}
+
+// edge draws one edge by recursive quadrant descent.
+func (g *Generator) edge(rng *rand.Rand) graph.Edge {
+	var src, dst uint64
+	a, b, c := g.A, g.B, g.C
+	for level := 0; level < g.Scale; level++ {
+		pa, pb, pc := a, b, c
+		if g.NoiseSmoothing {
+			// +-10% multiplicative noise, renormalized.
+			na := pa * (0.9 + 0.2*rng.Float64())
+			nb := pb * (0.9 + 0.2*rng.Float64())
+			nc := pc * (0.9 + 0.2*rng.Float64())
+			nd := (1 - pa - pb - pc) * (0.9 + 0.2*rng.Float64())
+			sum := na + nb + nc + nd
+			pa, pb, pc = na/sum, nb/sum, nc/sum
+		}
+		r := rng.Float64()
+		src <<= 1
+		dst <<= 1
+		switch {
+		case r < pa:
+			// top-left: no bits set
+		case r < pa+pb:
+			dst |= 1
+		case r < pa+pb+pc:
+			src |= 1
+		default:
+			src |= 1
+			dst |= 1
+		}
+	}
+	e := graph.Edge{Src: graph.VertexID(src), Dst: graph.VertexID(dst)}
+	if g.Weighted {
+		e.Weight = rng.Float32()
+	}
+	return e
+}

@@ -1,0 +1,132 @@
+package rmat
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"chaos/internal/graph"
+)
+
+func TestScaleCounts(t *testing.T) {
+	g := New(10, 1)
+	if g.NumVertices() != 1024 {
+		t.Errorf("vertices = %d, want 1024", g.NumVertices())
+	}
+	if g.NumEdges() != 16384 {
+		t.Errorf("edges = %d, want 16384 (2^(n+4))", g.NumEdges())
+	}
+	edges := g.Generate()
+	if uint64(len(edges)) != g.NumEdges() {
+		t.Errorf("generated %d edges, want %d", len(edges), g.NumEdges())
+	}
+}
+
+func TestAllIDsInRange(t *testing.T) {
+	g := New(8, 3)
+	n := graph.VertexID(g.NumVertices())
+	for _, e := range g.Generate() {
+		if e.Src >= n || e.Dst >= n {
+			t.Fatalf("edge %+v out of range [0,%d)", e, n)
+		}
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	a := New(8, 42).Generate()
+	b := New(8, 42).Generate()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("edge %d differs across runs with equal seed", i)
+		}
+	}
+	c := New(8, 43).Generate()
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestDegreeSkew(t *testing.T) {
+	// R-MAT graphs are heavily skewed: the max out-degree should far
+	// exceed the mean (16), and low-ID vertices should be the hubs.
+	g := New(12, 7)
+	deg := make([]int, g.NumVertices())
+	g.Each(func(e graph.Edge) { deg[e.Src]++ })
+	sorted := append([]int(nil), deg...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	if sorted[0] < 100 {
+		t.Errorf("max degree %d, want heavy skew (>=100 for scale 12)", sorted[0])
+	}
+	// Top 1%% of vertices should hold a disproportionate share of edges.
+	top := 0
+	for _, d := range sorted[:len(sorted)/100] {
+		top += d
+	}
+	if frac := float64(top) / float64(g.NumEdges()); frac < 0.10 {
+		t.Errorf("top 1%% of vertices hold %.2f of edges, want >= 0.10", frac)
+	}
+}
+
+func TestQuadrantProbabilities(t *testing.T) {
+	// With scale 1 the first bit split directly reflects (A,B,C,D).
+	g := New(16, 9)
+	var counts [4]float64
+	g.Each(func(e graph.Edge) {
+		hi := uint64(g.NumVertices() / 2)
+		q := 0
+		if uint64(e.Src) >= hi {
+			q += 2
+		}
+		if uint64(e.Dst) >= hi {
+			q++
+		}
+		counts[q]++
+	})
+	total := float64(g.NumEdges())
+	want := [4]float64{g.A, g.B, g.C, g.D}
+	for q := range counts {
+		got := counts[q] / total
+		if math.Abs(got-want[q]) > 0.02 {
+			t.Errorf("quadrant %d frequency %.3f, want %.3f +- 0.02", q, got, want[q])
+		}
+	}
+}
+
+func TestWeightedEdges(t *testing.T) {
+	g := New(8, 5)
+	g.Weighted = true
+	for _, e := range g.Generate() {
+		if e.Weight < 0 || e.Weight >= 1 {
+			t.Fatalf("weight %f out of [0,1)", e.Weight)
+		}
+	}
+	if !g.Format().Weighted {
+		t.Error("format should be weighted")
+	}
+}
+
+func TestFormatSelection(t *testing.T) {
+	if f := New(10, 1).Format(); !f.Compact {
+		t.Error("scale-10 should use compact format")
+	}
+	if f := New(33, 1).Format(); f.Compact {
+		t.Error("scale-33 (2^33 vertices) must use non-compact format")
+	}
+}
+
+func TestNoiseSmoothingStaysInRange(t *testing.T) {
+	g := New(8, 11)
+	g.NoiseSmoothing = true
+	n := graph.VertexID(g.NumVertices())
+	for _, e := range g.Generate() {
+		if e.Src >= n || e.Dst >= n {
+			t.Fatalf("edge %+v out of range with noise smoothing", e)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+// Package sim provides a small deterministic discrete-event simulation
+// kernel used to model a Chaos cluster: virtual time, cooperatively
+// scheduled processes, FIFO bandwidth/latency resources (storage devices,
+// NICs), mailboxes and barriers.
+//
+// Exactly one process runs at any moment; the scheduler hands control to
+// the process whose next event is earliest, with a monotonically increasing
+// sequence number breaking ties. All randomness must come from Env.Rand.
+// Runs with equal seeds are therefore bit-for-bit reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"runtime"
+)
+
+// Time is virtual time in nanoseconds since the start of the simulation.
+type Time int64
+
+// Convenient virtual-time units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds converts a duration expressed in seconds to a Time.
+func Seconds(s float64) Time { return Time(s * float64(Second)) }
+
+// Seconds reports the duration in (fractional) seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
+
+// event is a scheduled occurrence: either a callback run in scheduler
+// context or the wake-up of a parked process.
+type event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	proc *Proc
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Env is a simulation environment. The zero value is not usable; create
+// environments with NewEnv.
+type Env struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	resume  chan struct{}
+	procs   []*Proc
+	rng     *rand.Rand
+	stopped bool
+	nevents uint64
+}
+
+// NewEnv returns an environment whose random choices derive from seed.
+func NewEnv(seed int64) *Env {
+	return &Env{
+		resume: make(chan struct{}),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// Rand returns the environment's deterministic random source. It must only
+// be used from process context or scheduler callbacks, never concurrently.
+func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// Events reports the total number of events fired so far.
+func (e *Env) Events() uint64 { return e.nevents }
+
+// At schedules fn to run in scheduler context at time t. Scheduling in the
+// past panics: it would break causality.
+func (e *Env) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d from now.
+func (e *Env) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+func (e *Env) scheduleWake(t Time, p *Proc) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: waking %s at %v before now %v", p.name, t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, proc: p})
+}
+
+// Run drives the simulation until no events remain, and returns the final
+// virtual time. Processes still blocked afterwards can be inspected with
+// Stuck; call Close to release their goroutines.
+func (e *Env) Run() Time {
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.at
+		e.nevents++
+		if ev.proc != nil {
+			if ev.proc.state == procDone {
+				continue
+			}
+			ev.proc.state = procRunning
+			ev.proc.wake <- struct{}{}
+			<-e.resume
+		} else {
+			ev.fn()
+		}
+	}
+	return e.now
+}
+
+// Stuck returns the names of processes that are still parked (typically
+// waiting on a mailbox that will never receive). A correct simulation
+// finishes with no stuck processes.
+func (e *Env) Stuck() []string {
+	var s []string
+	for _, p := range e.procs {
+		if p.state == procParked {
+			s = append(s, p.name+" ["+p.blockedOn+"]")
+		}
+	}
+	return s
+}
+
+// Close terminates all parked process goroutines. The environment must not
+// be used afterwards.
+func (e *Env) Close() {
+	e.stopped = true
+	for _, p := range e.procs {
+		if p.state == procParked {
+			p.wake <- struct{}{}
+			<-e.resume
+		}
+	}
+}
+
+// procState tracks where a process is in its lifecycle.
+type procState int8
+
+const (
+	procParked procState = iota
+	procRunning
+	procDone
+)
+
+// Proc is a simulated process: a goroutine that runs only when the
+// scheduler hands it control and parks whenever it waits for virtual time
+// or a message.
+type Proc struct {
+	env       *Env
+	name      string
+	wake      chan struct{}
+	state     procState
+	blockedOn string
+}
+
+// Spawn starts a new process executing fn. The process first runs at the
+// current virtual time, after already-queued events.
+func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{env: e, name: name, wake: make(chan struct{})}
+	e.procs = append(e.procs, p)
+	go func() {
+		<-p.wake
+		if e.stopped {
+			p.state = procDone
+			e.resume <- struct{}{}
+			return
+		}
+		fn(p)
+		p.state = procDone
+		e.resume <- struct{}{}
+	}()
+	e.scheduleWake(e.now, p)
+	return p
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the environment the process belongs to.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// park yields control to the scheduler until another event wakes p.
+func (p *Proc) park(why string) {
+	p.state = procParked
+	p.blockedOn = why
+	p.env.resume <- struct{}{}
+	<-p.wake
+	p.blockedOn = ""
+	if p.env.stopped {
+		p.state = procDone
+		p.env.resume <- struct{}{}
+		runtime.Goexit()
+	}
+}
+
+// Sleep advances the process's local time by d.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	p.env.scheduleWake(p.env.now+d, p)
+	p.park("sleep")
+}
+
+// SleepUntil parks the process until virtual time t (a no-op if t is not in
+// the future).
+func (p *Proc) SleepUntil(t Time) {
+	if t <= p.env.now {
+		return
+	}
+	p.env.scheduleWake(t, p)
+	p.park("sleep-until")
+}
+
+// Yield reschedules the process at the current time, letting every event
+// already queued for this instant run first.
+func (p *Proc) Yield() {
+	p.env.scheduleWake(p.env.now, p)
+	p.park("yield")
+}

@@ -1,0 +1,214 @@
+// Package storage implements the Chaos storage engine (§6): per-partition
+// vertex, edge and update sets maintained as chunks, spread uniformly
+// randomly across the storage engines of the cluster, and served with
+// per-iteration exactly-once consumption tracking.
+//
+// The Store type holds one machine's share of the graph data. It is pure
+// data-plane: request timing (device bandwidth, network hops) is modeled by
+// the cluster layer, which charges the simulated device before touching the
+// store. The same Store runs over an in-memory backend (used by benches)
+// or a file backend (one file per set per partition, as in §7).
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Backend is the byte-level persistence layer under a Store. Streams are
+// named append-only byte sequences, one per (set, partition) pair, matching
+// the paper's file-per-set layout on ext4.
+type Backend interface {
+	// Write appends data to the named stream and returns the offset at
+	// which it was stored.
+	Write(stream string, data []byte) (int64, error)
+	// Read returns length bytes at offset from the named stream.
+	Read(stream string, offset int64, length int) ([]byte, error)
+	// Truncate discards the named stream's contents.
+	Truncate(stream string) error
+	// Size returns the current length of the named stream.
+	Size(stream string) (int64, error)
+	// Close releases all resources.
+	Close() error
+}
+
+// MemBackend keeps streams in memory. It is the default for simulations:
+// the simulated device already accounts for I/O time, so the bytes only
+// need to be held somewhere.
+type MemBackend struct {
+	mu      sync.Mutex
+	streams map[string][]byte
+}
+
+// NewMemBackend returns an empty in-memory backend.
+func NewMemBackend() *MemBackend {
+	return &MemBackend{streams: make(map[string][]byte)}
+}
+
+// Write appends data to the stream.
+func (b *MemBackend) Write(stream string, data []byte) (int64, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	off := int64(len(b.streams[stream]))
+	b.streams[stream] = append(b.streams[stream], data...)
+	return off, nil
+}
+
+// Read returns a copy of the requested byte range.
+func (b *MemBackend) Read(stream string, offset int64, length int) ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s, ok := b.streams[stream]
+	if !ok {
+		return nil, fmt.Errorf("storage: unknown stream %q", stream)
+	}
+	if offset+int64(length) > int64(len(s)) {
+		return nil, fmt.Errorf("storage: read [%d,%d) beyond stream %q of %d bytes", offset, offset+int64(length), stream, len(s))
+	}
+	out := make([]byte, length)
+	copy(out, s[offset:])
+	return out, nil
+}
+
+// Truncate discards the stream's contents.
+func (b *MemBackend) Truncate(stream string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.streams, stream)
+	return nil
+}
+
+// Size returns the stream length.
+func (b *MemBackend) Size(stream string) (int64, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return int64(len(b.streams[stream])), nil
+}
+
+// Close releases the stream map.
+func (b *MemBackend) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.streams = make(map[string][]byte)
+	return nil
+}
+
+// Streams returns the stream names currently present, sorted; used by
+// tests and diagnostics.
+func (b *MemBackend) Streams() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	names := make([]string, 0, len(b.streams))
+	for n := range b.streams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FileBackend stores each stream as a file under a directory, the layout
+// §7 describes (one file per vertex/edge/update set per partition).
+type FileBackend struct {
+	dir   string
+	mu    sync.Mutex
+	files map[string]*os.File
+}
+
+// NewFileBackend creates (if needed) dir and returns a backend rooted there.
+func NewFileBackend(dir string) (*FileBackend, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	return &FileBackend{dir: dir, files: make(map[string]*os.File)}, nil
+}
+
+func (b *FileBackend) file(stream string) (*os.File, error) {
+	if f, ok := b.files[stream]; ok {
+		return f, nil
+	}
+	f, err := os.OpenFile(filepath.Join(b.dir, stream), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	b.files[stream] = f
+	return f, nil
+}
+
+// Write appends data to the stream's file.
+func (b *FileBackend) Write(stream string, data []byte) (int64, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	f, err := b.file(stream)
+	if err != nil {
+		return 0, err
+	}
+	off, err := f.Seek(0, 2)
+	if err != nil {
+		return 0, fmt.Errorf("storage: %w", err)
+	}
+	if _, err := f.WriteAt(data, off); err != nil {
+		return 0, fmt.Errorf("storage: %w", err)
+	}
+	return off, nil
+}
+
+// Read returns length bytes at offset.
+func (b *FileBackend) Read(stream string, offset int64, length int) ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	f, err := b.file(stream)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, length)
+	if _, err := f.ReadAt(out, offset); err != nil {
+		return nil, fmt.Errorf("storage: read %q@%d: %w", stream, offset, err)
+	}
+	return out, nil
+}
+
+// Truncate empties the stream's file.
+func (b *FileBackend) Truncate(stream string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	f, err := b.file(stream)
+	if err != nil {
+		return err
+	}
+	if err := f.Truncate(0); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	return nil
+}
+
+// Size returns the stream file's length.
+func (b *FileBackend) Size(stream string) (int64, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	f, err := b.file(stream)
+	if err != nil {
+		return 0, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("storage: %w", err)
+	}
+	return st.Size(), nil
+}
+
+// Close closes every open file.
+func (b *FileBackend) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var first error
+	for _, f := range b.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	b.files = make(map[string]*os.File)
+	return first
+}

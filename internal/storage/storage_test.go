@@ -1,0 +1,312 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func backends(t *testing.T) map[string]Backend {
+	t.Helper()
+	fb, err := NewFileBackend(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fb.Close() })
+	return map[string]Backend{"mem": NewMemBackend(), "file": fb}
+}
+
+func TestBackendWriteReadRoundTrip(t *testing.T) {
+	for name, b := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			off1, err := b.Write("s", []byte("hello"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			off2, err := b.Write("s", []byte("world"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if off1 != 0 || off2 != 5 {
+				t.Errorf("offsets %d,%d want 0,5", off1, off2)
+			}
+			got, err := b.Read("s", 5, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, []byte("world")) {
+				t.Errorf("read %q, want world", got)
+			}
+			if sz, _ := b.Size("s"); sz != 10 {
+				t.Errorf("size %d, want 10", sz)
+			}
+			if err := b.Truncate("s"); err != nil {
+				t.Fatal(err)
+			}
+			if sz, _ := b.Size("s"); sz != 0 {
+				t.Errorf("size after truncate %d, want 0", sz)
+			}
+		})
+	}
+}
+
+func TestBackendStreamsAreIndependent(t *testing.T) {
+	for name, b := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			b.Write("a", []byte("aaa"))
+			b.Write("b", []byte("bbb"))
+			got, err := b.Read("a", 0, 3)
+			if err != nil || !bytes.Equal(got, []byte("aaa")) {
+				t.Errorf("stream a corrupted: %q %v", got, err)
+			}
+		})
+	}
+}
+
+func TestMemBackendReadBeyondEnd(t *testing.T) {
+	b := NewMemBackend()
+	b.Write("s", []byte("abc"))
+	if _, err := b.Read("s", 1, 5); err == nil {
+		t.Error("read beyond end should error")
+	}
+	if _, err := b.Read("nope", 0, 1); err == nil {
+		t.Error("unknown stream should error")
+	}
+}
+
+func chunk(i int) []byte { return []byte(fmt.Sprintf("chunk-%03d", i)) }
+
+func TestNextChunkServesEachExactlyOnce(t *testing.T) {
+	s := NewStore(0, 2, NewMemBackend())
+	for i := 0; i < 10; i++ {
+		if err := s.PutChunk(EdgeSet, 1, chunk(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := map[string]bool{}
+	for {
+		data, ok, err := s.NextChunk(EdgeSet, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if seen[string(data)] {
+			t.Fatalf("chunk %q served twice", data)
+		}
+		seen[string(data)] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("served %d distinct chunks, want 10", len(seen))
+	}
+	// A second pass without reset serves nothing.
+	if _, ok, _ := s.NextChunk(EdgeSet, 1); ok {
+		t.Error("chunk served after exhaustion without reset")
+	}
+}
+
+func TestResetConsumptionRewinds(t *testing.T) {
+	s := NewStore(0, 1, NewMemBackend())
+	s.PutChunk(EdgeSet, 0, chunk(1))
+	s.NextChunk(EdgeSet, 0)
+	s.ResetConsumption(EdgeSet, 0)
+	if _, ok, _ := s.NextChunk(EdgeSet, 0); !ok {
+		t.Error("chunk not served again after reset")
+	}
+}
+
+func TestRemainingBytes(t *testing.T) {
+	s := NewStore(0, 1, NewMemBackend())
+	s.PutChunk(UpdateSet, 0, make([]byte, 100))
+	s.PutChunk(UpdateSet, 0, make([]byte, 50))
+	if got := s.RemainingBytes(UpdateSet, 0); got != 150 {
+		t.Errorf("remaining %d, want 150", got)
+	}
+	s.NextChunk(UpdateSet, 0)
+	if got := s.RemainingBytes(UpdateSet, 0); got != 50 {
+		t.Errorf("remaining after one consume %d, want 50", got)
+	}
+	if got := s.TotalBytes(UpdateSet, 0); got != 150 {
+		t.Errorf("total %d, want 150", got)
+	}
+}
+
+func TestDeleteUpdatesClears(t *testing.T) {
+	s := NewStore(0, 1, NewMemBackend())
+	s.PutChunk(UpdateSet, 0, chunk(1))
+	if err := s.DeleteUpdates(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.NextChunk(UpdateSet, 0); ok {
+		t.Error("update chunk survived deletion")
+	}
+	if s.ChunkCount(UpdateSet, 0) != 0 || s.TotalBytes(UpdateSet, 0) != 0 {
+		t.Error("counters not cleared")
+	}
+	// Writing after delete works.
+	if err := s.PutChunk(UpdateSet, 0, chunk(2)); err != nil {
+		t.Fatal(err)
+	}
+	data, ok, _ := s.NextChunk(UpdateSet, 0)
+	if !ok || !bytes.Equal(data, chunk(2)) {
+		t.Errorf("after delete+put: got %q ok=%v", data, ok)
+	}
+}
+
+func TestVertexChunksArePositional(t *testing.T) {
+	s := NewStore(0, 1, NewMemBackend())
+	s.PutVertexChunk(0, 3, []byte("v3"))
+	s.PutVertexChunk(0, 1, []byte("v1"))
+	got, err := s.GetVertexChunk(0, 3)
+	if err != nil || !bytes.Equal(got, []byte("v3")) {
+		t.Errorf("chunk 3: %q %v", got, err)
+	}
+	// Overwrite repoints.
+	s.PutVertexChunk(0, 3, []byte("v3b"))
+	got, _ = s.GetVertexChunk(0, 3)
+	if !bytes.Equal(got, []byte("v3b")) {
+		t.Errorf("chunk 3 after overwrite: %q", got)
+	}
+	if !s.HasVertexChunk(0, 1) || s.HasVertexChunk(0, 9) {
+		t.Error("HasVertexChunk wrong")
+	}
+	if _, err := s.GetVertexChunk(0, 9); err == nil {
+		t.Error("missing vertex chunk should error")
+	}
+}
+
+func TestVertexChunkHomeDeterministicAndUniform(t *testing.T) {
+	const machines = 8
+	counts := make([]int, machines)
+	for p := 0; p < 64; p++ {
+		for c := 0; c < 64; c++ {
+			h := VertexChunkHome(p, c, machines)
+			if h != VertexChunkHome(p, c, machines) {
+				t.Fatal("placement not deterministic")
+			}
+			if h < 0 || h >= machines {
+				t.Fatalf("home %d out of range", h)
+			}
+			counts[h]++
+		}
+	}
+	// 4096 placements over 8 machines: expect 512 each; allow ±25%.
+	for m, c := range counts {
+		if c < 384 || c > 640 {
+			t.Errorf("machine %d got %d placements, want 512 +- 128", m, c)
+		}
+	}
+}
+
+func TestStoreKindsAreIndependent(t *testing.T) {
+	s := NewStore(0, 2, NewMemBackend())
+	s.PutChunk(EdgeSet, 0, chunk(1))
+	s.PutChunk(UpdateSet, 0, chunk(2))
+	s.PutChunk(EdgeSet, 1, chunk(3))
+	e0, _, _ := s.NextChunk(EdgeSet, 0)
+	u0, _, _ := s.NextChunk(UpdateSet, 0)
+	e1, _, _ := s.NextChunk(EdgeSet, 1)
+	if !bytes.Equal(e0, chunk(1)) || !bytes.Equal(u0, chunk(2)) || !bytes.Equal(e1, chunk(3)) {
+		t.Error("sets interfered with each other")
+	}
+}
+
+func TestExactlyOnceProperty(t *testing.T) {
+	// Property: any interleaving of NextChunk calls across "stealers"
+	// (multiple consumers of the same store) serves each chunk at most
+	// once and collectively exactly once.
+	prop := func(nChunks uint8, seed int64) bool {
+		n := int(nChunks%32) + 1
+		s := NewStore(0, 1, NewMemBackend())
+		for i := 0; i < n; i++ {
+			s.PutChunk(EdgeSet, 0, chunk(i))
+		}
+		rng := rand.New(rand.NewSource(seed))
+		served := 0
+		for consumers := 0; consumers < 3; consumers++ {
+			for rng.Intn(4) != 0 { // each consumer grabs a random run
+				_, ok, err := s.NextChunk(EdgeSet, 0)
+				if err != nil {
+					return false
+				}
+				if !ok {
+					break
+				}
+				served++
+			}
+		}
+		// Drain the rest.
+		for {
+			_, ok, _ := s.NextChunk(EdgeSet, 0)
+			if !ok {
+				break
+			}
+			served++
+		}
+		return served == n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDirectoryPlacementBalances(t *testing.T) {
+	d := NewDirectory(4, rand.New(rand.NewSource(1)))
+	counts := make([]int, 4)
+	for i := 0; i < 400; i++ {
+		counts[d.Place(EdgeSet, 0)]++
+	}
+	for m, c := range counts {
+		if c != 100 {
+			t.Errorf("machine %d placed %d chunks, want exactly 100 (least-loaded)", m, c)
+		}
+	}
+}
+
+func TestDirectoryLocateConsumesExactlyOnce(t *testing.T) {
+	d := NewDirectory(3, rand.New(rand.NewSource(2)))
+	for i := 0; i < 10; i++ {
+		d.Place(UpdateSet, 1)
+	}
+	found := 0
+	for {
+		_, ok := d.Locate(UpdateSet, 1)
+		if !ok {
+			break
+		}
+		found++
+	}
+	if found != 10 {
+		t.Errorf("located %d chunks, want 10", found)
+	}
+	d.Reset(UpdateSet, 1)
+	if d.Remaining(UpdateSet, 1) != 10 {
+		t.Errorf("after reset remaining = %d, want 10", d.Remaining(UpdateSet, 1))
+	}
+	d.Delete(UpdateSet, 1)
+	if d.Remaining(UpdateSet, 1) != 0 {
+		t.Error("delete did not clear directory")
+	}
+}
+
+func TestFileBackendPersistsAcrossHandles(t *testing.T) {
+	dir := t.TempDir()
+	b1, err := NewFileBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1.Write("s", []byte("persist"))
+	b1.Close()
+	b2, err := NewFileBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	got, err := b2.Read("s", 0, 7)
+	if err != nil || !bytes.Equal(got, []byte("persist")) {
+		t.Errorf("got %q %v, want persist", got, err)
+	}
+}

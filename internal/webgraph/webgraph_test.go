@@ -1,0 +1,97 @@
+package webgraph
+
+import (
+	"sort"
+	"testing"
+
+	"chaos/internal/graph"
+)
+
+func TestAllTargetsInRange(t *testing.T) {
+	g := New(1000, 1)
+	for _, e := range g.Generate() {
+		if uint64(e.Src) >= g.Pages || uint64(e.Dst) >= g.Pages {
+			t.Fatalf("edge %+v out of range [0,%d)", e, g.Pages)
+		}
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	a := New(500, 42).Generate()
+	b := New(500, 42).Generate()
+	if len(a) != len(b) {
+		t.Fatalf("edge counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("edge %d differs across runs with equal seed", i)
+		}
+	}
+}
+
+func TestMeanOutDegreeApproximate(t *testing.T) {
+	g := New(2000, 7)
+	edges := g.Generate()
+	mean := float64(len(edges)) / float64(g.Pages)
+	if mean < float64(g.MeanOutDegree)*0.7 || mean > float64(g.MeanOutDegree)*1.3 {
+		t.Errorf("mean out-degree %.1f, want about %d", mean, g.MeanOutDegree)
+	}
+}
+
+func TestEveryPageLinksOut(t *testing.T) {
+	g := New(300, 3)
+	deg := make([]int, g.Pages)
+	g.Each(func(e graph.Edge) { deg[e.Src]++ })
+	for p, d := range deg {
+		if d == 0 {
+			t.Fatalf("page %d has no outgoing links", p)
+		}
+	}
+}
+
+func TestInDegreeIsSkewed(t *testing.T) {
+	g := New(4000, 9)
+	in := make([]int, g.Pages)
+	g.Each(func(e graph.Edge) { in[e.Dst]++ })
+	sorted := append([]int(nil), in...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	total := 0
+	for _, d := range in {
+		total += d
+	}
+	top := 0
+	for _, d := range sorted[:len(sorted)/100] {
+		top += d
+	}
+	if frac := float64(top) / float64(total); frac < 0.15 {
+		t.Errorf("top 1%% of pages receive %.2f of links, want >= 0.15 (power-law hubs)", frac)
+	}
+}
+
+func TestLinkLocality(t *testing.T) {
+	g := New(10000, 5)
+	intra, total := 0, 0
+	g.Each(func(e graph.Edge) {
+		total++
+		if uint64(e.Src)/g.SiteSize == uint64(e.Dst)/g.SiteSize {
+			intra++
+		}
+	})
+	frac := float64(intra) / float64(total)
+	// IntraSite=0.7 plus chance hits; allow a generous band.
+	if frac < 0.5 || frac > 0.95 {
+		t.Errorf("intra-site link fraction %.2f, want within [0.5, 0.95]", frac)
+	}
+}
+
+func TestTinySiteSizeFloor(t *testing.T) {
+	g := New(16, 1)
+	if g.SiteSize < 4 {
+		t.Errorf("site size %d, want >= 4", g.SiteSize)
+	}
+	for _, e := range g.Generate() {
+		if uint64(e.Dst) >= g.Pages {
+			t.Fatalf("edge %+v out of range for tiny graph", e)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package xstream
+
+import (
+	"math"
+	"testing"
+
+	"chaos/internal/algorithms"
+	"chaos/internal/cluster"
+	"chaos/internal/graph"
+	"chaos/internal/refalgo"
+	"chaos/internal/rmat"
+)
+
+func TestBFSCorrect(t *testing.T) {
+	g := rmat.New(8, 3)
+	und := graph.Undirected(g.Generate())
+	n := g.NumVertices()
+	res, err := Run(Config{Spec: cluster.SSD(1)}, &algorithms.BFS{}, und, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refalgo.BFSLevels(graph.BuildAdjacency(und, n), 0)
+	for i := range res.Values {
+		if res.Values[i].Level != want[i] {
+			t.Fatalf("vertex %d: level %d, want %d", i, res.Values[i].Level, want[i])
+		}
+	}
+}
+
+func TestPageRankCorrect(t *testing.T) {
+	g := rmat.New(8, 5)
+	edges := g.Generate()
+	n := g.NumVertices()
+	res, err := Run(Config{Spec: cluster.SSD(1)}, &algorithms.PageRank{Iterations: 5}, edges, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refalgo.PageRank(graph.BuildAdjacency(edges, n), 5)
+	for i := range res.Values {
+		if math.Abs(float64(res.Values[i].Rank)-want[i]) > 1e-3*math.Max(1, want[i]) {
+			t.Fatalf("vertex %d: rank %g, want %g", i, res.Values[i].Rank, want[i])
+		}
+	}
+	if res.Iterations != 5 {
+		t.Errorf("iterations = %d, want 5", res.Iterations)
+	}
+}
+
+func TestMultiplePartitionsCorrect(t *testing.T) {
+	g := rmat.New(8, 7)
+	und := graph.Undirected(g.Generate())
+	n := g.NumVertices()
+	cfg := Config{Spec: cluster.SSD(1), MemBudget: int64(n) * 5 / 4}
+	res, err := Run(cfg, &algorithms.WCC{}, und, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refalgo.WCCLabels(graph.BuildAdjacency(und, n))
+	for i := range res.Values {
+		if res.Values[i].Label != want[i] {
+			t.Fatalf("vertex %d: label %d, want %d", i, res.Values[i].Label, want[i])
+		}
+	}
+}
+
+func TestEmptyGraphRejected(t *testing.T) {
+	if _, err := Run(Config{Spec: cluster.SSD(1)}, &algorithms.BFS{}, nil, 0); err == nil {
+		t.Error("empty graph should error")
+	}
+}

@@ -1,0 +1,217 @@
+package chaos
+
+import (
+	"chaos/internal/algorithms"
+	"chaos/internal/core"
+	"chaos/internal/gas"
+)
+
+// runProgram executes a GAS program through the Chaos engine and wraps the
+// statistics.
+func runProgram[V, U, A any](opt Options, prog gas.Program[V, U, A], edges []Edge, n uint64) ([]V, *Report, error) {
+	values, run, err := core.Run(opt.config(), prog, edges, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	return values, reportFrom(run, opt.config().Spec.Machines), nil
+}
+
+// RunBFS computes breadth-first levels from root over the undirected view
+// of edges. Levels of unreachable vertices are ^uint32(0). n may be zero
+// to infer the vertex count.
+func RunBFS(edges []Edge, n uint64, root VertexID, opt Options) ([]uint32, *Report, error) {
+	values, rep, err := runProgram(opt, &algorithms.BFS{Root: root}, Undirected(edges), n)
+	if err != nil {
+		return nil, nil, err
+	}
+	levels := make([]uint32, len(values))
+	for i := range values {
+		levels[i] = values[i].Level
+	}
+	return levels, rep, nil
+}
+
+// RunWCC returns the minimum vertex ID of each vertex's weakly connected
+// component.
+func RunWCC(edges []Edge, n uint64, opt Options) ([]uint32, *Report, error) {
+	values, rep, err := runProgram(opt, &algorithms.WCC{}, Undirected(edges), n)
+	if err != nil {
+		return nil, nil, err
+	}
+	labels := make([]uint32, len(values))
+	for i := range values {
+		labels[i] = values[i].Label
+	}
+	return labels, rep, nil
+}
+
+// RunSSSP returns shortest-path distances from root over the undirected
+// weighted view of edges (Inf for unreachable vertices).
+func RunSSSP(edges []Edge, n uint64, root VertexID, opt Options) ([]float32, *Report, error) {
+	values, rep, err := runProgram(opt, &algorithms.SSSP{Root: root}, Undirected(edges), n)
+	if err != nil {
+		return nil, nil, err
+	}
+	dists := make([]float32, len(values))
+	for i := range values {
+		dists[i] = values[i].Dist
+	}
+	return dists, rep, nil
+}
+
+// RunPageRank runs iters rounds of PageRank over the directed edge list
+// and returns the rank vector.
+func RunPageRank(edges []Edge, n uint64, iters int, opt Options) ([]float32, *Report, error) {
+	values, rep, err := runProgram(opt, &algorithms.PageRank{Iterations: iters}, edges, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	ranks := make([]float32, len(values))
+	for i := range values {
+		ranks[i] = values[i].Rank
+	}
+	return ranks, rep, nil
+}
+
+// RunMIS computes a maximal independent set over the undirected view of
+// edges and returns the membership vector.
+func RunMIS(edges []Edge, n uint64, opt Options) ([]bool, *Report, error) {
+	prog := &algorithms.MIS{}
+	values, rep, err := runProgram(opt, prog, Undirected(edges), n)
+	if err != nil {
+		return nil, nil, err
+	}
+	in := make([]bool, len(values))
+	for i := range values {
+		in[i] = prog.InSet(values[i])
+	}
+	return in, rep, nil
+}
+
+// MCSTResult reports a minimum-cost spanning forest.
+type MCSTResult struct {
+	// TotalWeight is the forest weight.
+	TotalWeight float64
+	// Edges is the number of forest edges.
+	Edges int
+	// Component is each vertex's component representative.
+	Component []uint64
+}
+
+// RunMCST computes the minimum-cost spanning forest of the undirected
+// weighted view of edges (Borůvka's algorithm).
+func RunMCST(edges []Edge, n uint64, opt Options) (*MCSTResult, *Report, error) {
+	prog := &algorithms.MCST{}
+	values, rep, err := runProgram(opt, prog, Undirected(edges), n)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := &MCSTResult{TotalWeight: prog.Total, Edges: prog.Edges, Component: make([]uint64, len(values))}
+	for i := range values {
+		res.Component[i] = values[i].Comp
+	}
+	return res, rep, nil
+}
+
+// RunSCC returns each vertex's strongly connected component label over the
+// directed edge list.
+func RunSCC(edges []Edge, n uint64, opt Options) ([]uint32, *Report, error) {
+	values, rep, err := runProgram(opt, &algorithms.SCC{}, algorithms.AugmentEdges(edges), n)
+	if err != nil {
+		return nil, nil, err
+	}
+	ids := make([]uint32, len(values))
+	for i := range values {
+		ids[i] = values[i].SCC
+	}
+	return ids, rep, nil
+}
+
+// RunConductance computes the conductance of a deterministic hash-based
+// vertex subset over the directed edge list (a single pass).
+func RunConductance(edges []Edge, n uint64, opt Options) (float64, *Report, error) {
+	prog := &algorithms.Conductance{}
+	values, rep, err := runProgram(opt, prog, edges, n)
+	if err != nil {
+		return 0, nil, err
+	}
+	return prog.Aggregate(values), rep, nil
+}
+
+// RunSpMV computes y = A*x over the weighted directed edge list
+// (A[dst][src] = weight; x is a deterministic input vector) and returns y.
+func RunSpMV(edges []Edge, n uint64, opt Options) ([]float32, *Report, error) {
+	values, rep, err := runProgram(opt, &algorithms.SpMV{}, edges, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	y := make([]float32, len(values))
+	for i := range values {
+		y[i] = values[i].Y
+	}
+	return y, rep, nil
+}
+
+// RunBP runs iters rounds of simplified loopy belief propagation over the
+// weighted directed edge list and returns the belief vector.
+func RunBP(edges []Edge, n uint64, iters int, opt Options) ([]float32, *Report, error) {
+	values, rep, err := runProgram(opt, &algorithms.BP{Iterations: iters}, edges, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	beliefs := make([]float32, len(values))
+	for i := range values {
+		beliefs[i] = values[i].Belief
+	}
+	return beliefs, rep, nil
+}
+
+// Algorithms lists the evaluation algorithm names in Table 1 order.
+func Algorithms() []string {
+	return []string{"BFS", "WCC", "MCST", "MIS", "SSSP", "PR", "SCC", "Cond", "SpMV", "BP"}
+}
+
+// RunByName dispatches to the named algorithm with its evaluation-default
+// parameters, returning only the report (used by the benchmark harness).
+func RunByName(name string, edges []Edge, n uint64, opt Options) (*Report, error) {
+	var rep *Report
+	var err error
+	switch name {
+	case "BFS":
+		_, rep, err = RunBFS(edges, n, 0, opt)
+	case "WCC":
+		_, rep, err = RunWCC(edges, n, opt)
+	case "MCST":
+		_, rep, err = RunMCST(edges, n, opt)
+	case "MIS":
+		_, rep, err = RunMIS(edges, n, opt)
+	case "SSSP":
+		_, rep, err = RunSSSP(edges, n, 0, opt)
+	case "PR":
+		_, rep, err = RunPageRank(edges, n, 5, opt)
+	case "SCC":
+		_, rep, err = RunSCC(edges, n, opt)
+	case "Cond":
+		_, rep, err = RunConductance(edges, n, opt)
+	case "SpMV":
+		_, rep, err = RunSpMV(edges, n, opt)
+	case "BP":
+		_, rep, err = RunBP(edges, n, 5, opt)
+	default:
+		return nil, errUnknownAlgorithm(name)
+	}
+	return rep, err
+}
+
+// NeedsWeights reports whether the named algorithm consumes edge weights.
+func NeedsWeights(name string) bool {
+	switch name {
+	case "MCST", "SSSP", "SpMV", "BP":
+		return true
+	}
+	return false
+}
+
+type errUnknownAlgorithm string
+
+func (e errUnknownAlgorithm) Error() string { return "chaos: unknown algorithm " + string(e) }
