@@ -17,6 +17,7 @@ import (
 	"os"
 	"strings"
 
+	"chaos"
 	"chaos/internal/experiments"
 )
 
@@ -51,15 +52,25 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("chaos-bench: ")
 	var (
-		which = flag.String("experiment", "all", "experiment id (all, table1, fig5..fig20, capacity)")
-		quick = flag.Bool("quick", false, "use the reduced smoke scale")
+		which   = flag.String("experiment", "all", "experiment id (all, table1, fig5..fig20, capacity)")
+		quick   = flag.Bool("quick", false, "use the reduced smoke scale")
+		storage = flag.String("storage", "ssd", "default storage device: ssd or hdd")
+		network = flag.String("network", "40g", "default network: 40g or 1g")
 	)
 	flag.Parse()
+
+	// Hardware names go through the same helper as chaos-run and
+	// chaos-serve, so a typo fails with the identical message everywhere.
+	_, hw, err := chaos.ParseOptions("", *storage, *network, chaos.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	scale := experiments.Lab
 	if *quick {
 		scale = experiments.Quick
 	}
+	scale.Storage, scale.Network = hw.Storage, hw.Network
 	ran := 0
 	for _, e := range all {
 		if *which != "all" && e.name != *which {

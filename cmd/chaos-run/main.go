@@ -28,7 +28,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("chaos-run: ")
 	var (
-		alg      = flag.String("alg", "PR", "algorithm: BFS WCC MCST MIS SSSP PR SCC Cond SpMV BP")
+		algName  = flag.String("alg", "PR", "algorithm: BFS WCC MCST MIS SSSP PR SCC Cond SpMV BP")
 		input    = flag.String("input", "", "binary edge-list file (default: generate R-MAT)")
 		vertices = flag.Uint64("vertices", 0, "vertex count of -input (0 = infer)")
 		weighted = flag.Bool("weighted", false, "-input carries weights")
@@ -44,10 +44,17 @@ func main() {
 	)
 	flag.Parse()
 
+	// The shared helper validates algorithm/storage/network names exactly
+	// as chaos-serve does, so error messages match across front ends.
+	alg, hw, err := chaos.ParseOptions(*algName, *storage, *network, chaos.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	var edges []chaos.Edge
 	n := *vertices
 	if *input != "" {
-		needW := *weighted || chaos.NeedsWeights(*alg)
+		needW := *weighted || chaos.NeedsWeights(alg)
 		f, err := os.Open(*input)
 		if err != nil {
 			log.Fatal(err)
@@ -68,12 +75,14 @@ func main() {
 			n = chaos.NumVertices(edges)
 		}
 	} else {
-		edges = chaos.GenerateRMAT(*scale, chaos.NeedsWeights(*alg), 42)
+		edges = chaos.GenerateRMAT(*scale, chaos.NeedsWeights(alg), 42)
 		n = uint64(1) << uint(*scale)
 	}
 
 	opt := chaos.Options{
 		Machines:        *machines,
+		Storage:         hw.Storage,
+		Network:         hw.Network,
 		Cores:           *cores,
 		ChunkBytes:      *chunkKB << 10,
 		MemBudgetBytes:  *budgetMB << 20,
@@ -81,14 +90,8 @@ func main() {
 		Seed:            *seed,
 		LatencyScale:    float64(*chunkKB<<10) / float64(4<<20),
 	}
-	if *storage == "hdd" {
-		opt.Storage = chaos.HDD
-	}
-	if *network == "1g" {
-		opt.Network = chaos.Net1GigE
-	}
 
-	rep, err := chaos.RunByName(*alg, edges, n, opt)
+	rep, err := chaos.RunByName(alg, edges, n, opt)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,80 @@
+// chaos-serve runs the graph-analytics job service: an HTTP front end
+// over the chaos library that registers graphs once, executes algorithm
+// jobs on a bounded worker pool, and memoizes results keyed on (graph,
+// algorithm, canonical options). See README.md for the API with curl
+// examples.
+//
+// Usage:
+//
+//	chaos-serve -addr :8080 -workers 4
+//	chaos-serve -addr :8080 -chunk-kb 64        # lab-scale default chunks
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener stops, queued
+// jobs are canceled, and running simulations drain before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"chaos"
+	"chaos/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("chaos-serve: ")
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 4, "concurrently running simulations")
+		chunkKB  = flag.Int("chunk-kb", 4096, "default chunk size in KiB for jobs that set none (paper: 4096)")
+		drainSec = flag.Int("drain-seconds", 120, "graceful-shutdown drain budget")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Workers: *workers,
+		BaseOptions: chaos.Options{
+			ChunkBytes:   *chunkKB << 10,
+			LatencyScale: float64(*chunkKB<<10) / float64(4<<20),
+		},
+	})
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s (%d workers)", *addr, *workers)
+		errc <- srv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case sig := <-sigc:
+		log.Printf("caught %v, draining", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(*drainSec)*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := svc.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("drain: %v", err)
+	}
+	log.Print("bye")
+}

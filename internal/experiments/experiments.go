@@ -30,6 +30,11 @@ type Scale struct {
 	ChunkBytes int
 	// PartitionsPerMachine forces the streaming-partition multiple.
 	PartitionsPerMachine int
+	// Storage and Network set the default modeled hardware for every
+	// experiment (chaos-bench -storage/-network); experiments that sweep
+	// a device still apply their own override on top.
+	Storage chaos.Storage
+	Network chaos.Network
 }
 
 // Lab is the default laboratory scale, calibrated so that chunk counts per
@@ -61,6 +66,8 @@ func (s Scale) options(m int, n uint64) chaos.Options {
 	budget := int64(n)*vbytes/int64(s.PartitionsPerMachine*m) + vbytes
 	return chaos.Options{
 		Machines:       m,
+		Storage:        s.Storage,
+		Network:        s.Network,
 		ChunkBytes:     s.ChunkBytes,
 		MemBudgetBytes: budget,
 		LatencyScale:   float64(s.ChunkBytes) / float64(4<<20),

@@ -59,7 +59,9 @@ func Figure10(w io.Writer, s Scale) error {
 func Figure11(w io.Writer, s Scale) error {
 	header(w, "Figure 11", "runtime with SSD vs HDD, normalized to 1-machine SSD",
 		"identical scaling; runtime inversely proportional to storage bandwidth (HDD ~2x slower)")
-	ssd, err := bfsAndPR(s, nil)
+	// Both arms are pinned so a chaos-bench -storage override cannot turn
+	// the labeled SSD baseline into a second HDD run.
+	ssd, err := bfsAndPR(s, func(o *chaos.Options) { o.Storage = chaos.SSD })
 	if err != nil {
 		return err
 	}
@@ -87,7 +89,9 @@ func Figure11(w io.Writer, s Scale) error {
 func Figure12(w io.Writer, s Scale) error {
 	header(w, "Figure 12", "runtime with 40GigE vs 1GigE, normalized to 1-machine",
 		"1GigE (slower than storage) breaks scaling: runtime grows with machines instead of holding flat")
-	fast, err := bfsAndPR(s, nil)
+	// Both arms are pinned so a chaos-bench -network override cannot turn
+	// the labeled 40G baseline into a second 1G run.
+	fast, err := bfsAndPR(s, func(o *chaos.Options) { o.Network = chaos.Net40GigE })
 	if err != nil {
 		return err
 	}

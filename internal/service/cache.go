@@ -1,0 +1,93 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+
+	"chaos"
+)
+
+// cacheKey content-addresses a run: the graph id (catalog ids are
+// immutable bindings to one edge set), the canonical algorithm name, and
+// the canonicalized options fingerprint. Two submissions with the same
+// key are guaranteed to produce identical results, so the second is
+// served from memory.
+func cacheKey(graphID, algorithm string, opt chaos.Options) string {
+	h := sha256.New()
+	h.Write([]byte(graphID))
+	h.Write([]byte{0})
+	h.Write([]byte(algorithm))
+	h.Write([]byte{0})
+	h.Write([]byte(opt.Fingerprint()))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+type cacheEntry struct {
+	result *chaos.Result
+	report *chaos.Report
+}
+
+// resultCache holds finished runs by content-addressed key, bounded to
+// capacity entries with oldest-first eviction (an always-on server must
+// not grow without bound). Entries are immutable once stored; lookups
+// hand out the shared pointers.
+type resultCache struct {
+	mu      sync.Mutex
+	entries map[string]cacheEntry
+	order   []string // insertion order, oldest first
+	cap     int
+	hits    int
+	misses  int
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{entries: make(map[string]cacheEntry), cap: capacity}
+}
+
+// lookup returns the cached run for key, counting a hit or miss.
+func (c *resultCache) lookup(key string) (*chaos.Result, *chaos.Report, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, nil, false
+	}
+	c.hits++
+	return e.result, e.report, true
+}
+
+// store files a finished run under key, evicting the oldest entry when
+// the cache is full.
+func (c *resultCache) store(key string, res *chaos.Result, rep *chaos.Report) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.entries[key]; exists {
+		return // identical deterministic run already cached
+	}
+	for c.cap > 0 && len(c.entries) >= c.cap {
+		delete(c.entries, c.order[0])
+		c.order = c.order[1:]
+	}
+	c.entries[key] = cacheEntry{result: res, report: rep}
+	c.order = append(c.order, key)
+}
+
+// CacheStats is the cache's contribution to /v1/stats.
+type CacheStats struct {
+	Entries int     `json:"entries"`
+	Hits    int     `json:"hits"`
+	Misses  int     `json:"misses"`
+	HitRate float64 `json:"hitRate"`
+}
+
+func (c *resultCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := CacheStats{Entries: len(c.entries), Hits: c.hits, Misses: c.misses}
+	if total := c.hits + c.misses; total > 0 {
+		st.HitRate = float64(c.hits) / float64(total)
+	}
+	return st
+}

@@ -1,0 +1,212 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"regexp"
+	"sort"
+	"sync"
+	"time"
+
+	"chaos"
+	"chaos/internal/graph"
+)
+
+// GraphSpec describes a graph to register. Type selects the source:
+//
+//   - "rmat": GenerateRMAT(Scale, Weighted, Seed)
+//   - "web":  GenerateWebGraph(Pages, Seed)
+//   - "upload": Data holds a chaos-gen binary edge list (base64 in JSON),
+//     with Vertices the declared vertex count (0 = infer) and Weighted
+//     describing the record format.
+type GraphSpec struct {
+	Name     string `json:"name,omitempty"`
+	Type     string `json:"type"`
+	Scale    int    `json:"scale,omitempty"`
+	Pages    uint64 `json:"pages,omitempty"`
+	Weighted bool   `json:"weighted,omitempty"`
+	Seed     int64  `json:"seed,omitempty"`
+	Vertices uint64 `json:"vertices,omitempty"`
+	Data     []byte `json:"data,omitempty"`
+}
+
+// Graph is a registered graph: the materialized edge slice plus lazily
+// cached views, shared read-only by every job that references it.
+type Graph struct {
+	ID         string
+	Type       string
+	Weighted   bool
+	Vertices   uint64
+	EdgeCount  int
+	Registered time.Time
+
+	edges []chaos.Edge
+	mu    sync.Mutex
+	views map[chaos.View][]chaos.Edge
+}
+
+// GraphInfo is the wire form of a Graph (Graph itself carries the edge
+// slices and a mutex, so it never crosses the API boundary).
+type GraphInfo struct {
+	ID          string    `json:"id"`
+	Type        string    `json:"type"`
+	Weighted    bool      `json:"weighted"`
+	Vertices    uint64    `json:"vertices"`
+	Edges       int       `json:"edges"`
+	Registered  time.Time `json:"registered"`
+	CachedViews []string  `json:"cachedViews"`
+}
+
+// Info snapshots the graph for serialization.
+func (g *Graph) Info() GraphInfo {
+	return GraphInfo{
+		ID:          g.ID,
+		Type:        g.Type,
+		Weighted:    g.Weighted,
+		Vertices:    g.Vertices,
+		Edges:       g.EdgeCount,
+		Registered:  g.Registered,
+		CachedViews: g.CachedViews(),
+	}
+}
+
+// View returns the graph's edges in the requested view, converting on
+// first use and caching the result so subsequent jobs skip the
+// pre-processing (the point of registering a graph once).
+func (g *Graph) View(v chaos.View) []chaos.Edge {
+	if v == chaos.ViewDirected {
+		return g.edges
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if cached, ok := g.views[v]; ok {
+		return cached
+	}
+	converted := v.Apply(g.edges)
+	g.views[v] = converted
+	return converted
+}
+
+// CachedViews lists the views materialized so far (diagnostics).
+func (g *Graph) CachedViews() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	names := []string{chaos.ViewDirected.String()}
+	for v := range g.views {
+		names = append(names, v.String())
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Catalog is the registry of materialized graphs.
+type Catalog struct {
+	mu     sync.RWMutex
+	graphs map[string]*Graph
+	order  []string
+	nextID int
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{graphs: make(map[string]*Graph)}
+}
+
+var graphNameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9_.-]*$`)
+
+// Register materializes the graph spec describes and files it under
+// spec.Name (or a generated id). Registering a name twice is an error:
+// the catalog's contract is that a graph id always denotes the same edge
+// set, which is what lets results be cached per graph.
+func (c *Catalog) Register(spec GraphSpec) (*Graph, error) {
+	var edges []chaos.Edge
+	var n uint64
+	weighted := spec.Weighted
+	switch spec.Type {
+	case "rmat":
+		if spec.Scale < 1 || spec.Scale > 30 {
+			return nil, fmt.Errorf("service: rmat scale %d out of range [1,30]", spec.Scale)
+		}
+		edges = chaos.GenerateRMAT(spec.Scale, spec.Weighted, spec.Seed)
+		n = uint64(1) << uint(spec.Scale)
+	case "web":
+		if spec.Pages < 2 || spec.Pages > 1<<30 {
+			return nil, fmt.Errorf("service: web pages %d out of range [2,2^30]", spec.Pages)
+		}
+		edges = chaos.GenerateWebGraph(spec.Pages, spec.Seed)
+		n = spec.Pages
+		weighted = false
+	case "upload":
+		if len(spec.Data) == 0 {
+			return nil, fmt.Errorf("service: upload needs a non-empty data field")
+		}
+		declared := spec.Vertices
+		if declared == 0 {
+			declared = 1 // compact format; infer the count from the edges
+		}
+		var err error
+		edges, err = graph.NewReader(bytes.NewReader(spec.Data), graph.FormatFor(declared, spec.Weighted)).ReadAll()
+		if err != nil {
+			return nil, fmt.Errorf("service: decoding upload: %w", err)
+		}
+		n = chaos.NumVertices(edges)
+		if spec.Vertices != 0 {
+			// A declared count smaller than the edge list's vertex IDs
+			// would index out of range deep inside the engine.
+			if spec.Vertices < n {
+				return nil, fmt.Errorf("service: upload declares %d vertices but edges reference vertex %d", spec.Vertices, n-1)
+			}
+			n = spec.Vertices
+		}
+	default:
+		return nil, fmt.Errorf("service: unknown graph type %q (want rmat, web or upload)", spec.Type)
+	}
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("service: graph has no edges")
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := spec.Name
+	if id == "" {
+		c.nextID++
+		id = fmt.Sprintf("g%d", c.nextID)
+	} else if !graphNameRE.MatchString(id) {
+		return nil, fmt.Errorf("service: invalid graph name %q", id)
+	}
+	if _, exists := c.graphs[id]; exists {
+		return nil, &conflictError{what: "graph", id: id}
+	}
+	g := &Graph{
+		ID:         id,
+		Type:       spec.Type,
+		Weighted:   weighted,
+		Vertices:   n,
+		EdgeCount:  len(edges),
+		Registered: time.Now().UTC(),
+		edges:      edges,
+		views:      make(map[chaos.View][]chaos.Edge),
+	}
+	c.graphs[id] = g
+	c.order = append(c.order, id)
+	return g, nil
+}
+
+// Get returns the graph registered under id.
+func (c *Catalog) Get(id string) (*Graph, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	g, ok := c.graphs[id]
+	return g, ok
+}
+
+// List returns every registered graph in registration order.
+func (c *Catalog) List() []*Graph {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Graph, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, c.graphs[id])
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package service
+
+import (
+	"bytes"
+	"testing"
+
+	"chaos"
+	"chaos/internal/graph"
+)
+
+func TestCatalogRegisterAndViews(t *testing.T) {
+	c := NewCatalog()
+	g, err := c.Register(GraphSpec{Name: "r", Type: "rmat", Scale: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Vertices != 64 || g.EdgeCount != 1024 {
+		t.Errorf("graph %+v", g)
+	}
+
+	// Views are converted once and cached: the second call returns the
+	// same backing slice.
+	u1 := g.View(chaos.ViewUndirected)
+	u2 := g.View(chaos.ViewUndirected)
+	if len(u1) != 2*g.EdgeCount {
+		t.Errorf("undirected view has %d edges, want %d", len(u1), 2*g.EdgeCount)
+	}
+	if &u1[0] != &u2[0] {
+		t.Error("undirected view was recomputed instead of cached")
+	}
+	if d := g.View(chaos.ViewDirected); len(d) != g.EdgeCount {
+		t.Error("directed view must be the raw edge slice")
+	}
+	views := g.CachedViews()
+	if len(views) != 2 { // directed + undirected; augmented untouched
+		t.Errorf("cached views %v", views)
+	}
+
+	// Lookup by id, anonymous registration, and listing order.
+	if _, ok := c.Get("r"); !ok {
+		t.Error("registered graph not found")
+	}
+	anon, err := c.Register(GraphSpec{Type: "web", Pages: 256, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anon.ID != "g1" {
+		t.Errorf("anonymous id %q, want g1", anon.ID)
+	}
+	if l := c.List(); len(l) != 2 || l[0].ID != "r" || l[1].ID != "g1" {
+		t.Errorf("list %v", l)
+	}
+}
+
+func TestCatalogRejectsBadSpecs(t *testing.T) {
+	c := NewCatalog()
+	if _, err := c.Register(GraphSpec{Name: "x", Type: "rmat", Scale: 6}); err != nil {
+		t.Fatal(err)
+	}
+	cases := []GraphSpec{
+		{Name: "x", Type: "rmat", Scale: 6},         // duplicate name
+		{Name: "bad name", Type: "rmat", Scale: 6},  // invalid name
+		{Type: "rmat", Scale: 0},                    // scale out of range
+		{Type: "rmat", Scale: 31},                   // scale out of range
+		{Type: "web", Pages: 1},                     // too few pages
+		{Type: "upload"},                            // no data
+		{Type: "upload", Data: []byte{1, 2, 3}},     // truncated record
+		{Type: "mystery"},                           // unknown type
+	}
+	for _, spec := range cases {
+		if _, err := c.Register(spec); err == nil {
+			t.Errorf("Register(%+v) should fail", spec)
+		}
+	}
+}
+
+// TestCatalogRejectsUndersizedUpload: a declared vertex count smaller
+// than the edge list's IDs must be rejected at registration — otherwise
+// every job on the graph would crash the engine on an out-of-range
+// vertex index.
+func TestCatalogRejectsUndersizedUpload(t *testing.T) {
+	var buf bytes.Buffer
+	w := graph.NewWriter(&buf, graph.FormatFor(128, false))
+	if err := w.WriteEdge(graph.Edge{Src: 0, Dst: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCatalog()
+	if _, err := c.Register(GraphSpec{Type: "upload", Vertices: 2, Data: buf.Bytes()}); err == nil {
+		t.Fatal("undersized vertex declaration should be rejected")
+	}
+	// The same data with a sufficient (or inferred) count registers fine.
+	if g, err := c.Register(GraphSpec{Type: "upload", Data: buf.Bytes()}); err != nil || g.Vertices != 101 {
+		t.Fatalf("inferred upload: %+v, %v", g, err)
+	}
+}

@@ -1,0 +1,338 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"chaos"
+)
+
+// JobState is the lifecycle state of a job.
+type JobState string
+
+// Job lifecycle: Submit puts a job in JobQueued; a worker moves it to
+// JobRunning and then JobDone or JobFailed; Cancel moves a still-queued
+// job to JobCanceled (running simulations are not interruptible).
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// Job is one algorithm run over a registered graph. Fields after Options
+// are guarded by the scheduler's mutex; handlers read them through
+// snapshots (JobView), never directly.
+type Job struct {
+	ID        string
+	Graph     string
+	Algorithm string
+	Options   chaos.Options
+
+	state      JobState
+	err        string
+	result     *chaos.Result
+	report     *chaos.Report
+	cacheHit   bool
+	enqueuedAt time.Time
+	startedAt  time.Time
+	finishedAt time.Time
+}
+
+// JobView is an immutable snapshot of a Job, safe to serialize.
+type JobView struct {
+	ID         string        `json:"id"`
+	Graph      string        `json:"graph"`
+	Algorithm  string        `json:"algorithm"`
+	State      JobState      `json:"state"`
+	CacheHit   bool          `json:"cacheHit,omitempty"`
+	Error      string        `json:"error,omitempty"`
+	EnqueuedAt time.Time     `json:"enqueuedAt"`
+	StartedAt  *time.Time    `json:"startedAt,omitempty"`
+	FinishedAt *time.Time    `json:"finishedAt,omitempty"`
+	Result     *chaos.Result `json:"result,omitempty"`
+	Report     *chaos.Report `json:"report,omitempty"`
+}
+
+// view snapshots the job; callers hold s.mu.
+func (j *Job) view() JobView {
+	v := JobView{
+		ID:         j.ID,
+		Graph:      j.Graph,
+		Algorithm:  j.Algorithm,
+		State:      j.state,
+		CacheHit:   j.cacheHit,
+		Error:      j.err,
+		EnqueuedAt: j.enqueuedAt,
+		Result:     j.result,
+		Report:     j.report,
+	}
+	if !j.startedAt.IsZero() {
+		t := j.startedAt
+		v.StartedAt = &t
+	}
+	if !j.finishedAt.IsZero() {
+		t := j.finishedAt
+		v.FinishedAt = &t
+	}
+	return v
+}
+
+// runFunc executes one job and returns its result; the scheduler owns all
+// state transitions around the call.
+type runFunc func(*Job) (*chaos.Result, *chaos.Report, error)
+
+// Scheduler runs jobs on a bounded worker pool: at most `workers`
+// simulations execute concurrently, the rest wait in a FIFO queue.
+type Scheduler struct {
+	run     runFunc
+	workers int
+	retain  int // finished jobs kept in history
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*Job
+	jobs    map[string]*Job
+	order   []string
+	nextID  int
+	running int
+	closed  bool
+	counts  map[string]int // submissions per algorithm
+	wg      sync.WaitGroup
+}
+
+// NewScheduler starts a pool of workers feeding jobs through run. The
+// job history is bounded: once more than retain jobs exist, the oldest
+// finished ones are evicted (queued and running jobs never are), so an
+// always-on server does not grow without bound. retain <= 0 means the
+// default of 10000.
+func NewScheduler(workers, retain int, run runFunc) *Scheduler {
+	if retain <= 0 {
+		retain = 10000
+	}
+	s := &Scheduler{
+		run:     run,
+		workers: workers,
+		retain:  retain,
+		jobs:    make(map[string]*Job),
+		counts:  make(map[string]int),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// ErrShuttingDown is returned by Submit after Shutdown has begun.
+var ErrShuttingDown = fmt.Errorf("service: shutting down")
+
+// pruneLocked evicts the oldest finished jobs beyond the retention cap;
+// callers hold s.mu.
+func (s *Scheduler) pruneLocked() {
+	excess := len(s.order) - s.retain
+	if excess <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		terminal := j.state == JobDone || j.state == JobFailed || j.state == JobCanceled
+		if excess > 0 && terminal {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// newJobLocked files a new job; callers hold s.mu.
+func (s *Scheduler) newJobLocked(graphID, alg string, opt chaos.Options) *Job {
+	s.nextID++
+	j := &Job{
+		ID:         fmt.Sprintf("j%d", s.nextID),
+		Graph:      graphID,
+		Algorithm:  alg,
+		Options:    opt,
+		enqueuedAt: time.Now().UTC(),
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.counts[alg]++
+	s.pruneLocked() // the new job is not yet terminal, so never evicted
+	return j
+}
+
+// Submit enqueues a job.
+func (s *Scheduler) Submit(graphID, alg string, opt chaos.Options) (JobView, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return JobView{}, ErrShuttingDown
+	}
+	j := s.newJobLocked(graphID, alg, opt)
+	j.state = JobQueued
+	s.queue = append(s.queue, j)
+	s.cond.Signal()
+	return j.view(), nil
+}
+
+// AdmitCached files an already-answered job (a result-cache hit) directly
+// in the done state, so clients observe the same lifecycle either way.
+func (s *Scheduler) AdmitCached(graphID, alg string, opt chaos.Options, res *chaos.Result, rep *chaos.Report) (JobView, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return JobView{}, ErrShuttingDown
+	}
+	j := s.newJobLocked(graphID, alg, opt)
+	j.state = JobDone
+	j.cacheHit = true
+	j.result = res
+	j.report = rep
+	j.finishedAt = j.enqueuedAt
+	return j.view(), nil
+}
+
+// Get snapshots the job with the given id.
+func (s *Scheduler) Get(id string) (JobView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return j.view(), true
+}
+
+// List snapshots every job in submission order.
+func (s *Scheduler) List() []JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobView, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].view())
+	}
+	return out
+}
+
+// Cancel moves a queued job to JobCanceled. Running jobs are not
+// interruptible (the simulation has no preemption point); finished jobs
+// are immutable. Both report a state conflict.
+func (s *Scheduler) Cancel(id string) (JobView, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, &notFoundError{what: "job", id: id}
+	}
+	if j.state != JobQueued {
+		return j.view(), fmt.Errorf("service: job %s is %s, only queued jobs can be canceled", id, j.state)
+	}
+	j.state = JobCanceled
+	j.finishedAt = time.Now().UTC()
+	// The job stays in s.queue; workers skip non-queued entries.
+	return j.view(), nil
+}
+
+// worker pops queued jobs until shutdown.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.queue) == 0 && s.closed {
+			s.mu.Unlock()
+			return
+		}
+		j := s.queue[0]
+		s.queue = s.queue[1:]
+		if j.state != JobQueued { // canceled while waiting
+			s.mu.Unlock()
+			continue
+		}
+		j.state = JobRunning
+		j.startedAt = time.Now().UTC()
+		s.running++
+		s.mu.Unlock()
+
+		res, rep, err := s.run(j)
+
+		s.mu.Lock()
+		s.running--
+		j.finishedAt = time.Now().UTC()
+		if err != nil {
+			j.state = JobFailed
+			j.err = err.Error()
+		} else {
+			j.state = JobDone
+			j.result = res
+			j.report = rep
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Shutdown stops accepting submissions, cancels still-queued jobs, and
+// waits for the running ones to drain (or ctx to expire).
+func (s *Scheduler) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	for _, j := range s.queue {
+		if j.state == JobQueued {
+			j.state = JobCanceled
+			j.finishedAt = time.Now().UTC()
+		}
+	}
+	s.queue = nil
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: shutdown timed out with jobs still running: %w", ctx.Err())
+	}
+}
+
+// schedStats is the scheduler's contribution to /v1/stats.
+type schedStats struct {
+	queueDepth   int
+	running      int
+	jobs         map[string]int
+	perAlgorithm map[string]int
+}
+
+func (s *Scheduler) stats() schedStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := schedStats{
+		running:      s.running,
+		jobs:         make(map[string]int),
+		perAlgorithm: make(map[string]int),
+	}
+	for _, j := range s.jobs {
+		st.jobs[string(j.state)]++
+		if j.state == JobQueued {
+			st.queueDepth++
+		}
+	}
+	for alg, n := range s.counts {
+		st.perAlgorithm[alg] = n
+	}
+	return st
+}

@@ -1,0 +1,267 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"chaos"
+)
+
+// gate is a controllable runFunc: each run blocks until released and
+// records the peak concurrency the pool allowed.
+type gate struct {
+	release chan struct{}
+	active  atomic.Int32
+	peak    atomic.Int32
+	runs    atomic.Int32
+}
+
+func newGate() *gate { return &gate{release: make(chan struct{})} }
+
+func (g *gate) run(j *Job) (*chaos.Result, *chaos.Report, error) {
+	n := g.active.Add(1)
+	for {
+		p := g.peak.Load()
+		if n <= p || g.peak.CompareAndSwap(p, n) {
+			break
+		}
+	}
+	<-g.release
+	g.active.Add(-1)
+	g.runs.Add(1)
+	return &chaos.Result{Algorithm: j.Algorithm}, &chaos.Report{Algorithm: j.Algorithm}, nil
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestSchedulerBoundsConcurrency checks that a pool of W workers never
+// runs more than W simulations at once while still completing every job.
+func TestSchedulerBoundsConcurrency(t *testing.T) {
+	const workers, jobs = 3, 12
+	g := newGate()
+	s := NewScheduler(workers, 0, g.run)
+
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := s.Submit("g", "PR", chaos.Options{Seed: int64(i)}); err != nil {
+				t.Errorf("submit: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// All workers saturate, and no more than `workers` run at once.
+	waitFor(t, "pool saturation", func() bool { return g.active.Load() == workers })
+	st := s.stats()
+	if st.running != workers || st.queueDepth != jobs-workers {
+		t.Errorf("stats: running %d queued %d, want %d/%d", st.running, st.queueDepth, workers, jobs-workers)
+	}
+	close(g.release)
+	waitFor(t, "all jobs done", func() bool { return g.runs.Load() == jobs })
+	if got := g.peak.Load(); got != workers {
+		t.Errorf("peak concurrency %d, want exactly %d", got, workers)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, jv := range s.List() {
+		if jv.State != JobDone {
+			t.Errorf("job %s: state %s, want done", jv.ID, jv.State)
+		}
+	}
+}
+
+// TestSchedulerCancel covers the cancellation state machine: queued jobs
+// cancel, running and finished ones conflict, canceled jobs never run.
+func TestSchedulerCancel(t *testing.T) {
+	g := newGate()
+	s := NewScheduler(1, 0, g.run)
+	defer func() {
+		close(g.release)
+		s.Shutdown(context.Background())
+	}()
+
+	running, _ := s.Submit("g", "PR", chaos.Options{})
+	waitFor(t, "first job running", func() bool {
+		jv, _ := s.Get(running.ID)
+		return jv.State == JobRunning
+	})
+	queued, _ := s.Submit("g", "BFS", chaos.Options{})
+
+	if _, err := s.Cancel(queued.ID); err != nil {
+		t.Fatalf("cancel queued: %v", err)
+	}
+	if jv, _ := s.Get(queued.ID); jv.State != JobCanceled {
+		t.Errorf("state %s, want canceled", jv.State)
+	}
+	if _, err := s.Cancel(running.ID); err == nil {
+		t.Error("canceling a running job should conflict")
+	}
+	if _, err := s.Cancel("j999"); !errors.As(err, new(*notFoundError)) {
+		t.Errorf("canceling unknown job: %v, want not-found", err)
+	}
+
+	// The canceled job is skipped, not run: release the running job and
+	// verify only one run ever happened.
+	g.release <- struct{}{}
+	waitFor(t, "first job done", func() bool {
+		jv, _ := s.Get(running.ID)
+		return jv.State == JobDone
+	})
+	waitFor(t, "queue drained", func() bool { return s.stats().queueDepth == 0 })
+	if got := g.runs.Load(); got != 1 {
+		t.Errorf("%d jobs ran, want 1 (canceled job must not run)", got)
+	}
+	if _, err := s.Cancel(running.ID); err == nil {
+		t.Error("canceling a done job should conflict")
+	}
+}
+
+// TestSchedulerShutdownDrains checks that Shutdown waits for running jobs,
+// cancels queued ones, and refuses new submissions.
+func TestSchedulerShutdownDrains(t *testing.T) {
+	g := newGate()
+	s := NewScheduler(1, 0, g.run)
+
+	running, _ := s.Submit("g", "PR", chaos.Options{})
+	waitFor(t, "job running", func() bool {
+		jv, _ := s.Get(running.ID)
+		return jv.State == JobRunning
+	})
+	queued, _ := s.Submit("g", "BFS", chaos.Options{})
+
+	// With the job still blocked, a short deadline must report a timeout.
+	shortCtx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(shortCtx); err == nil {
+		t.Fatal("shutdown with a stuck job should time out")
+	}
+	if _, err := s.Submit("g", "PR", chaos.Options{}); !errors.Is(err, ErrShuttingDown) {
+		t.Errorf("submit after shutdown: %v, want ErrShuttingDown", err)
+	}
+	if jv, _ := s.Get(queued.ID); jv.State != JobCanceled {
+		t.Errorf("queued job state %s, want canceled at shutdown", jv.State)
+	}
+
+	// Release the job: the drain now completes and the job finished
+	// normally (graceful shutdown does not kill running work).
+	close(g.release)
+	ctx, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if jv, _ := s.Get(running.ID); jv.State != JobDone {
+		t.Errorf("running job state %s, want done after drain", jv.State)
+	}
+}
+
+// TestSchedulerRetentionEvictsOnlyFinishedJobs checks the history cap:
+// old finished jobs are evicted as new ones arrive, but queued and
+// running jobs survive even when the cap is exceeded.
+func TestSchedulerRetentionEvictsOnlyFinishedJobs(t *testing.T) {
+	g := newGate()
+	s := NewScheduler(1, 3, g.run)
+	defer s.Shutdown(context.Background())
+
+	// Five finished jobs, released one at a time.
+	var ids []string
+	for i := 0; i < 5; i++ {
+		jv, err := s.Submit("g", "PR", chaos.Options{Seed: int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, jv.ID)
+		g.release <- struct{}{}
+		waitFor(t, "job done", func() bool {
+			got, ok := s.Get(jv.ID)
+			return ok && got.State == JobDone
+		})
+	}
+	// Submitting one more prunes history down to the cap; the oldest
+	// finished jobs are gone, the newest survive.
+	last, err := s.Submit("g", "PR", chaos.Options{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(ids[0]); ok {
+		t.Error("oldest finished job survived past the retention cap")
+	}
+	if _, ok := s.Get(ids[4]); !ok {
+		t.Error("recent finished job was evicted")
+	}
+	if got, _ := s.Get(last.ID); got.State == "" {
+		t.Error("in-flight job missing")
+	}
+	if n := len(s.List()); n > 3 {
+		t.Errorf("history holds %d jobs, want <= 3", n)
+	}
+	g.release <- struct{}{}
+	waitFor(t, "last job done", func() bool {
+		got, _ := s.Get(last.ID)
+		return got.State == JobDone
+	})
+}
+
+// TestResultCacheEviction checks the bounded cache evicts oldest-first.
+func TestResultCacheEviction(t *testing.T) {
+	c := newResultCache(2)
+	res := &chaos.Result{}
+	rep := &chaos.Report{}
+	c.store("a", res, rep)
+	c.store("b", res, rep)
+	c.store("c", res, rep) // evicts "a"
+	if _, _, ok := c.lookup("a"); ok {
+		t.Error("oldest entry survived past capacity")
+	}
+	if _, _, ok := c.lookup("b"); !ok {
+		t.Error("entry b evicted prematurely")
+	}
+	if _, _, ok := c.lookup("c"); !ok {
+		t.Error("entry c missing")
+	}
+	if st := c.stats(); st.Entries != 2 || st.Hits != 2 || st.Misses != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+// TestSchedulerFailedJob surfaces run errors as the failed state.
+func TestSchedulerFailedJob(t *testing.T) {
+	s := NewScheduler(1, 0, func(j *Job) (*chaos.Result, *chaos.Report, error) {
+		return nil, nil, fmt.Errorf("boom")
+	})
+	defer s.Shutdown(context.Background())
+	jv, err := s.Submit("g", "PR", chaos.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "job failed", func() bool {
+		got, _ := s.Get(jv.ID)
+		return got.State == JobFailed
+	})
+	got, _ := s.Get(jv.ID)
+	if got.Error != "boom" || got.Result != nil {
+		t.Errorf("failed job view %+v", got)
+	}
+}

@@ -1,0 +1,195 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"chaos"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/graphs     register a graph (GraphSpec JSON)
+//	GET    /v1/graphs     list registered graphs
+//	GET    /v1/graphs/{id}  one graph with its cached views
+//	POST   /v1/jobs       submit a job (jobRequest JSON) -> 202
+//	GET    /v1/jobs       list jobs
+//	GET    /v1/jobs/{id}  job state, full Report and Result when done
+//	DELETE /v1/jobs/{id}  cancel a queued job
+//	GET    /healthz       liveness
+//	GET    /v1/stats      queue depth, cache hit rate, per-algorithm counts
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/graphs", s.handleRegisterGraph)
+	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
+	mux.HandleFunc("GET /v1/graphs/{id}", s.handleGetGraph)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+// jobOptions is the wire form of chaos.Options: hardware names as
+// strings, byte sizes explicit. Zero-valued fields inherit the service's
+// BaseOptions and then the paper defaults.
+type jobOptions struct {
+	Machines        int     `json:"machines,omitempty"`
+	Storage         string  `json:"storage,omitempty"`
+	Network         string  `json:"network,omitempty"`
+	Cores           int     `json:"cores,omitempty"`
+	ChunkBytes      int     `json:"chunkBytes,omitempty"`
+	MemBudgetBytes  int64   `json:"memBudgetBytes,omitempty"`
+	BatchK          int     `json:"batchK,omitempty"`
+	Alpha           float64 `json:"alpha,omitempty"`
+	DisableStealing bool    `json:"disableStealing,omitempty"`
+	AlwaysSteal     bool    `json:"alwaysSteal,omitempty"`
+	CheckpointEvery int     `json:"checkpointEvery,omitempty"`
+	MaxIterations   int     `json:"maxIterations,omitempty"`
+	LatencyScale    float64 `json:"latencyScale,omitempty"`
+	Seed            int64   `json:"seed,omitempty"`
+}
+
+// jobRequest is the POST /v1/jobs payload.
+type jobRequest struct {
+	Graph     string     `json:"graph"`
+	Algorithm string     `json:"algorithm"`
+	Options   jobOptions `json:"options"`
+}
+
+// resolve validates the request through the same chaos.ParseOptions
+// helper the CLIs use, so a bad algorithm or device name fails with the
+// identical message everywhere.
+func (r jobRequest) resolve() (string, chaos.Options, error) {
+	base := chaos.Options{
+		Machines:        r.Options.Machines,
+		Cores:           r.Options.Cores,
+		ChunkBytes:      r.Options.ChunkBytes,
+		MemBudgetBytes:  r.Options.MemBudgetBytes,
+		BatchK:          r.Options.BatchK,
+		Alpha:           r.Options.Alpha,
+		DisableStealing: r.Options.DisableStealing,
+		AlwaysSteal:     r.Options.AlwaysSteal,
+		CheckpointEvery: r.Options.CheckpointEvery,
+		MaxIterations:   r.Options.MaxIterations,
+		LatencyScale:    r.Options.LatencyScale,
+		Seed:            r.Options.Seed,
+	}
+	return chaos.ParseOptions(r.Algorithm, r.Options.Storage, r.Options.Network, base)
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// statusFor maps service errors to HTTP statuses.
+func statusFor(err error, fallback int) int {
+	var nf *notFoundError
+	var cf *conflictError
+	switch {
+	case errors.As(err, &nf):
+		return http.StatusNotFound
+	case errors.As(err, &cf):
+		return http.StatusConflict
+	case errors.Is(err, ErrShuttingDown):
+		return http.StatusServiceUnavailable
+	default:
+		return fallback
+	}
+}
+
+func (s *Service) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
+	var spec GraphSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	g, err := s.catalog.Register(spec)
+	if err != nil {
+		writeError(w, statusFor(err, http.StatusBadRequest), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, g.Info())
+}
+
+func (s *Service) handleListGraphs(w http.ResponseWriter, r *http.Request) {
+	graphs := s.catalog.List()
+	infos := make([]GraphInfo, len(graphs))
+	for i, g := range graphs {
+		infos[i] = g.Info()
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Service) handleGetGraph(w http.ResponseWriter, r *http.Request) {
+	g, ok := s.catalog.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, &notFoundError{what: "graph", id: r.PathValue("id")})
+		return
+	}
+	writeJSON(w, http.StatusOK, g.Info())
+}
+
+func (s *Service) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	alg, opt, err := req.resolve()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := s.Submit(req.Graph, alg, opt)
+	if err != nil {
+		writeError(w, statusFor(err, http.StatusBadRequest), err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job)
+}
+
+func (s *Service) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.scheduler.List())
+}
+
+func (s *Service) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.scheduler.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, &notFoundError{what: "job", id: r.PathValue("id")})
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Service) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	job, err := s.scheduler.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, statusFor(err, http.StatusConflict), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

@@ -1,0 +1,206 @@
+// Package service turns the chaos library into a long-lived
+// graph-analytics job service: an always-on process that amortizes graph
+// ingestion across runs and executes independent jobs concurrently.
+//
+// Three pieces cooperate:
+//
+//   - the Catalog registers graphs once (R-MAT/webgraph generation
+//     parameters or an uploaded chaos-gen binary edge list), materializes
+//     the edge slice, and lazily caches the undirected and augmented
+//     views the algorithms consume, so repeated jobs skip pre-processing;
+//   - the Scheduler runs submitted jobs on a bounded worker pool (N
+//     concurrent simulations, each itself a multi-core cluster model)
+//     with queued/running/done/failed states and cancellation;
+//   - a content-addressed result cache keyed on (graph, algorithm,
+//     canonicalized Options) serves identical requests from memory.
+//
+// Service wires them behind a JSON HTTP API (see Handler) with graceful
+// shutdown that drains running jobs. cmd/chaos-serve is the binary front
+// end; README.md documents the endpoints with curl examples.
+package service
+
+import (
+	"context"
+	"fmt"
+
+	"chaos"
+)
+
+// Config parameterizes a Service.
+type Config struct {
+	// Workers bounds the number of concurrently running simulations
+	// (default 4). Each simulation models a whole cluster, so a small
+	// pool saturates the host.
+	Workers int
+	// BaseOptions is merged under every job's options: fields the job
+	// request leaves at zero fall back to these (used by chaos-serve to
+	// set lab-scale chunk sizes, and by tests).
+	BaseOptions chaos.Options
+	// MaxCacheEntries bounds the result cache; oldest entries are
+	// evicted first (default 4096).
+	MaxCacheEntries int
+	// MaxJobHistory bounds how many finished jobs stay queryable;
+	// queued and running jobs are never evicted (default 10000).
+	MaxJobHistory int
+}
+
+// Service is the graph-analytics job service.
+type Service struct {
+	cfg       Config
+	catalog   *Catalog
+	scheduler *Scheduler
+	cache     *resultCache
+}
+
+// New starts a Service with its worker pool running.
+func New(cfg Config) *Service {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.MaxCacheEntries <= 0 {
+		cfg.MaxCacheEntries = 4096
+	}
+	s := &Service{
+		cfg:     cfg,
+		catalog: NewCatalog(),
+		cache:   newResultCache(cfg.MaxCacheEntries),
+	}
+	s.scheduler = NewScheduler(cfg.Workers, cfg.MaxJobHistory, s.execute)
+	return s
+}
+
+// execute runs one job to completion on a worker goroutine: resolve the
+// graph, fetch its cached edge view, run the algorithm, and populate the
+// result cache on success.
+func (s *Service) execute(job *Job) (*chaos.Result, *chaos.Report, error) {
+	g, ok := s.catalog.Get(job.Graph)
+	if !ok {
+		return nil, nil, fmt.Errorf("service: graph %q disappeared", job.Graph)
+	}
+	view, err := chaos.ViewFor(job.Algorithm)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, rep, err := chaos.RunPrepared(job.Algorithm, g.View(view), g.Vertices, job.Options)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.cache.store(cacheKey(job.Graph, job.Algorithm, job.Options), res, rep)
+	return res, rep, nil
+}
+
+// Submit enqueues a job for graph id, serving it from the result cache
+// when an identical (graph, algorithm, canonical options) run has already
+// completed. The algorithm name must be canonical (see chaos.ParseOptions).
+func (s *Service) Submit(graphID, algorithm string, opt chaos.Options) (JobView, error) {
+	g, ok := s.catalog.Get(graphID)
+	if !ok {
+		return JobView{}, &notFoundError{what: "graph", id: graphID}
+	}
+	if _, err := chaos.ViewFor(algorithm); err != nil {
+		return JobView{}, err
+	}
+	if chaos.NeedsWeights(algorithm) && !g.Weighted {
+		// chaos-run guards this by generating weights on demand; with a
+		// registered graph the edge set is fixed, so running a
+		// weight-consuming algorithm would silently produce (and cache)
+		// all-zero distances/weights.
+		return JobView{}, fmt.Errorf("service: %s needs edge weights but graph %q is unweighted", algorithm, g.ID)
+	}
+	opt = mergeOptions(s.cfg.BaseOptions, opt)
+	if res, rep, ok := s.cache.lookup(cacheKey(g.ID, algorithm, opt)); ok {
+		return s.scheduler.AdmitCached(g.ID, algorithm, opt, res, rep)
+	}
+	return s.scheduler.Submit(g.ID, algorithm, opt)
+}
+
+// mergeOptions fills zero-valued fields of opt from base. Only the knobs
+// a serving deployment plausibly pins are merged: hardware sizing, chunk
+// geometry and latency scale.
+func mergeOptions(base, opt chaos.Options) chaos.Options {
+	if opt.Machines == 0 {
+		opt.Machines = base.Machines
+	}
+	if opt.Cores == 0 {
+		opt.Cores = base.Cores
+	}
+	if opt.ChunkBytes == 0 {
+		opt.ChunkBytes = base.ChunkBytes
+	}
+	if opt.VertexChunkBytes == 0 {
+		opt.VertexChunkBytes = base.VertexChunkBytes
+	}
+	if opt.MemBudgetBytes == 0 {
+		opt.MemBudgetBytes = base.MemBudgetBytes
+	}
+	// LatencyScale must follow the chunk size unless the request pins it:
+	// shrinking chunks by f without shrinking fixed latencies by f
+	// distorts the latency-to-service-time ratio (DESIGN.md). The base
+	// scale only applies to the base chunk size it was derived for.
+	if opt.LatencyScale == 0 {
+		if opt.ChunkBytes == base.ChunkBytes && base.LatencyScale != 0 {
+			opt.LatencyScale = base.LatencyScale
+		} else {
+			cb := opt.ChunkBytes
+			if cb == 0 {
+				cb = 4 << 20
+			}
+			opt.LatencyScale = float64(cb) / float64(4<<20)
+		}
+	}
+	if opt.Seed == 0 {
+		opt.Seed = base.Seed
+	}
+	return opt
+}
+
+// Catalog exposes the graph catalog (used by the HTTP layer and tests).
+func (s *Service) Catalog() *Catalog { return s.catalog }
+
+// Scheduler exposes the job scheduler (used by the HTTP layer and tests).
+func (s *Service) Scheduler() *Scheduler { return s.scheduler }
+
+// Stats is the /v1/stats payload.
+type Stats struct {
+	Graphs       int            `json:"graphs"`
+	Workers      int            `json:"workers"`
+	QueueDepth   int            `json:"queueDepth"`
+	Running      int            `json:"running"`
+	Jobs         map[string]int `json:"jobs"`
+	PerAlgorithm map[string]int `json:"perAlgorithm"`
+	Cache        CacheStats     `json:"cache"`
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	st := s.scheduler.stats()
+	return Stats{
+		Graphs:       len(s.catalog.List()),
+		Workers:      s.cfg.Workers,
+		QueueDepth:   st.queueDepth,
+		Running:      st.running,
+		Jobs:         st.jobs,
+		PerAlgorithm: st.perAlgorithm,
+		Cache:        s.cache.stats(),
+	}
+}
+
+// Shutdown stops accepting work, cancels still-queued jobs and drains the
+// running ones, waiting up to ctx's deadline.
+func (s *Service) Shutdown(ctx context.Context) error {
+	return s.scheduler.Shutdown(ctx)
+}
+
+// notFoundError distinguishes missing resources so the HTTP layer can
+// answer 404 instead of 400.
+type notFoundError struct{ what, id string }
+
+func (e *notFoundError) Error() string { return fmt.Sprintf("service: unknown %s %q", e.what, e.id) }
+
+// conflictError distinguishes already-exists failures so the HTTP layer
+// can answer 409 instead of 400.
+type conflictError struct{ what, id string }
+
+func (e *conflictError) Error() string {
+	return fmt.Sprintf("service: %s %q already registered", e.what, e.id)
+}

@@ -11,12 +11,19 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 )
+
+// ErrUnknownStream is returned (wrapped) by read-only backend operations
+// on a stream that was never written. All backends agree on it, so callers
+// can distinguish "no such set yet" from I/O failures with errors.Is.
+var ErrUnknownStream = errors.New("storage: unknown stream")
 
 // Backend is the byte-level persistence layer under a Store. Streams are
 // named append-only byte sequences, one per (set, partition) pair, matching
@@ -63,7 +70,7 @@ func (b *MemBackend) Read(stream string, offset int64, length int) ([]byte, erro
 	defer b.mu.Unlock()
 	s, ok := b.streams[stream]
 	if !ok {
-		return nil, fmt.Errorf("storage: unknown stream %q", stream)
+		return nil, fmt.Errorf("%w %q", ErrUnknownStream, stream)
 	}
 	if offset+int64(length) > int64(len(s)) {
 		return nil, fmt.Errorf("storage: read [%d,%d) beyond stream %q of %d bytes", offset, offset+int64(length), stream, len(s))
@@ -73,19 +80,28 @@ func (b *MemBackend) Read(stream string, offset int64, length int) ([]byte, erro
 	return out, nil
 }
 
-// Truncate discards the stream's contents.
+// Truncate discards the stream's contents. The stream stays registered
+// (empty), mirroring a file truncated to zero length; truncating a stream
+// that was never written is a no-op.
 func (b *MemBackend) Truncate(stream string) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	delete(b.streams, stream)
+	if _, ok := b.streams[stream]; ok {
+		b.streams[stream] = nil
+	}
 	return nil
 }
 
-// Size returns the stream length.
+// Size returns the stream length, or an ErrUnknownStream error for a
+// stream that was never written.
 func (b *MemBackend) Size(stream string) (int64, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return int64(len(b.streams[stream])), nil
+	s, ok := b.streams[stream]
+	if !ok {
+		return 0, fmt.Errorf("%w %q", ErrUnknownStream, stream)
+	}
+	return int64(len(s)), nil
 }
 
 // Close releases the stream map.
@@ -125,11 +141,23 @@ func NewFileBackend(dir string) (*FileBackend, error) {
 	return &FileBackend{dir: dir, files: make(map[string]*os.File)}, nil
 }
 
-func (b *FileBackend) file(stream string) (*os.File, error) {
+// file returns the open handle for stream. Only Write may create the
+// backing file; read-only operations on a stream that was never written
+// report ErrUnknownStream instead of leaving an empty file behind.
+func (b *FileBackend) file(stream string, create bool) (*os.File, error) {
 	if f, ok := b.files[stream]; ok {
 		return f, nil
 	}
-	f, err := os.OpenFile(filepath.Join(b.dir, stream), os.O_RDWR|os.O_CREATE, 0o644)
+	flags := os.O_RDWR
+	if create {
+		flags |= os.O_CREATE
+	}
+	f, err := os.OpenFile(filepath.Join(b.dir, stream), flags, 0o644)
+	if !create && errors.Is(err, fs.ErrNotExist) {
+		// On the create path ErrNotExist means real trouble (the base
+		// directory vanished), not an unknown stream.
+		return nil, fmt.Errorf("%w %q", ErrUnknownStream, stream)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("storage: %w", err)
 	}
@@ -137,11 +165,11 @@ func (b *FileBackend) file(stream string) (*os.File, error) {
 	return f, nil
 }
 
-// Write appends data to the stream's file.
+// Write appends data to the stream's file, creating it on first write.
 func (b *FileBackend) Write(stream string, data []byte) (int64, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	f, err := b.file(stream)
+	f, err := b.file(stream, true)
 	if err != nil {
 		return 0, err
 	}
@@ -155,11 +183,12 @@ func (b *FileBackend) Write(stream string, data []byte) (int64, error) {
 	return off, nil
 }
 
-// Read returns length bytes at offset.
+// Read returns length bytes at offset, or an ErrUnknownStream error for a
+// stream that was never written.
 func (b *FileBackend) Read(stream string, offset int64, length int) ([]byte, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	f, err := b.file(stream)
+	f, err := b.file(stream, false)
 	if err != nil {
 		return nil, err
 	}
@@ -170,11 +199,15 @@ func (b *FileBackend) Read(stream string, offset int64, length int) ([]byte, err
 	return out, nil
 }
 
-// Truncate empties the stream's file.
+// Truncate empties the stream's file. Like MemBackend, truncating a
+// stream that was never written is a no-op and does not create a file.
 func (b *FileBackend) Truncate(stream string) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	f, err := b.file(stream)
+	f, err := b.file(stream, false)
+	if errors.Is(err, ErrUnknownStream) {
+		return nil
+	}
 	if err != nil {
 		return err
 	}
@@ -184,11 +217,12 @@ func (b *FileBackend) Truncate(stream string) error {
 	return nil
 }
 
-// Size returns the stream file's length.
+// Size returns the stream file's length, or an ErrUnknownStream error for
+// a stream that was never written.
 func (b *FileBackend) Size(stream string) (int64, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	f, err := b.file(stream)
+	f, err := b.file(stream, false)
 	if err != nil {
 		return 0, err
 	}

@@ -2,8 +2,10 @@ package storage
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 	"testing"
 	"testing/quick"
 )
@@ -73,6 +75,75 @@ func TestMemBackendReadBeyondEnd(t *testing.T) {
 	}
 	if _, err := b.Read("nope", 0, 1); err == nil {
 		t.Error("unknown stream should error")
+	}
+}
+
+func TestBackendUnknownStreamBehaviorAgrees(t *testing.T) {
+	for name, b := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, err := b.Read("nope", 0, 1); !errors.Is(err, ErrUnknownStream) {
+				t.Errorf("Read: err = %v, want ErrUnknownStream", err)
+			}
+			if _, err := b.Size("nope"); !errors.Is(err, ErrUnknownStream) {
+				t.Errorf("Size: err = %v, want ErrUnknownStream", err)
+			}
+			if err := b.Truncate("nope"); err != nil {
+				t.Errorf("Truncate: %v, want nil no-op", err)
+			}
+			// None of the probes may have brought the stream into being.
+			if _, err := b.Size("nope"); !errors.Is(err, ErrUnknownStream) {
+				t.Errorf("Size after probes: err = %v, want ErrUnknownStream", err)
+			}
+			// A written-then-truncated stream stays known with size 0.
+			b.Write("s", []byte("data"))
+			if err := b.Truncate("s"); err != nil {
+				t.Fatal(err)
+			}
+			sz, err := b.Size("s")
+			if err != nil || sz != 0 {
+				t.Errorf("Size after truncate = %d, %v; want 0, nil", sz, err)
+			}
+		})
+	}
+}
+
+func TestFileBackendWriteErrorIsNotUnknownStream(t *testing.T) {
+	dir := t.TempDir()
+	b, err := NewFileBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	// With the base directory gone, a Write fails with a real I/O error;
+	// it must not masquerade as the read-only "unknown stream" condition.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	_, err = b.Write("s", []byte("x"))
+	if err == nil {
+		t.Fatal("write into a removed directory should fail")
+	}
+	if errors.Is(err, ErrUnknownStream) {
+		t.Errorf("write error %v wrongly reports ErrUnknownStream", err)
+	}
+}
+
+func TestFileBackendReadPathCreatesNoFiles(t *testing.T) {
+	dir := t.TempDir()
+	b, err := NewFileBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	b.Read("ghost", 0, 1)
+	b.Size("ghost")
+	b.Truncate("ghost")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("read-only probes left %d files behind", len(entries))
 	}
 }
 

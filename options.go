@@ -1,0 +1,171 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String returns the flag/API spelling of the storage device ("ssd" or
+// "hdd"), the inverse of ParseStorage.
+func (s Storage) String() string {
+	if s == HDD {
+		return "hdd"
+	}
+	return "ssd"
+}
+
+// String returns the flag/API spelling of the network ("40g" or "1g"),
+// the inverse of ParseNetwork.
+func (n Network) String() string {
+	if n == Net1GigE {
+		return "1g"
+	}
+	return "40g"
+}
+
+// ParseAlgorithm resolves a case-insensitive algorithm name to its
+// canonical Table 1 spelling ("pagerank" and "pr" both mean "PR").
+func ParseAlgorithm(name string) (string, error) {
+	aliases := map[string]string{
+		"pagerank": "PR", "conductance": "Cond",
+	}
+	if canon, ok := aliases[strings.ToLower(name)]; ok {
+		return canon, nil
+	}
+	for _, a := range Algorithms() {
+		if strings.EqualFold(a, name) {
+			return a, nil
+		}
+	}
+	return "", errUnknownAlgorithm(name)
+}
+
+// ParseStorage resolves a storage-device name; the empty string means the
+// default SSD.
+func ParseStorage(name string) (Storage, error) {
+	switch strings.ToLower(name) {
+	case "", "ssd":
+		return SSD, nil
+	case "hdd":
+		return HDD, nil
+	}
+	return SSD, fmt.Errorf("chaos: unknown storage %q (want ssd or hdd)", name)
+}
+
+// ParseNetwork resolves a network name; the empty string means the
+// default 40 GigE.
+func ParseNetwork(name string) (Network, error) {
+	switch strings.ToLower(name) {
+	case "", "40g", "40gige":
+		return Net40GigE, nil
+	case "1g", "1gige":
+		return Net1GigE, nil
+	}
+	return Net40GigE, fmt.Errorf("chaos: unknown network %q (want 40g or 1g)", name)
+}
+
+// ParseOptions validates the string-typed knobs shared by the CLIs and
+// the job service — algorithm, storage and network names — and returns
+// the canonical algorithm name plus base with the parsed hardware
+// applied. An empty algorithm skips algorithm resolution (for callers
+// that only need the hardware), and empty storage/network strings leave
+// the paper defaults. Routing every front end through this one helper
+// keeps their validation and error messages identical.
+func ParseOptions(alg, storage, network string, base Options) (string, Options, error) {
+	canon := ""
+	if alg != "" {
+		var err error
+		canon, err = ParseAlgorithm(alg)
+		if err != nil {
+			return "", base, err
+		}
+	}
+	st, err := ParseStorage(storage)
+	if err != nil {
+		return "", base, err
+	}
+	net, err := ParseNetwork(network)
+	if err != nil {
+		return "", base, err
+	}
+	base.Storage = st
+	base.Network = net
+	return canon, base, nil
+}
+
+// Canonical returns o with every implied default made explicit, such that
+// two Options produce identical runs over the same input if and only if
+// their canonical forms are equal, and running the canonical form behaves
+// exactly like running o. The job service keys its result cache on the
+// canonical form so that, e.g., {Seed: 0} and {Seed: 1} share one entry.
+//
+// The explicit values must stay in lockstep with the engine defaults
+// (cluster.SSD, core.DefaultConfig, Config.normalize): if a default
+// changes there without changing here, equal fingerprints would no
+// longer imply equal runs. TestCanonicalRunEquivalence sweeps option
+// shapes to catch such drift.
+func (o Options) Canonical() Options {
+	c := o
+	if c.Machines <= 0 {
+		c.Machines = 1
+	}
+	if c.Storage != HDD {
+		c.Storage = SSD
+	}
+	if c.Network != Net1GigE {
+		c.Network = Net40GigE
+	}
+	if c.Cores <= 0 {
+		c.Cores = 16
+	}
+	if c.ChunkBytes <= 0 {
+		c.ChunkBytes = 4 << 20
+	}
+	if c.VertexChunkBytes <= 0 {
+		c.VertexChunkBytes = c.ChunkBytes
+	}
+	if c.MemBudgetBytes < 0 {
+		c.MemBudgetBytes = 0
+	}
+	if c.BatchK <= 0 {
+		c.BatchK = 5
+	}
+	if c.WindowOverride < 0 {
+		c.WindowOverride = 0
+	}
+	// Fold the three stealing knobs into one canonical triple: the
+	// engine resolves DisableStealing, then AlwaysSteal, then Alpha, with
+	// alpha = 1 the paper default when none is set.
+	switch {
+	case c.DisableStealing:
+		c.Alpha, c.AlwaysSteal = 0, false
+	case c.AlwaysSteal:
+		c.Alpha = 0
+	case c.Alpha <= 0:
+		c.Alpha = 1
+	}
+	if c.CheckpointEvery < 0 {
+		c.CheckpointEvery = 0
+	}
+	if c.FailAtIteration < 0 {
+		c.FailAtIteration = 0
+	}
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 1000
+	}
+	if c.LatencyScale <= 0 {
+		c.LatencyScale = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Fingerprint returns a deterministic string identifying the effective
+// configuration. Two Options share a fingerprint exactly when their
+// canonical forms are equal; the job service hashes it (together with the
+// graph and algorithm) to content-address cached results.
+func (o Options) Fingerprint() string {
+	return fmt.Sprintf("%#v", o.Canonical())
+}

@@ -1,6 +1,10 @@
 package chaos
 
 import (
+	"fmt"
+	"math"
+	"strings"
+
 	"chaos/internal/algorithms"
 	"chaos/internal/core"
 	"chaos/internal/gas"
@@ -16,11 +20,68 @@ func runProgram[V, U, A any](opt Options, prog gas.Program[V, U, A], edges []Edg
 	return values, reportFrom(run, opt.config().Spec.Machines), nil
 }
 
+// View names the edge-list transformation an algorithm consumes. The
+// evaluation (§8) runs the undirected algorithms over edges plus their
+// reverses and SCC over the forward/backward augmented list; callers that
+// run many jobs over one graph (the job service) apply the view once,
+// cache it, and dispatch through RunPrepared.
+type View int
+
+const (
+	// ViewDirected is the raw edge list (PR, Cond, SpMV, BP).
+	ViewDirected View = iota
+	// ViewUndirected adds each edge's reverse (BFS, WCC, MCST, MIS, SSSP).
+	ViewUndirected
+	// ViewAugmented is the SCC forward/backward augmentation.
+	ViewAugmented
+)
+
+func (v View) String() string {
+	switch v {
+	case ViewUndirected:
+		return "undirected"
+	case ViewAugmented:
+		return "augmented"
+	default:
+		return "directed"
+	}
+}
+
+// Apply materializes the view of edges. ViewDirected returns edges
+// unchanged (no copy).
+func (v View) Apply(edges []Edge) []Edge {
+	switch v {
+	case ViewUndirected:
+		return Undirected(edges)
+	case ViewAugmented:
+		return algorithms.AugmentEdges(edges)
+	default:
+		return edges
+	}
+}
+
+// ViewFor returns the view RunByName applies for the named algorithm.
+func ViewFor(name string) (View, error) {
+	switch name {
+	case "BFS", "WCC", "MCST", "MIS", "SSSP":
+		return ViewUndirected, nil
+	case "SCC":
+		return ViewAugmented, nil
+	case "PR", "Cond", "SpMV", "BP":
+		return ViewDirected, nil
+	}
+	return ViewDirected, errUnknownAlgorithm(name)
+}
+
 // RunBFS computes breadth-first levels from root over the undirected view
 // of edges. Levels of unreachable vertices are ^uint32(0). n may be zero
 // to infer the vertex count.
 func RunBFS(edges []Edge, n uint64, root VertexID, opt Options) ([]uint32, *Report, error) {
-	values, rep, err := runProgram(opt, &algorithms.BFS{Root: root}, Undirected(edges), n)
+	return runBFS(ViewUndirected.Apply(edges), n, root, opt)
+}
+
+func runBFS(undirected []Edge, n uint64, root VertexID, opt Options) ([]uint32, *Report, error) {
+	values, rep, err := runProgram(opt, &algorithms.BFS{Root: root}, undirected, n)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -34,7 +95,11 @@ func RunBFS(edges []Edge, n uint64, root VertexID, opt Options) ([]uint32, *Repo
 // RunWCC returns the minimum vertex ID of each vertex's weakly connected
 // component.
 func RunWCC(edges []Edge, n uint64, opt Options) ([]uint32, *Report, error) {
-	values, rep, err := runProgram(opt, &algorithms.WCC{}, Undirected(edges), n)
+	return runWCC(ViewUndirected.Apply(edges), n, opt)
+}
+
+func runWCC(undirected []Edge, n uint64, opt Options) ([]uint32, *Report, error) {
+	values, rep, err := runProgram(opt, &algorithms.WCC{}, undirected, n)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -48,7 +113,11 @@ func RunWCC(edges []Edge, n uint64, opt Options) ([]uint32, *Report, error) {
 // RunSSSP returns shortest-path distances from root over the undirected
 // weighted view of edges (Inf for unreachable vertices).
 func RunSSSP(edges []Edge, n uint64, root VertexID, opt Options) ([]float32, *Report, error) {
-	values, rep, err := runProgram(opt, &algorithms.SSSP{Root: root}, Undirected(edges), n)
+	return runSSSP(ViewUndirected.Apply(edges), n, root, opt)
+}
+
+func runSSSP(undirected []Edge, n uint64, root VertexID, opt Options) ([]float32, *Report, error) {
+	values, rep, err := runProgram(opt, &algorithms.SSSP{Root: root}, undirected, n)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -76,8 +145,12 @@ func RunPageRank(edges []Edge, n uint64, iters int, opt Options) ([]float32, *Re
 // RunMIS computes a maximal independent set over the undirected view of
 // edges and returns the membership vector.
 func RunMIS(edges []Edge, n uint64, opt Options) ([]bool, *Report, error) {
+	return runMIS(ViewUndirected.Apply(edges), n, opt)
+}
+
+func runMIS(undirected []Edge, n uint64, opt Options) ([]bool, *Report, error) {
 	prog := &algorithms.MIS{}
-	values, rep, err := runProgram(opt, prog, Undirected(edges), n)
+	values, rep, err := runProgram(opt, prog, undirected, n)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -101,8 +174,12 @@ type MCSTResult struct {
 // RunMCST computes the minimum-cost spanning forest of the undirected
 // weighted view of edges (Borůvka's algorithm).
 func RunMCST(edges []Edge, n uint64, opt Options) (*MCSTResult, *Report, error) {
+	return runMCST(ViewUndirected.Apply(edges), n, opt)
+}
+
+func runMCST(undirected []Edge, n uint64, opt Options) (*MCSTResult, *Report, error) {
 	prog := &algorithms.MCST{}
-	values, rep, err := runProgram(opt, prog, Undirected(edges), n)
+	values, rep, err := runProgram(opt, prog, undirected, n)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -116,7 +193,11 @@ func RunMCST(edges []Edge, n uint64, opt Options) (*MCSTResult, *Report, error) 
 // RunSCC returns each vertex's strongly connected component label over the
 // directed edge list.
 func RunSCC(edges []Edge, n uint64, opt Options) ([]uint32, *Report, error) {
-	values, rep, err := runProgram(opt, &algorithms.SCC{}, algorithms.AugmentEdges(edges), n)
+	return runSCC(ViewAugmented.Apply(edges), n, opt)
+}
+
+func runSCC(augmented []Edge, n uint64, opt Options) ([]uint32, *Report, error) {
+	values, rep, err := runProgram(opt, &algorithms.SCC{}, augmented, n)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -171,35 +252,185 @@ func Algorithms() []string {
 	return []string{"BFS", "WCC", "MCST", "MIS", "SSSP", "PR", "SCC", "Cond", "SpMV", "BP"}
 }
 
-// RunByName dispatches to the named algorithm with its evaluation-default
-// parameters, returning only the report (used by the benchmark harness).
-func RunByName(name string, edges []Edge, n uint64, opt Options) (*Report, error) {
+// Result captures an algorithm's output in a compact, JSON-friendly form.
+// The job service returns it instead of the raw per-vertex vector, which
+// for large graphs would dwarf the transport; the summaries are also what
+// the evaluation checks against reference implementations.
+type Result struct {
+	// Algorithm is the canonical algorithm name.
+	Algorithm string `json:"algorithm"`
+	// Vertices is the length of the value vector the run produced.
+	Vertices int `json:"vertices"`
+	// Summary holds the per-algorithm scalar summaries (e.g. BFS
+	// "reachable" and "depth", WCC "components", PR "rank_sum").
+	Summary map[string]float64 `json:"summary"`
+}
+
+// RunPrepared runs the named algorithm with its evaluation-default
+// parameters, assuming edges is already in the view ViewFor(name) returns.
+// Callers that cache converted edge lists — the job service keeps one
+// undirected and one augmented copy per graph — use it to skip the
+// per-run conversion RunByName performs.
+func RunPrepared(name string, edges []Edge, n uint64, opt Options) (*Result, *Report, error) {
+	res := &Result{Algorithm: name}
 	var rep *Report
 	var err error
 	switch name {
 	case "BFS":
-		_, rep, err = RunBFS(edges, n, 0, opt)
+		var levels []uint32
+		levels, rep, err = runBFS(edges, n, 0, opt)
+		if err == nil {
+			reachable, depth := 0, uint32(0)
+			for _, l := range levels {
+				if l != ^uint32(0) {
+					reachable++
+					if l > depth {
+						depth = l
+					}
+				}
+			}
+			res.Vertices = len(levels)
+			res.Summary = map[string]float64{"reachable": float64(reachable), "depth": float64(depth)}
+		}
 	case "WCC":
-		_, rep, err = RunWCC(edges, n, opt)
+		var labels []uint32
+		labels, rep, err = runWCC(edges, n, opt)
+		if err == nil {
+			res.Vertices = len(labels)
+			res.Summary = componentSummary(labels)
+		}
 	case "MCST":
-		_, rep, err = RunMCST(edges, n, opt)
+		var forest *MCSTResult
+		forest, rep, err = runMCST(edges, n, opt)
+		if err == nil {
+			res.Vertices = len(forest.Component)
+			res.Summary = map[string]float64{
+				"total_weight": forest.TotalWeight,
+				"forest_edges": float64(forest.Edges),
+			}
+		}
 	case "MIS":
-		_, rep, err = RunMIS(edges, n, opt)
+		var in []bool
+		in, rep, err = runMIS(edges, n, opt)
+		if err == nil {
+			size := 0
+			for _, b := range in {
+				if b {
+					size++
+				}
+			}
+			res.Vertices = len(in)
+			res.Summary = map[string]float64{"set_size": float64(size)}
+		}
 	case "SSSP":
-		_, rep, err = RunSSSP(edges, n, 0, opt)
+		var dists []float32
+		dists, rep, err = runSSSP(edges, n, 0, opt)
+		if err == nil {
+			reached, maxDist := 0, 0.0
+			for _, d := range dists {
+				if !math.IsInf(float64(d), 1) {
+					reached++
+					if float64(d) > maxDist {
+						maxDist = float64(d)
+					}
+				}
+			}
+			res.Vertices = len(dists)
+			res.Summary = map[string]float64{"reached": float64(reached), "max_dist": maxDist}
+		}
 	case "PR":
-		_, rep, err = RunPageRank(edges, n, 5, opt)
+		var ranks []float32
+		ranks, rep, err = RunPageRank(edges, n, 5, opt)
+		if err == nil {
+			sum, maxRank := 0.0, 0.0
+			for _, r := range ranks {
+				sum += float64(r)
+				if float64(r) > maxRank {
+					maxRank = float64(r)
+				}
+			}
+			res.Vertices = len(ranks)
+			res.Summary = map[string]float64{"rank_sum": sum, "max_rank": maxRank}
+		}
 	case "SCC":
-		_, rep, err = RunSCC(edges, n, opt)
+		var ids []uint32
+		ids, rep, err = runSCC(edges, n, opt)
+		if err == nil {
+			res.Vertices = len(ids)
+			res.Summary = componentSummary(ids)
+		}
 	case "Cond":
-		_, rep, err = RunConductance(edges, n, opt)
+		var cond float64
+		cond, rep, err = RunConductance(edges, n, opt)
+		if err == nil {
+			nv := n
+			if nv == 0 {
+				nv = NumVertices(edges)
+			}
+			res.Vertices = int(nv)
+			res.Summary = map[string]float64{"conductance": cond}
+		}
 	case "SpMV":
-		_, rep, err = RunSpMV(edges, n, opt)
+		var y []float32
+		y, rep, err = RunSpMV(edges, n, opt)
+		if err == nil {
+			var norm1 float64
+			for _, v := range y {
+				norm1 += math.Abs(float64(v))
+			}
+			res.Vertices = len(y)
+			res.Summary = map[string]float64{"norm1": norm1}
+		}
 	case "BP":
-		_, rep, err = RunBP(edges, n, 5, opt)
+		var beliefs []float32
+		beliefs, rep, err = RunBP(edges, n, 5, opt)
+		if err == nil {
+			var sum float64
+			for _, b := range beliefs {
+				sum += float64(b)
+			}
+			res.Vertices = len(beliefs)
+			res.Summary = map[string]float64{"belief_sum": sum}
+		}
 	default:
-		return nil, errUnknownAlgorithm(name)
+		return nil, nil, errUnknownAlgorithm(name)
 	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, rep, nil
+}
+
+// componentSummary summarizes a component-labeling vector.
+func componentSummary(labels []uint32) map[string]float64 {
+	sizes := make(map[uint32]int)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	largest := 0
+	for _, s := range sizes {
+		if s > largest {
+			largest = s
+		}
+	}
+	return map[string]float64{"components": float64(len(sizes)), "largest": float64(largest)}
+}
+
+// RunByNameResult dispatches to the named algorithm with its
+// evaluation-default parameters, applying the algorithm's edge view
+// first, and returns the captured Result alongside the Report.
+func RunByNameResult(name string, edges []Edge, n uint64, opt Options) (*Result, *Report, error) {
+	view, err := ViewFor(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return RunPrepared(name, view.Apply(edges), n, opt)
+}
+
+// RunByName dispatches to the named algorithm with its evaluation-default
+// parameters, returning only the report (used by the benchmark harness).
+func RunByName(name string, edges []Edge, n uint64, opt Options) (*Report, error) {
+	_, rep, err := RunByNameResult(name, edges, n, opt)
 	return rep, err
 }
 
@@ -214,4 +445,6 @@ func NeedsWeights(name string) bool {
 
 type errUnknownAlgorithm string
 
-func (e errUnknownAlgorithm) Error() string { return "chaos: unknown algorithm " + string(e) }
+func (e errUnknownAlgorithm) Error() string {
+	return fmt.Sprintf("chaos: unknown algorithm %q (want one of %s)", string(e), strings.Join(Algorithms(), " "))
+}
