@@ -119,6 +119,11 @@ type Options struct {
 	// should scale latencies by the same factor to preserve the paper's
 	// latency-to-service-time ratios (see DESIGN.md). Zero means 1.
 	LatencyScale float64
+	// ComputeWorkers bounds the host worker pool that runs per-chunk
+	// compute off the simulation thread (0 = GOMAXPROCS). Results,
+	// reports and simulated times are bit-identical for every value —
+	// the knob only trades host wall-clock time.
+	ComputeWorkers int
 	// Seed drives all randomized decisions; equal seeds reproduce runs
 	// exactly.
 	Seed int64
@@ -180,6 +185,9 @@ func (o Options) config() core.Config {
 	cfg.ReplicateVertices = o.ReplicateVertices
 	if o.MaxIterations > 0 {
 		cfg.MaxIterations = o.MaxIterations
+	}
+	if o.ComputeWorkers > 0 {
+		cfg.ComputeWorkers = o.ComputeWorkers
 	}
 	if o.Seed != 0 {
 		cfg.Seed = o.Seed

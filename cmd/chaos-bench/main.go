@@ -52,10 +52,12 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("chaos-bench: ")
 	var (
-		which   = flag.String("experiment", "all", "experiment id (all, table1, fig5..fig20, capacity)")
-		quick   = flag.Bool("quick", false, "use the reduced smoke scale")
-		storage = flag.String("storage", "ssd", "default storage device: ssd or hdd")
-		network = flag.String("network", "40g", "default network: 40g or 1g")
+		which     = flag.String("experiment", "all", "experiment id (all, table1, fig5..fig20, capacity)")
+		quick     = flag.Bool("quick", false, "use the reduced smoke scale")
+		storage   = flag.String("storage", "ssd", "default storage device: ssd or hdd")
+		network   = flag.String("network", "40g", "default network: 40g or 1g")
+		benchJSON = flag.String("bench-json", ".", "directory for BENCH_<experiment>.json records (empty disables)")
+		workers   = flag.Int("workers", 0, "engine compute workers (0 = GOMAXPROCS); results are identical for every value")
 	)
 	flag.Parse()
 
@@ -71,6 +73,7 @@ func main() {
 		scale = experiments.Quick
 	}
 	scale.Storage, scale.Network = hw.Storage, hw.Network
+	scale.BenchDir, scale.ComputeWorkers = *benchJSON, *workers
 	ran := 0
 	for _, e := range all {
 		if *which != "all" && e.name != *which {

@@ -3,6 +3,7 @@ package algorithms
 import (
 	"encoding/binary"
 	"math"
+	"slices"
 
 	"chaos/internal/gas"
 	"chaos/internal/graph"
@@ -82,7 +83,10 @@ func (m *MCST) Init(id graph.VertexID, v *MCSTVertex, _ uint32) {
 	v.Comp = uint64(id)
 }
 
-// find is the union-find lookup with path compression.
+// find is the union-find lookup with path compression. It may only be
+// called from Apply and Converged, which the engine serializes; Scatter
+// and RewriteEdge run concurrently on the engine's compute workers and
+// must use the read-only findRO.
 func (m *MCST) find(x uint64) uint64 {
 	for m.parent[x] != x {
 		m.parent[x] = m.parent[m.parent[x]]
@@ -91,10 +95,20 @@ func (m *MCST) find(x uint64) uint64 {
 	return x
 }
 
+// findRO is the lookup without path compression: safe for concurrent
+// calls during a phase, because the engine guarantees no union or
+// compression runs while scatter kernels are in flight.
+func (m *MCST) findRO(x uint64) uint64 {
+	for m.parent[x] != x {
+		x = m.parent[x]
+	}
+	return x
+}
+
 // Scatter implements gas.Program: every edge announces its source's
 // current component.
 func (m *MCST) Scatter(_ int, e graph.Edge, _ *MCSTVertex) (graph.VertexID, MCSTUpdate, bool) {
-	return e.Dst, MCSTUpdate{Comp: m.find(uint64(e.Src)), W: e.Weight}, true
+	return e.Dst, MCSTUpdate{Comp: m.findRO(uint64(e.Src)), W: e.Weight}, true
 }
 
 // InitAccum implements gas.Program.
@@ -172,12 +186,21 @@ func (m *MCST) Apply(_ int, id graph.VertexID, v *MCSTVertex, a MCSTAccum) bool 
 
 // Converged implements gas.Program: merge this round's component minima
 // (classic Borůvka; processing each component's cheapest crossing edge once
-// per round, skipping pairs a previous merge already united).
+// per round, skipping pairs a previous merge already united). Components
+// merge in sorted order: map iteration order would make the union
+// sequence — and with it the final component representatives — differ
+// between identical runs.
 func (m *MCST) Converged(_ int, changed uint64) bool {
 	if changed == 0 {
 		return true
 	}
-	for comp, u := range m.cand {
+	comps := make([]uint64, 0, len(m.cand))
+	for comp := range m.cand {
+		comps = append(comps, comp)
+	}
+	slices.Sort(comps)
+	for _, comp := range comps {
+		u := m.cand[comp]
 		a, b := m.find(comp), m.find(u.Comp)
 		if a == b {
 			continue
@@ -223,5 +246,5 @@ func (*MCST) AccumBytes() int { return 26 }
 // iteration's stream. Later rounds then stream a shrinking edge set, the
 // classic Borůvka compaction.
 func (m *MCST) RewriteEdge(_ int, e graph.Edge, _ *MCSTVertex) (graph.Edge, bool) {
-	return e, m.find(uint64(e.Src)) != m.find(uint64(e.Dst))
+	return e, m.findRO(uint64(e.Src)) != m.findRO(uint64(e.Dst))
 }

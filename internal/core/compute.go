@@ -1,8 +1,8 @@
 package core
 
 import (
-	"encoding/binary"
 	"fmt"
+	"slices"
 
 	"chaos/internal/graph"
 	"chaos/internal/metrics"
@@ -363,9 +363,12 @@ func (m *machine[V, U, A]) dirRequest(op dirOp, kind storage.SetKind, part int, 
 
 // streamChunks drives the batched chunk protocol of §6.5 for one partition's
 // edge or update set: keep a window of phi*k requests outstanding to
-// uniformly random storage engines, process chunks as they arrive, and
-// finish when every engine has reported empty.
-func (m *machine[V, U, A]) streamChunks(p *sim.Proc, kind storage.SetKind, part int, onChunk func([]byte)) {
+// uniformly random storage engines, process chunk replies as they arrive,
+// and finish when every engine has reported empty. The reply identifies
+// the chunk by (store, cursor index); its computation was dispatched to
+// the worker pool when the stream was acquired, and the caller's onChunk
+// merges the result at the deterministic delivery instant.
+func (m *machine[V, U, A]) streamChunks(p *sim.Proc, kind storage.SetKind, part int, onChunk func(chunkReply)) {
 	eng := m.eng
 	nm := eng.layout.NumMachines
 	outstanding := 0
@@ -406,7 +409,7 @@ func (m *machine[V, U, A]) streamChunks(p *sim.Proc, kind storage.SetKind, part 
 				// would be a protocol bug.
 				panic(fmt.Sprintf("core: machine %d: directory pointed at empty store %d", m.id, r.from))
 			}
-			onChunk(r.data)
+			onChunk(r)
 			for outstanding < eng.window && issue() {
 			}
 		}
@@ -445,7 +448,7 @@ func (m *machine[V, U, A]) streamChunks(p *sim.Proc, kind storage.SetKind, part 
 				nEmpty++
 			}
 		} else {
-			onChunk(r.data)
+			onChunk(r)
 		}
 		for outstanding < eng.window && issue() {
 		}
@@ -460,7 +463,7 @@ func (m *machine[V, U, A]) loadVertices(p *sim.Proc, part int) []V {
 	if size == 0 {
 		return nil
 	}
-	codec := eng.prog.VertexCodec()
+	codec := eng.vCodec
 	verts := make([]V, size)
 	per := eng.verticesPerChunk()
 	n := eng.vertexChunks(part)
@@ -479,11 +482,7 @@ func (m *machine[V, U, A]) loadVertices(p *sim.Proc, part int) []V {
 		if !ok || r.part != part {
 			panic(fmt.Sprintf("core: machine %d: got %T while loading vertices of partition %d", m.id, msg, part))
 		}
-		base := r.idx * per
-		nrec := len(r.data) / codec.Bytes
-		for i := 0; i < nrec; i++ {
-			codec.Get(r.data[i*codec.Bytes:], &verts[base+i])
-		}
+		codec.DecodeSliceInto(verts[r.idx*per:], r.data)
 		done++
 	}
 	return verts
@@ -494,7 +493,7 @@ func (m *machine[V, U, A]) loadVertices(p *sim.Proc, part int) []V {
 // capturing its bytes (phase 1 of §6.6).
 func (m *machine[V, U, A]) writeVertices(part int, verts []V, checkpoint bool) {
 	eng := m.eng
-	codec := eng.prog.VertexCodec()
+	codec := eng.vCodec
 	per := eng.verticesPerChunk()
 	n := eng.vertexChunks(part)
 	var ckptChunks [][]byte
@@ -507,10 +506,7 @@ func (m *machine[V, U, A]) writeVertices(part int, verts []V, checkpoint bool) {
 		if hi > len(verts) {
 			hi = len(verts)
 		}
-		data := make([]byte, (hi-lo)*codec.Bytes)
-		for i := lo; i < hi; i++ {
-			codec.Put(data[(i-lo)*codec.Bytes:], &verts[i])
-		}
+		data := codec.EncodeSlice(verts[lo:hi])
 		home := storage.VertexChunkHome(part, idx, eng.layout.NumMachines)
 		m.pendingWrites++
 		m.send(home, int64(len(data))+controlMsgBytes, eng.storeIn[home],
@@ -556,29 +552,12 @@ func (m *machine[V, U, A]) restore(p *sim.Proc) {
 // Update record encoding: destination ID (4 or 8 bytes, §8) plus payload.
 
 func (m *machine[V, U, A]) appendUpdate(buf []byte, dst graph.VertexID, val *U) []byte {
-	eng := m.eng
-	off := len(buf)
-	buf = append(buf, make([]byte, eng.updBytes)...)
-	if eng.idBytes == 4 {
-		binary.LittleEndian.PutUint32(buf[off:], uint32(dst))
-	} else {
-		binary.LittleEndian.PutUint64(buf[off:], uint64(dst))
-	}
-	eng.prog.UpdateCodec().Put(buf[off+eng.idBytes:], val)
-	return buf
+	return m.eng.appendUpdateRecord(buf, dst, val)
 }
 
 func (m *machine[V, U, A]) decodeUpdate(buf []byte) (graph.VertexID, U) {
-	eng := m.eng
-	var dst graph.VertexID
-	if eng.idBytes == 4 {
-		dst = graph.VertexID(binary.LittleEndian.Uint32(buf))
-	} else {
-		dst = graph.VertexID(binary.LittleEndian.Uint64(buf))
-	}
-	var u U
-	eng.prog.UpdateCodec().Get(buf[eng.idBytes:], &u)
-	return dst, u
+	r := m.eng.decodeUpdateRecord(buf)
+	return r.dst, r.val
 }
 
 // ---------------------------------------------------------------------------
@@ -602,78 +581,122 @@ func (m *machine[V, U, A]) scatterRun(p *sim.Proc, iter int) {
 	m.stats.Add(metrics.Barrier, p.Now()-t0)
 }
 
-// scatterPartition streams a partition's edges and emits updates. With a
-// combiner, updates to the same destination merge inside the buffers
-// (§11.1); with a rewriter, the surviving edges are written into the
-// next-generation edge set (§6.1 extended model).
+// scatterPartition streams a partition's edges and emits updates. The
+// per-chunk computation (decode, rewriter, Scatter, update encoding) was
+// dispatched to the worker pool when the stream was acquired; here each
+// delivered chunk's pure result is merged — in delivery order, before any
+// simulated time is charged for it — into the machine's spill buffers.
+// With a combiner, updates to the same destination merge inside the
+// buffers (§11.1); with a rewriter, the surviving edges are written into
+// the next-generation edge set (§6.1 extended model).
 func (m *machine[V, U, A]) scatterPartition(p *sim.Proc, iter, part int, verts []V) {
 	eng := m.eng
-	lo, _ := eng.layout.Range(part)
-	edgeSize := eng.edgeFmt.EdgeSize()
-	m.streamChunks(p, storage.EdgeSet, part, func(data []byte) {
-		n := len(data) / edgeSize
-		m.cpu(p, n)
-		combineOps := 0
-		for i := 0; i < n; i++ {
-			e := eng.edgeFmt.Decode(data[i*edgeSize:])
-			src := &verts[e.Src-lo]
-			if eng.rewriter != nil {
-				if ne, keep := eng.rewriter.RewriteEdge(iter, e, src); keep {
-					buf := m.edgeNextBuf[part]
-					off := len(buf)
-					buf = append(buf, make([]byte, edgeSize)...)
-					eng.edgeFmt.Encode(buf[off:], ne)
-					if len(buf) >= eng.cfg.ChunkBytes {
-						m.writeDataChunk(storage.EdgeSetNext, part, buf)
-						buf = nil
-					}
-					m.edgeNextBuf[part] = buf
-				}
-			}
-			dst, val, emit := eng.prog.Scatter(iter, e, src)
-			if !emit {
+	w := m.acquireScatterStream(iter, part, verts)
+	m.streamChunks(p, storage.EdgeSet, part, func(r chunkReply) {
+		sc := w.at(r.from, r.idx)
+		if sc == nil {
+			// Inline mode (and, defensively, any chunk predating the
+			// stream's task set): the reply carries the bytes, run the
+			// same kernel at the delivery instant.
+			sc = &scatterChunk[U]{}
+			eng.scatterChunkKernel(iter, part, verts, r.data, &sc.out)
+		} else {
+			sc.wait()
+		}
+		m.mergeScatter(p, part, &sc.out)
+	})
+	eng.releaseScatterStream(part)
+}
+
+// mergeScatter replays one chunk's pure scatter result against the
+// machine's buffers at the chunk's simulated delivery time: CPU charges,
+// buffer appends and chunk spills happen exactly as if the records had
+// been processed inline.
+func (m *machine[V, U, A]) mergeScatter(p *sim.Proc, part int, out *scatterOut[U]) {
+	eng := m.eng
+	m.cpu(p, out.n)
+	if eng.rewriter != nil && len(out.edgesNext) > 0 {
+		limit := spillLimit(eng.cfg.ChunkBytes, eng.edgeFmt.EdgeSize())
+		m.edgeNextBuf[part] = m.appendSpill(storage.EdgeSetNext, part, m.edgeNextBuf[part], out.edgesNext, limit)
+	}
+	if eng.combiner != nil {
+		per := eng.updatesPerChunk()
+		for tp, chunkMap := range out.combined {
+			if len(chunkMap) == 0 {
 				continue
 			}
-			tp := eng.layout.Of(dst)
-			if eng.combiner != nil {
-				mp := m.combBuf[tp]
-				if mp == nil {
-					mp = make(map[graph.VertexID]U, eng.updatesPerChunk())
-					m.combBuf[tp] = mp
-				}
+			mp := m.combBuf[tp]
+			if mp == nil {
+				mp = make(map[graph.VertexID]U, per)
+				m.combBuf[tp] = mp
+			}
+			for dst, val := range chunkMap {
 				if old, ok := mp[dst]; ok {
 					mp[dst] = eng.combiner.Combine(old, val)
 				} else {
 					mp[dst] = val
 				}
-				combineOps++
-				if len(mp) >= eng.updatesPerChunk() {
-					m.flushCombined(tp)
-				}
-				continue
 			}
-			m.updBuf[tp] = m.appendUpdate(m.updBuf[tp], dst, &val)
-			if len(m.updBuf[tp]) >= eng.updatesPerChunk()*eng.updBytes {
-				m.writeDataChunk(storage.UpdateSet, tp, m.updBuf[tp])
-				m.updBuf[tp] = nil
+			if len(mp) >= per {
+				m.flushCombined(tp)
 			}
 		}
-		// Combining costs an extra hash-merge per emitted update; the
-		// paper found this overhead outweighs the traffic reduction.
-		m.cpu(p, 2*combineOps)
-	})
+	}
+	limit := eng.updatesPerChunk() * eng.updBytes
+	for tp, b := range out.updates {
+		if len(b) == 0 {
+			continue
+		}
+		m.updBuf[tp] = m.appendSpill(storage.UpdateSet, tp, m.updBuf[tp], b, limit)
+	}
+	// Combining costs an extra hash-merge per emitted update; the
+	// paper found this overhead outweighs the traffic reduction.
+	m.cpu(p, 2*out.combineOps)
+	eng.releaseScatterOut(out)
+}
+
+// spillLimit is the spill threshold in bytes for record-aligned buffers:
+// the smallest whole number of records covering chunkBytes.
+func spillLimit(chunkBytes, recSize int) int {
+	n := (chunkBytes + recSize - 1) / recSize
+	if n < 1 {
+		n = 1
+	}
+	return n * recSize
+}
+
+// appendSpill appends b to buf, writing out full chunks of exactly limit
+// bytes as they fill. Spilled slices are handed to the storage protocol
+// and must not be reused, so the remainder is copied to fresh backing.
+func (m *machine[V, U, A]) appendSpill(kind storage.SetKind, part int, buf, b []byte, limit int) []byte {
+	buf = append(buf, b...)
+	for len(buf) >= limit {
+		m.writeDataChunk(kind, part, buf[:limit:limit])
+		rest := buf[limit:]
+		if len(rest) == 0 {
+			return nil
+		}
+		buf = append(make([]byte, 0, limit), rest...)
+	}
+	return buf
 }
 
 // flushCombined encodes and spills one destination partition's combined
-// update buffer.
+// update buffer. Keys are sorted so the encoded byte order — and with it
+// downstream gather order and any float folds — is deterministic.
 func (m *machine[V, U, A]) flushCombined(tp int) {
 	mp := m.combBuf[tp]
 	if len(mp) == 0 {
 		return
 	}
-	var buf []byte
-	for dst, val := range mp {
-		val := val
+	dsts := make([]graph.VertexID, 0, len(mp))
+	for dst := range mp {
+		dsts = append(dsts, dst)
+	}
+	slices.Sort(dsts)
+	buf := make([]byte, 0, len(mp)*m.eng.updBytes)
+	for _, dst := range dsts {
+		val := mp[dst]
 		buf = m.appendUpdate(buf, dst, &val)
 	}
 	clear(mp)
@@ -742,20 +765,53 @@ func (m *machine[V, U, A]) newAccums(n int) []A {
 	return accums
 }
 
-// gatherPartition streams a partition's updates into accumulators. verts is
-// the partition's vertex set, read-only during gather.
+// gatherPartition streams a partition's updates into accumulators. verts
+// is the partition's vertex set, read-only during gather. Each chunk's
+// decode was dispatched to the worker pool when the stream was acquired
+// (shared between master and stealers); the fold into this machine's
+// accumulators runs as a chained worker task — chained in the chunks'
+// deterministic delivery order, so the accumulator fold sequence is
+// identical for any worker count — and the whole chain is awaited before
+// the accumulators are read.
 func (m *machine[V, U, A]) gatherPartition(p *sim.Proc, part int, verts []V, accums []A) {
 	eng := m.eng
 	lo, _ := eng.layout.Range(part)
-	m.streamChunks(p, storage.UpdateSet, part, func(data []byte) {
-		n := len(data) / eng.updBytes
-		m.cpu(p, n)
-		for i := 0; i < n; i++ {
-			dst, u := m.decodeUpdate(data[i*eng.updBytes:])
-			accums[dst-lo] = eng.prog.Gather(accums[dst-lo], u, &verts[dst-lo])
+	w := eng.acquireGatherStream(part)
+	var tail *chunkTask
+	m.streamChunks(p, storage.UpdateSet, part, func(r chunkReply) {
+		m.cpu(p, r.length/eng.updBytes)
+		gc := w.at(r.from, r.idx)
+		if gc == nil {
+			// Inline mode or defensive fallback: decode at delivery
+			// (see scatterPartition).
+			gc = &gatherChunk[U]{}
+			gc.done = closedChan
+			gc.recs = eng.decodeUpdateChunk(eng.grabRecs(), r.data)
 		}
+		ft := &chunkTask{prev: tail, fn: func() {
+			gc.wait() // decode complete
+			for i := range gc.recs {
+				u := &gc.recs[i]
+				accums[u.dst-lo] = eng.prog.Gather(accums[u.dst-lo], u.val, &verts[u.dst-lo])
+			}
+			eng.releaseRecs(gc.recs)
+			gc.recs = nil
+		}}
+		eng.pool.submit(ft)
+		tail = ft
 	})
+	if tail != nil {
+		tail.wait()
+	}
+	eng.releaseGatherStream(part)
 }
+
+// closedChan is a pre-closed done channel for inline-computed fallbacks.
+var closedChan = func() chan struct{} {
+	c := make(chan struct{})
+	close(c)
+	return c
+}()
 
 // applyPartition is the master-side wrap-up for one of its partitions:
 // close the partition to new stealers, fetch and merge their accumulators,

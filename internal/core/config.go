@@ -71,6 +71,12 @@ type Config struct {
 	// DirectoryServiceTime is the per-request service time of the
 	// central directory (defaults to 50µs).
 	DirectoryServiceTime sim.Time
+	// ComputeWorkers bounds the worker pool that executes per-chunk
+	// compute (decode, GAS kernel, update encoding) off the simulation
+	// thread. Zero means GOMAXPROCS. Results, metrics and simulated
+	// times are bit-identical for every worker count (see parallel.go);
+	// the knob only trades wall-clock time.
+	ComputeWorkers int
 	// Seed selects the random stream for placement, stealing order and
 	// request routing.
 	Seed int64

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"chaos/internal/cluster"
 	"chaos/internal/gas"
@@ -36,6 +38,11 @@ type engine[V, U, A any] struct {
 	vBytes   int // encoded vertex record size
 	window   int
 
+	// Cached codecs: Program codec accessors construct fresh closures on
+	// every call, which the per-chunk hot paths cannot afford.
+	updCodec gas.Codec[U]
+	vCodec   gas.Codec[V]
+
 	stores   []*storage.Store
 	storeIn  []*sim.Mailbox
 	arbIn    []*sim.Mailbox
@@ -62,6 +69,34 @@ type engine[V, U, A any] struct {
 	// Optional model extensions (§6.1 footnote, §11.1).
 	combiner gas.Combiner[U]
 	rewriter gas.EdgeRewriter[V]
+
+	// Compute offload (see parallel.go): the worker pool, the per-stream
+	// pre-dispatched chunk tasks, and the pooled per-chunk scratch
+	// buffers (shared between workers and the simulation thread, hence
+	// sync.Pool). The maps are touched only from simulation context.
+	pool           *workerPool
+	scatterStreams map[int]*streamTasks[scatterChunk[U]]
+	gatherStreams  map[int]*streamTasks[gatherChunk[U]]
+	recPool        sync.Pool
+	bufPool        sync.Pool
+	partsPool      sync.Pool
+}
+
+// encodeDst writes an update's destination ID field (4 or 8 bytes, §8).
+func (eng *engine[V, U, A]) encodeDst(buf []byte, dst graph.VertexID) {
+	if eng.idBytes == 4 {
+		binary.LittleEndian.PutUint32(buf, uint32(dst))
+	} else {
+		binary.LittleEndian.PutUint64(buf, uint64(dst))
+	}
+}
+
+// decodeDst reads an update's destination ID field.
+func (eng *engine[V, U, A]) decodeDst(buf []byte) graph.VertexID {
+	if eng.idBytes == 4 {
+		return graph.VertexID(binary.LittleEndian.Uint32(buf))
+	}
+	return graph.VertexID(binary.LittleEndian.Uint64(buf))
 }
 
 // Run executes prog over the given unsorted edge list on the configured
@@ -108,15 +143,17 @@ func newEngine[V, U, A any](cfg Config, prog gas.Program[V, U, A], edges []graph
 	env := sim.NewEnv(cfg.Seed)
 	clu := cluster.New(env, cfg.Spec)
 	eng := &engine[V, U, A]{
-		cfg:         cfg,
-		prog:        prog,
-		layout:      layout,
-		env:         env,
-		clu:         clu,
-		run:         metrics.NewRun(prog.Name(), cfg.Spec.Machines),
-		ckptPending: make(map[int][][]byte),
-		ckptVerts:   make(map[int][][]byte),
-		ckptIter:    -1,
+		cfg:            cfg,
+		prog:           prog,
+		layout:         layout,
+		env:            env,
+		clu:            clu,
+		run:            metrics.NewRun(prog.Name(), cfg.Spec.Machines),
+		ckptPending:    make(map[int][][]byte),
+		ckptVerts:      make(map[int][][]byte),
+		ckptIter:       -1,
+		scatterStreams: make(map[int]*streamTasks[scatterChunk[U]]),
+		gatherStreams:  make(map[int]*streamTasks[gatherChunk[U]]),
 	}
 	eng.decision.rollbackTo = -1
 	eng.edgeFmt = graph.FormatFor(numVertices, prog.Weighted())
@@ -125,7 +162,9 @@ func newEngine[V, U, A any](cfg Config, prog gas.Program[V, U, A], edges []graph
 	} else {
 		eng.idBytes = 8
 	}
-	eng.updBytes = eng.idBytes + prog.UpdateCodec().Bytes
+	eng.updCodec = prog.UpdateCodec()
+	eng.vCodec = vcodec
+	eng.updBytes = eng.idBytes + eng.updCodec.Bytes
 	eng.vBytes = vcodec.Bytes
 	eng.window = cfg.window(clu)
 
@@ -181,8 +220,12 @@ func newEngine[V, U, A any](cfg Config, prog gas.Program[V, U, A], edges []graph
 	return eng, nil
 }
 
-// execute drives the simulation to completion.
+// execute drives the simulation to completion. The compute pool exists
+// only for the duration of the run; close drains every dispatched task,
+// so a failed run never leaks worker goroutines.
 func (eng *engine[V, U, A]) execute() error {
+	eng.pool = newWorkerPool(eng.cfg.ComputeWorkers)
+	defer eng.pool.close()
 	eng.env.Run()
 	if stuck := eng.env.Stuck(); len(stuck) > 0 {
 		eng.env.Close()
@@ -239,11 +282,7 @@ func (eng *engine[V, U, A]) collectValues() ([]V, error) {
 			if err != nil {
 				return nil, fmt.Errorf("core: collecting results: %w", err)
 			}
-			n := len(data) / vcodec.Bytes
-			for i := 0; i < n; i++ {
-				vcodec.Get(data[i*vcodec.Bytes:], &values[at])
-				at++
-			}
+			at += uint64(vcodec.DecodeSliceInto(values[at:], data))
 		}
 		if at != uint64(hi) {
 			return nil, fmt.Errorf("core: partition %d vertex chunks held %d records, want %d", part, at-uint64(lo), size)

@@ -35,12 +35,22 @@ type Scale struct {
 	// a device still apply their own override on top.
 	Storage chaos.Storage
 	Network chaos.Network
+	// Name labels the scale in machine-readable benchmark records.
+	Name string
+	// BenchDir, when set, makes experiments that support it write
+	// BENCH_<experiment>.json records there (chaos-bench -bench-json).
+	BenchDir string
+	// ComputeWorkers bounds the engine's host worker pool (0 =
+	// GOMAXPROCS); chaos-bench -workers. Simulated results are identical
+	// for every value, only wall-clock changes.
+	ComputeWorkers int
 }
 
 // Lab is the default laboratory scale, calibrated so that chunk counts per
 // partition stay large enough for the randomized protocol to behave as it
 // does at paper scale, while the whole suite still runs in minutes.
 var Lab = Scale{
+	Name:                 "lab",
 	WeakBase:             10,
 	StrongScale:          12,
 	WebPages:             1 << 14,
@@ -51,6 +61,7 @@ var Lab = Scale{
 
 // Quick is a reduced scale for smoke tests.
 var Quick = Scale{
+	Name:                 "quick",
 	WeakBase:             8,
 	StrongScale:          9,
 	WebPages:             1 << 11,
@@ -71,6 +82,7 @@ func (s Scale) options(m int, n uint64) chaos.Options {
 		ChunkBytes:     s.ChunkBytes,
 		MemBudgetBytes: budget,
 		LatencyScale:   float64(s.ChunkBytes) / float64(4<<20),
+		ComputeWorkers: s.ComputeWorkers,
 		Seed:           1,
 	}
 }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"chaos"
 )
@@ -11,9 +12,18 @@ import (
 // sweep under an option transform, returning normalized runtimes against
 // the baseline series.
 func bfsAndPR(s Scale, mutate func(*chaos.Options)) (map[string][]float64, error) {
+	out, _, err := bfsAndPRTimed(s, mutate)
+	return out, err
+}
+
+// bfsAndPRTimed is bfsAndPR plus the host wall-clock each algorithm's
+// sweep cost, for the machine-readable benchmark records.
+func bfsAndPRTimed(s Scale, mutate func(*chaos.Options)) (map[string][]float64, map[string]float64, error) {
 	out := make(map[string][]float64)
+	wall := make(map[string]float64)
 	for _, alg := range []string{"BFS", "PR"} {
 		edges, n := graphFor(alg, s.StrongScale)
+		start := time.Now()
 		for _, m := range s.Machines {
 			opt := s.options(m, n)
 			if mutate != nil {
@@ -21,12 +31,13 @@ func bfsAndPR(s Scale, mutate func(*chaos.Options)) (map[string][]float64, error
 			}
 			rep, err := chaos.RunByName(alg, edges, n, opt)
 			if err != nil {
-				return nil, fmt.Errorf("%s m=%d: %w", alg, m, err)
+				return nil, nil, fmt.Errorf("%s m=%d: %w", alg, m, err)
 			}
 			out[alg] = append(out[alg], rep.SimulatedSeconds)
 		}
+		wall[alg] = time.Since(start).Seconds()
 	}
-	return out, nil
+	return out, wall, nil
 }
 
 // Figure10 reproduces Figure 10: sensitivity to the number of CPU cores.
@@ -55,17 +66,22 @@ func Figure10(w io.Writer, s Scale) error {
 	return nil
 }
 
-// Figure11 reproduces Figure 11: SSD vs HDD.
+// Figure11 reproduces Figure 11: SSD vs HDD. It also writes
+// BENCH_fig11.json (wall-clock and simulated seconds per arm) when the
+// scale carries a benchmark directory, so the reproduction's own
+// performance trajectory is tracked run over run.
 func Figure11(w io.Writer, s Scale) error {
 	header(w, "Figure 11", "runtime with SSD vs HDD, normalized to 1-machine SSD",
 		"identical scaling; runtime inversely proportional to storage bandwidth (HDD ~2x slower)")
+	rec := s.newBenchRecord("fig11")
+	start := time.Now()
 	// Both arms are pinned so a chaos-bench -storage override cannot turn
 	// the labeled SSD baseline into a second HDD run.
-	ssd, err := bfsAndPR(s, func(o *chaos.Options) { o.Storage = chaos.SSD })
+	ssd, ssdWall, err := bfsAndPRTimed(s, func(o *chaos.Options) { o.Storage = chaos.SSD })
 	if err != nil {
 		return err
 	}
-	hdd, err := bfsAndPR(s, func(o *chaos.Options) { o.Storage = chaos.HDD })
+	hdd, hddWall, err := bfsAndPRTimed(s, func(o *chaos.Options) { o.Storage = chaos.HDD })
 	if err != nil {
 		return err
 	}
@@ -81,21 +97,28 @@ func Figure11(w io.Writer, s Scale) error {
 		}
 		series(w, alg+" HDD", s.Machines, vals, "%8.3f")
 		fmt.Fprintf(w, "  %s HDD/SSD single-machine ratio: %.2fx\n", alg, hdd[alg][0]/ssd[alg][0])
+		rec.Arms = append(rec.Arms,
+			BenchArm{Name: alg + " SSD", Machines: s.Machines, SimulatedSeconds: ssd[alg], WallSeconds: ssdWall[alg]},
+			BenchArm{Name: alg + " HDD", Machines: s.Machines, SimulatedSeconds: hdd[alg], WallSeconds: hddWall[alg]})
 	}
-	return nil
+	rec.WallSeconds = time.Since(start).Seconds()
+	return s.emitBench(rec)
 }
 
-// Figure12 reproduces Figure 12: 40 GigE vs 1 GigE.
+// Figure12 reproduces Figure 12: 40 GigE vs 1 GigE, emitting
+// BENCH_fig12.json alongside (see Figure11).
 func Figure12(w io.Writer, s Scale) error {
 	header(w, "Figure 12", "runtime with 40GigE vs 1GigE, normalized to 1-machine",
 		"1GigE (slower than storage) breaks scaling: runtime grows with machines instead of holding flat")
+	rec := s.newBenchRecord("fig12")
+	start := time.Now()
 	// Both arms are pinned so a chaos-bench -network override cannot turn
 	// the labeled 40G baseline into a second 1G run.
-	fast, err := bfsAndPR(s, func(o *chaos.Options) { o.Network = chaos.Net40GigE })
+	fast, fastWall, err := bfsAndPRTimed(s, func(o *chaos.Options) { o.Network = chaos.Net40GigE })
 	if err != nil {
 		return err
 	}
-	slow, err := bfsAndPR(s, func(o *chaos.Options) { o.Network = chaos.Net1GigE })
+	slow, slowWall, err := bfsAndPRTimed(s, func(o *chaos.Options) { o.Network = chaos.Net1GigE })
 	if err != nil {
 		return err
 	}
@@ -110,8 +133,12 @@ func Figure12(w io.Writer, s Scale) error {
 			vals[i] = slow[alg][i] / slow[alg][0]
 		}
 		series(w, alg+" 1G", s.Machines, vals, "%8.3f")
+		rec.Arms = append(rec.Arms,
+			BenchArm{Name: alg + " 40G", Machines: s.Machines, SimulatedSeconds: fast[alg], WallSeconds: fastWall[alg]},
+			BenchArm{Name: alg + " 1G", Machines: s.Machines, SimulatedSeconds: slow[alg], WallSeconds: slowWall[alg]})
 	}
-	return nil
+	rec.WallSeconds = time.Since(start).Seconds()
+	return s.emitBench(rec)
 }
 
 // Figure13 reproduces Figure 13: checkpointing overhead.

@@ -31,3 +31,15 @@ func Float32Codec() Codec[float32] {
 		Get:   func(b []byte, v *float32) { *v = math.Float32frombits(binary.LittleEndian.Uint32(b)) },
 	}
 }
+
+// DecodeSliceInto decodes buf (a whole number of records) into dst, which
+// must have room for len(buf)/Bytes records, and returns that count. It is
+// the bulk counterpart of record-at-a-time Get calls for callers that own
+// a reusable destination (vertex arrays, pooled update-record slices).
+func (c Codec[T]) DecodeSliceInto(dst []T, buf []byte) int {
+	n := len(buf) / c.Bytes
+	for i := 0; i < n; i++ {
+		c.Get(buf[i*c.Bytes:], &dst[i])
+	}
+	return n
+}

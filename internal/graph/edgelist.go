@@ -77,10 +77,16 @@ func (r *Reader) ReadAll() ([]Edge, error) {
 
 // Undirected returns the edge list converted for undirected algorithms by
 // adding the reverse of every edge (§8: "we convert directed to undirected
-// graphs by adding a reverse edge").
+// graphs by adding a reverse edge"). A self-loop is its own reverse and is
+// emitted once; duplicating it would double the loop's degree and weight
+// contribution in every undirected view.
 func Undirected(edges []Edge) []Edge {
 	out := make([]Edge, 0, 2*len(edges))
 	for _, e := range edges {
+		if e.Src == e.Dst {
+			out = append(out, e)
+			continue
+		}
 		out = append(out, e, Edge{Src: e.Dst, Dst: e.Src, Weight: e.Weight})
 	}
 	return out

@@ -147,6 +147,41 @@ func TestUndirectedDoublesEdges(t *testing.T) {
 	}
 }
 
+// A self-loop is its own reverse: the undirected view must keep exactly
+// one copy, or every self-looping vertex sees its degree (and the loop's
+// weight contribution in MCST/SSSP) doubled.
+func TestUndirectedEmitsSelfLoopsOnce(t *testing.T) {
+	in := []Edge{
+		{Src: 0, Dst: 0, Weight: 1},
+		{Src: 0, Dst: 1, Weight: 2},
+		{Src: 2, Dst: 2, Weight: 3},
+		{Src: 2, Dst: 2, Weight: 4}, // parallel self-loops stay distinct
+	}
+	out := Undirected(in)
+	want := []Edge{
+		{Src: 0, Dst: 0, Weight: 1},
+		{Src: 0, Dst: 1, Weight: 2},
+		{Src: 1, Dst: 0, Weight: 2},
+		{Src: 2, Dst: 2, Weight: 3},
+		{Src: 2, Dst: 2, Weight: 4},
+	}
+	if len(out) != len(want) {
+		t.Fatalf("got %d edges %+v, want %d", len(out), out, len(want))
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("edge %d: got %+v, want %+v", i, out[i], want[i])
+		}
+	}
+	deg := make(map[VertexID]int)
+	for _, e := range out {
+		deg[e.Src]++
+	}
+	if deg[0] != 2 || deg[2] != 2 {
+		t.Errorf("self-loop degree doubled: out-degrees %v", deg)
+	}
+}
+
 func TestMaxVertex(t *testing.T) {
 	if got := MaxVertex(nil); got != 0 {
 		t.Errorf("empty: %d, want 0", got)

@@ -35,22 +35,33 @@ func (s *Service) Handler() http.Handler {
 
 // jobOptions is the wire form of chaos.Options: hardware names as
 // strings, byte sizes explicit. Zero-valued fields inherit the service's
-// BaseOptions and then the paper defaults.
+// BaseOptions and then the paper defaults. Every chaos.Options field has
+// a wire counterpart — TestJobOptionsCoverAllOptionFields enforces the
+// correspondence, so a new engine knob cannot be silently dropped by the
+// job API again.
 type jobOptions struct {
-	Machines        int     `json:"machines,omitempty"`
-	Storage         string  `json:"storage,omitempty"`
-	Network         string  `json:"network,omitempty"`
-	Cores           int     `json:"cores,omitempty"`
-	ChunkBytes      int     `json:"chunkBytes,omitempty"`
-	MemBudgetBytes  int64   `json:"memBudgetBytes,omitempty"`
-	BatchK          int     `json:"batchK,omitempty"`
-	Alpha           float64 `json:"alpha,omitempty"`
-	DisableStealing bool    `json:"disableStealing,omitempty"`
-	AlwaysSteal     bool    `json:"alwaysSteal,omitempty"`
-	CheckpointEvery int     `json:"checkpointEvery,omitempty"`
-	MaxIterations   int     `json:"maxIterations,omitempty"`
-	LatencyScale    float64 `json:"latencyScale,omitempty"`
-	Seed            int64   `json:"seed,omitempty"`
+	Machines          int     `json:"machines,omitempty"`
+	Storage           string  `json:"storage,omitempty"`
+	Network           string  `json:"network,omitempty"`
+	Cores             int     `json:"cores,omitempty"`
+	ChunkBytes        int     `json:"chunkBytes,omitempty"`
+	VertexChunkBytes  int     `json:"vertexChunkBytes,omitempty"`
+	MemBudgetBytes    int64   `json:"memBudgetBytes,omitempty"`
+	BatchK            int     `json:"batchK,omitempty"`
+	WindowOverride    int     `json:"windowOverride,omitempty"`
+	Alpha             float64 `json:"alpha,omitempty"`
+	DisableStealing   bool    `json:"disableStealing,omitempty"`
+	AlwaysSteal       bool    `json:"alwaysSteal,omitempty"`
+	CheckpointEvery   int     `json:"checkpointEvery,omitempty"`
+	FailAtIteration   int     `json:"failAtIteration,omitempty"`
+	CentralDirectory  bool    `json:"centralDirectory,omitempty"`
+	CombineUpdates    bool    `json:"combineUpdates,omitempty"`
+	RewriteEdges      bool    `json:"rewriteEdges,omitempty"`
+	ReplicateVertices bool    `json:"replicateVertices,omitempty"`
+	MaxIterations     int     `json:"maxIterations,omitempty"`
+	LatencyScale      float64 `json:"latencyScale,omitempty"`
+	ComputeWorkers    int     `json:"computeWorkers,omitempty"`
+	Seed              int64   `json:"seed,omitempty"`
 }
 
 // jobRequest is the POST /v1/jobs payload.
@@ -65,20 +76,48 @@ type jobRequest struct {
 // identical message everywhere.
 func (r jobRequest) resolve() (string, chaos.Options, error) {
 	base := chaos.Options{
-		Machines:        r.Options.Machines,
-		Cores:           r.Options.Cores,
-		ChunkBytes:      r.Options.ChunkBytes,
-		MemBudgetBytes:  r.Options.MemBudgetBytes,
-		BatchK:          r.Options.BatchK,
-		Alpha:           r.Options.Alpha,
-		DisableStealing: r.Options.DisableStealing,
-		AlwaysSteal:     r.Options.AlwaysSteal,
-		CheckpointEvery: r.Options.CheckpointEvery,
-		MaxIterations:   r.Options.MaxIterations,
-		LatencyScale:    r.Options.LatencyScale,
-		Seed:            r.Options.Seed,
+		Machines:          r.Options.Machines,
+		Cores:             r.Options.Cores,
+		ChunkBytes:        r.Options.ChunkBytes,
+		VertexChunkBytes:  r.Options.VertexChunkBytes,
+		MemBudgetBytes:    r.Options.MemBudgetBytes,
+		BatchK:            r.Options.BatchK,
+		WindowOverride:    r.Options.WindowOverride,
+		Alpha:             r.Options.Alpha,
+		DisableStealing:   r.Options.DisableStealing,
+		AlwaysSteal:       r.Options.AlwaysSteal,
+		CheckpointEvery:   r.Options.CheckpointEvery,
+		FailAtIteration:   r.Options.FailAtIteration,
+		CentralDirectory:  r.Options.CentralDirectory,
+		CombineUpdates:    r.Options.CombineUpdates,
+		RewriteEdges:      r.Options.RewriteEdges,
+		ReplicateVertices: r.Options.ReplicateVertices,
+		MaxIterations:     r.Options.MaxIterations,
+		LatencyScale:      r.Options.LatencyScale,
+		ComputeWorkers:    r.Options.ComputeWorkers,
+		Seed:              r.Options.Seed,
 	}
 	return chaos.ParseOptions(r.Algorithm, r.Options.Storage, r.Options.Network, base)
+}
+
+// maxBodyBytes bounds POST payloads; both request shapes are small
+// metadata, so anything past 1 MB is garbage or abuse.
+const maxBodyBytes = 1 << 20
+
+// decodeStrict decodes a JSON request body, rejecting unknown fields —
+// a typo'd option name fails loudly with 400 instead of silently running
+// with defaults — and enforcing the body size limit.
+func decodeStrict(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	// A second document in the body is as suspect as an unknown field.
+	if dec.More() {
+		return errors.New("request body must be a single JSON object")
+	}
+	return nil
 }
 
 type errorResponse struct {
@@ -115,7 +154,7 @@ func statusFor(err error, fallback int) int {
 
 func (s *Service) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
 	var spec GraphSpec
-	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+	if err := decodeStrict(w, r, &spec); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -147,7 +186,7 @@ func (s *Service) handleGetGraph(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	var req jobRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := decodeStrict(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}

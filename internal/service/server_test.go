@@ -1,0 +1,138 @@
+package service
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"chaos"
+)
+
+// TestJobOptionsCoverAllOptionFields reflects over chaos.Options and the
+// wire form: every engine knob must have a same-named wire field, so a
+// new option cannot be silently dropped by the job API.
+func TestJobOptionsCoverAllOptionFields(t *testing.T) {
+	opt := reflect.TypeOf(chaos.Options{})
+	wire := reflect.TypeOf(jobOptions{})
+	for i := 0; i < opt.NumField(); i++ {
+		name := opt.Field(i).Name
+		if _, ok := wire.FieldByName(name); !ok {
+			t.Errorf("chaos.Options.%s has no jobOptions counterpart", name)
+		}
+	}
+	for i := 0; i < wire.NumField(); i++ {
+		name := wire.Field(i).Name
+		if _, ok := opt.FieldByName(name); !ok {
+			t.Errorf("jobOptions.%s does not correspond to a chaos.Options field", name)
+		}
+	}
+}
+
+// TestJobOptionsRoundTrip sets every wire field to a non-default value
+// and checks resolve carries each one into the engine options.
+func TestJobOptionsRoundTrip(t *testing.T) {
+	req := jobRequest{
+		Graph:     "g",
+		Algorithm: "pagerank",
+		Options: jobOptions{
+			Machines:          3,
+			Storage:           "hdd",
+			Network:           "1g",
+			Cores:             8,
+			ChunkBytes:        1 << 12,
+			VertexChunkBytes:  1 << 11,
+			MemBudgetBytes:    1 << 21,
+			BatchK:            7,
+			WindowOverride:    9,
+			Alpha:             2.5,
+			DisableStealing:   true,
+			AlwaysSteal:       true,
+			CheckpointEvery:   2,
+			FailAtIteration:   3,
+			CentralDirectory:  true,
+			CombineUpdates:    true,
+			RewriteEdges:      true,
+			ReplicateVertices: true,
+			MaxIterations:     42,
+			LatencyScale:      0.25,
+			ComputeWorkers:    4,
+			Seed:              99,
+		},
+	}
+	alg, got, err := req.resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alg != "PR" {
+		t.Errorf("algorithm = %q, want PR", alg)
+	}
+	want := chaos.Options{
+		Machines:          3,
+		Storage:           chaos.HDD,
+		Network:           chaos.Net1GigE,
+		Cores:             8,
+		ChunkBytes:        1 << 12,
+		VertexChunkBytes:  1 << 11,
+		MemBudgetBytes:    1 << 21,
+		BatchK:            7,
+		WindowOverride:    9,
+		Alpha:             2.5,
+		DisableStealing:   true,
+		AlwaysSteal:       true,
+		CheckpointEvery:   2,
+		FailAtIteration:   3,
+		CentralDirectory:  true,
+		CombineUpdates:    true,
+		RewriteEdges:      true,
+		ReplicateVertices: true,
+		MaxIterations:     42,
+		LatencyScale:      0.25,
+		ComputeWorkers:    4,
+		Seed:              99,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("resolved options\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func postJSON(t *testing.T, h http.Handler, url, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+// Typo'd JSON keys used to run jobs with silent defaults; now they fail
+// with 400 before anything is scheduled.
+func TestPostRejectsUnknownFields(t *testing.T) {
+	svc := newTestService(t, 1)
+	h := svc.Handler()
+	w := postJSON(t, h, "/v1/jobs", `{"graph":"g","algorithm":"PR","options":{"mahcines":4}}`)
+	if w.Code != http.StatusBadRequest || !strings.Contains(w.Body.String(), "mahcines") {
+		t.Errorf("typo'd job option: status %d, body %s", w.Code, w.Body.String())
+	}
+	w = postJSON(t, h, "/v1/graphs", `{"type":"rmat","scael":5}`)
+	if w.Code != http.StatusBadRequest {
+		t.Errorf("typo'd graph field: status %d, body %s", w.Code, w.Body.String())
+	}
+	w = postJSON(t, h, "/v1/jobs", `{"graph":"g","algorithm":"PR"}{"graph":"g"}`)
+	if w.Code != http.StatusBadRequest {
+		t.Errorf("trailing document: status %d, body %s", w.Code, w.Body.String())
+	}
+}
+
+func TestPostRejectsOversizedBody(t *testing.T) {
+	svc := newTestService(t, 1)
+	var b bytes.Buffer
+	b.WriteString(`{"graph":"g","algorithm":"PR","options":{"seed":`)
+	b.WriteString(strings.Repeat(" ", maxBodyBytes))
+	b.WriteString(`1}}`)
+	w := postJSON(t, svc.Handler(), "/v1/jobs", b.String())
+	if w.Code != http.StatusBadRequest {
+		t.Errorf("oversized body: status %d, want 400", w.Code)
+	}
+}

@@ -75,6 +75,22 @@ type Env struct {
 	rng     *rand.Rand
 	stopped bool
 	nevents uint64
+	// free recycles event structs between heap pops and pushes; a busy
+	// simulation fires millions of events and the per-event allocation
+	// otherwise dominates the scheduler's cost.
+	free []*event
+}
+
+// newEvent takes an event from the free list or allocates one.
+func (e *Env) newEvent(at Time, fn func(), p *Proc) *event {
+	e.seq++
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free = e.free[:n-1]
+		ev.at, ev.seq, ev.fn, ev.proc = at, e.seq, fn, p
+		return ev
+	}
+	return &event{at: at, seq: e.seq, fn: fn, proc: p}
 }
 
 // NewEnv returns an environment whose random choices derive from seed.
@@ -101,8 +117,7 @@ func (e *Env) At(t Time, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	e.seq++
-	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+	heap.Push(&e.events, e.newEvent(t, fn, nil))
 }
 
 // After schedules fn to run d from now.
@@ -112,8 +127,7 @@ func (e *Env) scheduleWake(t Time, p *Proc) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: waking %s at %v before now %v", p.name, t, e.now))
 	}
-	e.seq++
-	heap.Push(&e.events, &event{at: t, seq: e.seq, proc: p})
+	heap.Push(&e.events, e.newEvent(t, nil, p))
 }
 
 // Run drives the simulation until no events remain, and returns the final
@@ -124,15 +138,18 @@ func (e *Env) Run() Time {
 		ev := heap.Pop(&e.events).(*event)
 		e.now = ev.at
 		e.nevents++
-		if ev.proc != nil {
-			if ev.proc.state == procDone {
+		p, fn := ev.proc, ev.fn
+		ev.fn, ev.proc = nil, nil
+		e.free = append(e.free, ev)
+		if p != nil {
+			if p.state == procDone {
 				continue
 			}
-			ev.proc.state = procRunning
-			ev.proc.wake <- struct{}{}
+			p.state = procRunning
+			p.wake <- struct{}{}
 			<-e.resume
 		} else {
-			ev.fn()
+			fn()
 		}
 	}
 	return e.now

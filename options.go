@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -156,16 +157,73 @@ func (o Options) Canonical() Options {
 	if c.LatencyScale <= 0 {
 		c.LatencyScale = 1
 	}
+	// ComputeWorkers is a host-performance knob: the engine guarantees
+	// bit-identical results, reports and simulated times for every value
+	// (see internal/core/parallel.go), so all values canonicalize to the
+	// default and share one cache entry.
+	c.ComputeWorkers = 0
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
 	return c
 }
 
+// fingerprintFields lists, in encoding order, the Options field each
+// Fingerprint component is derived from. TestFingerprintCoversAllFields
+// reflects over Options and fails when a field is added without extending
+// both this table and the encoder below — the guard that keeps new fields
+// from silently falling out of the result-cache key.
+var fingerprintFields = []string{
+	"Machines", "Storage", "Network", "Cores", "ChunkBytes",
+	"VertexChunkBytes", "MemBudgetBytes", "BatchK", "WindowOverride",
+	"Alpha", "DisableStealing", "AlwaysSteal", "CheckpointEvery",
+	"FailAtIteration", "CentralDirectory", "CombineUpdates",
+	"RewriteEdges", "ReplicateVertices", "MaxIterations", "LatencyScale",
+	"ComputeWorkers", "Seed",
+}
+
 // Fingerprint returns a deterministic string identifying the effective
 // configuration. Two Options share a fingerprint exactly when their
 // canonical forms are equal; the job service hashes it (together with the
 // graph and algorithm) to content-address cached results.
+//
+// Every field is encoded explicitly, field by field. The previous
+// implementation rendered the struct with fmt's %#v, which would have
+// poisoned cache keys with memory addresses the moment Options grew a
+// pointer, slice or map field.
 func (o Options) Fingerprint() string {
-	return fmt.Sprintf("%#v", o.Canonical())
+	c := o.Canonical()
+	var b strings.Builder
+	app := func(name, val string) {
+		b.WriteString(name)
+		b.WriteByte('=')
+		b.WriteString(val)
+		b.WriteByte(';')
+	}
+	itoa := strconv.Itoa
+	ftoa := func(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+	btoa := strconv.FormatBool
+	app("machines", itoa(c.Machines))
+	app("storage", c.Storage.String())
+	app("network", c.Network.String())
+	app("cores", itoa(c.Cores))
+	app("chunkBytes", itoa(c.ChunkBytes))
+	app("vertexChunkBytes", itoa(c.VertexChunkBytes))
+	app("memBudgetBytes", strconv.FormatInt(c.MemBudgetBytes, 10))
+	app("batchK", itoa(c.BatchK))
+	app("windowOverride", itoa(c.WindowOverride))
+	app("alpha", ftoa(c.Alpha))
+	app("disableStealing", btoa(c.DisableStealing))
+	app("alwaysSteal", btoa(c.AlwaysSteal))
+	app("checkpointEvery", itoa(c.CheckpointEvery))
+	app("failAtIteration", itoa(c.FailAtIteration))
+	app("centralDirectory", btoa(c.CentralDirectory))
+	app("combineUpdates", btoa(c.CombineUpdates))
+	app("rewriteEdges", btoa(c.RewriteEdges))
+	app("replicateVertices", btoa(c.ReplicateVertices))
+	app("maxIterations", itoa(c.MaxIterations))
+	app("latencyScale", ftoa(c.LatencyScale))
+	app("computeWorkers", itoa(c.ComputeWorkers))
+	app("seed", strconv.FormatInt(c.Seed, 10))
+	return b.String()
 }

@@ -83,6 +83,73 @@ func TestCanonicalMakesDefaultsExplicit(t *testing.T) {
 	}
 }
 
+// TestFingerprintCoversAllFields reflects over Options and checks that
+// the explicit field-by-field Fingerprint encoder covers exactly the
+// struct's fields: adding an Options field without teaching Fingerprint
+// about it must fail this test, not silently fall out of the cache key.
+func TestFingerprintCoversAllFields(t *testing.T) {
+	typ := reflect.TypeOf(Options{})
+	covered := make(map[string]bool, len(fingerprintFields))
+	for _, name := range fingerprintFields {
+		if covered[name] {
+			t.Errorf("fingerprintFields lists %s twice", name)
+		}
+		covered[name] = true
+		if _, ok := typ.FieldByName(name); !ok {
+			t.Errorf("fingerprintFields lists %s, which Options does not have", name)
+		}
+	}
+	for i := 0; i < typ.NumField(); i++ {
+		if name := typ.Field(i).Name; !covered[name] {
+			t.Errorf("Options.%s is not covered by Fingerprint; extend fingerprintFields and the encoder", name)
+		}
+	}
+	if len(fingerprintFields) != strings.Count(Options{}.Fingerprint(), ";") {
+		t.Errorf("encoder emits %d components, fingerprintFields lists %d",
+			strings.Count(Options{}.Fingerprint(), ";"), len(fingerprintFields))
+	}
+}
+
+// TestFingerprintSensitivity flips every canonical-visible field away
+// from its default and checks the fingerprint moves (and that the
+// erased-by-canonicalization knobs don't).
+func TestFingerprintSensitivity(t *testing.T) {
+	base := Options{}.Fingerprint()
+	cases := map[string]Options{
+		"Machines":          {Machines: 3},
+		"Storage":           {Storage: HDD},
+		"Network":           {Network: Net1GigE},
+		"Cores":             {Cores: 8},
+		"ChunkBytes":        {ChunkBytes: 1 << 10},
+		"VertexChunkBytes":  {VertexChunkBytes: 1 << 9},
+		"MemBudgetBytes":    {MemBudgetBytes: 1 << 20},
+		"BatchK":            {BatchK: 7},
+		"WindowOverride":    {WindowOverride: 9},
+		"Alpha":             {Alpha: 2.5},
+		"DisableStealing":   {DisableStealing: true},
+		"AlwaysSteal":       {AlwaysSteal: true},
+		"CheckpointEvery":   {CheckpointEvery: 2},
+		"FailAtIteration":   {FailAtIteration: 3, CheckpointEvery: 1},
+		"CentralDirectory":  {CentralDirectory: true},
+		"CombineUpdates":    {CombineUpdates: true},
+		"RewriteEdges":      {RewriteEdges: true},
+		"ReplicateVertices": {ReplicateVertices: true},
+		"MaxIterations":     {MaxIterations: 42},
+		"LatencyScale":      {LatencyScale: 0.25},
+		"Seed":              {Seed: 99},
+	}
+	for field, opt := range cases {
+		if opt.Fingerprint() == base {
+			t.Errorf("changing %s does not change the fingerprint", field)
+		}
+	}
+	// ComputeWorkers only trades wall-clock time; runs are bit-identical,
+	// so it canonicalizes away and shares the cache entry.
+	if (Options{ComputeWorkers: 4}).Fingerprint() != base {
+		t.Error("ComputeWorkers should canonicalize away from the fingerprint")
+	}
+}
+
 func TestCanonicalFoldsStealingKnobs(t *testing.T) {
 	disabled := Options{DisableStealing: true, AlwaysSteal: true, Alpha: 3}.Canonical()
 	if !disabled.DisableStealing || disabled.AlwaysSteal || disabled.Alpha != 0 {
@@ -153,8 +220,15 @@ func TestViewForAndApply(t *testing.T) {
 	if _, err := ViewFor("nope"); err == nil {
 		t.Error("ViewFor(nope) should error")
 	}
-	if got := ViewUndirected.Apply(edges); len(got) != 2*len(edges) {
-		t.Errorf("undirected view has %d edges, want %d", len(got), 2*len(edges))
+	// Every non-loop edge gains a reverse; self-loops are emitted once.
+	loops := 0
+	for _, e := range edges {
+		if e.Src == e.Dst {
+			loops++
+		}
+	}
+	if got := ViewUndirected.Apply(edges); len(got) != 2*len(edges)-loops {
+		t.Errorf("undirected view has %d edges, want %d", len(got), 2*len(edges)-loops)
 	}
 	if got := ViewDirected.Apply(edges); len(got) != len(edges) {
 		t.Error("directed view must be the identity")
