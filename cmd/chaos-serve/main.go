@@ -8,9 +8,19 @@
 //
 //	chaos-serve -addr :8080 -workers 4
 //	chaos-serve -addr :8080 -chunk-kb 64        # lab-scale default chunks
+//	chaos-serve -addr :8080 -data-dir /var/lib/chaos   # durable state
+//
+// With -data-dir, graph registrations, job history and memoized results
+// survive restarts: state is journaled to a write-ahead log with
+// periodic compacting snapshots, and results live in a size-bounded
+// disk store (see DESIGN.md for the format and recovery semantics).
+// Jobs that were queued or running when the process died are re-enqueued
+// on the next start. Without -data-dir the service is purely in-memory,
+// exactly as before.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener stops, queued
-// jobs are canceled, and running simulations drain before exit.
+// jobs are canceled, running simulations drain, and (when durable) a
+// final snapshot is written before exit.
 package main
 
 import (
@@ -36,16 +46,35 @@ func main() {
 		workers  = flag.Int("workers", 4, "concurrently running simulations")
 		chunkKB  = flag.Int("chunk-kb", 4096, "default chunk size in KiB for jobs that set none (paper: 4096)")
 		drainSec = flag.Int("drain-seconds", 120, "graceful-shutdown drain budget")
+
+		dataDir       = flag.String("data-dir", "", "durable state directory (empty = in-memory only)")
+		snapshotEvery = flag.Int("snapshot-every", 1024,
+			"journal records between compacting snapshots (with -data-dir)")
+		resultCacheMB = flag.Int("result-cache-mb", 512,
+			"disk result store bound in MiB, LRU-evicted past it; 0 = unbounded (with -data-dir)")
+		maxUploadMB = flag.Int("max-upload-mb", 64, "POST /v1/graphs body cap in MiB")
 	)
 	flag.Parse()
 
-	svc := service.New(service.Config{
+	svc, err := service.Open(service.Config{
 		Workers: *workers,
 		BaseOptions: chaos.Options{
 			ChunkBytes:   *chunkKB << 10,
 			LatencyScale: float64(*chunkKB<<10) / float64(4<<20),
 		},
+		MaxUploadBytes:      int64(*maxUploadMB) << 20,
+		DataDir:             *dataDir,
+		SnapshotEvery:       *snapshotEvery,
+		ResultStoreMaxBytes: int64(*resultCacheMB) << 20,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *dataDir != "" {
+		st := svc.Stats()
+		log.Printf("durable state in %s: recovered %d graphs, %d jobs (queue depth %d)",
+			*dataDir, st.Graphs, sum(st.Jobs), st.QueueDepth)
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -63,6 +92,7 @@ func main() {
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case err := <-errc:
+		svc.Close() // keep the journal consistent even on listen failure
 		log.Fatal(err)
 	case sig := <-sigc:
 		log.Printf("caught %v, draining", sig)
@@ -73,8 +103,18 @@ func main() {
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("http shutdown: %v", err)
 	}
+	// Shutdown drains the pool and, with -data-dir, writes the final
+	// compacting snapshot before closing the journal.
 	if err := svc.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("drain: %v", err)
 	}
 	log.Print("bye")
+}
+
+func sum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
 }

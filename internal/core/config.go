@@ -83,6 +83,13 @@ type Config struct {
 	// BackendFor supplies the storage backend per machine; nil means
 	// in-memory.
 	BackendFor func(machine int) storage.Backend
+	// Interrupt, when non-nil, is polled at each iteration boundary
+	// (machine 0's decision point). When it returns true the run stops
+	// cleanly at that boundary — in-flight chunk work drains, the
+	// simulation unwinds — and Run returns ErrInterrupted. The job
+	// service wires a context's Done check here so DELETE on a running
+	// job is observed between iterations.
+	Interrupt func() bool
 }
 
 // DefaultConfig returns the paper's defaults on the given hardware.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -13,6 +14,11 @@ import (
 	"chaos/internal/sim"
 	"chaos/internal/storage"
 )
+
+// ErrInterrupted reports a run stopped by Config.Interrupt at an
+// iteration boundary before converging. No values are returned: the
+// vertex state mid-algorithm is not a meaningful partial result.
+var ErrInterrupted = errors.New("core: run interrupted")
 
 // decision is the shared verdict machine 0 publishes between the gather
 // barrier and the decision barrier of each iteration.
@@ -60,6 +66,7 @@ type engine[V, U, A any] struct {
 	ckptVerts   map[int][][]byte
 	ckptIter    int
 	failed      bool
+	interrupted bool // Config.Interrupt fired; Run returns ErrInterrupted
 
 	inputEdges [][]graph.Edge // per-machine slice of the unsorted input
 	run        *metrics.Run
@@ -109,6 +116,10 @@ func Run[V, U, A any](cfg Config, prog gas.Program[V, U, A], edges []graph.Edge,
 	}
 	if err := eng.execute(); err != nil {
 		return nil, nil, err
+	}
+	if eng.interrupted {
+		// The partial vertex state is not a result anyone asked for.
+		return nil, nil, ErrInterrupted
 	}
 	values, err := eng.collectValues()
 	if err != nil {
@@ -319,6 +330,12 @@ func (eng *engine[V, U, A]) vertexSetBytes(part int) int64 {
 func (eng *engine[V, U, A]) decide(iter int) {
 	d := decision{iter: iter, rollbackTo: -1}
 	d.done = eng.prog.Converged(iter, eng.changed) || iter+1 >= eng.cfg.MaxIterations
+	if !d.done && eng.cfg.Interrupt != nil && eng.cfg.Interrupt() {
+		// Cooperative cancellation: finish this iteration's barriers
+		// normally (so every process unwinds cleanly) and stop.
+		d.done = true
+		eng.interrupted = true
+	}
 	eng.changed = 0
 
 	if eng.checkpointDue(iter) {

@@ -1,0 +1,54 @@
+// Package durable is the crash-safe persistence layer under the job
+// service: a write-ahead journal with compacting snapshots, plus a
+// disk-backed content-addressed result store.
+//
+// The design splits durability into two tiers with different shapes:
+//
+//   - Small, ordered facts — graph registrations, job lifecycle
+//     transitions, result-store writes — go through the WAL: an
+//     append-only journal of length-prefixed, checksummed JSON records
+//     (see Journal for the on-disk framing). Appends are cheap buffered
+//     writes; an fsync batcher makes the tail durable every
+//     SyncInterval, and Sync forces it for records that must not be
+//     lost (a registration acknowledged with 201, a result file the
+//     journal is about to reference). Replay on boot rebuilds state;
+//     a periodic snapshot compacts the journal so replay time is
+//     bounded by the state size, not the service's uptime.
+//
+//   - Large, immutable blobs — finished (Result, Report) payloads —
+//     go to the ResultStore, a content-addressed directory tree
+//     (results/<key[:2]>/<key>) with size-bounded LRU eviction. Blobs
+//     are never journaled; the journal only records that a key was
+//     written.
+//
+// Record replay must be idempotent and convergent (the last record for
+// an entity wins): compaction rotates the journal segment before
+// capturing the snapshot, so records appended during the capture window
+// can appear both in the snapshot and in the surviving segment. See
+// WAL.Compact.
+//
+// The package knows nothing about the service's record schemas; it
+// moves opaque kinds and JSON payloads. internal/service defines the
+// graph/job/result record types and the recovery logic.
+package durable
+
+import "encoding/json"
+
+// Record is one journal entry: a kind tag selecting the payload schema,
+// plus the payload itself.
+type Record struct {
+	Kind string          `json:"kind"`
+	Data json.RawMessage `json:"data"`
+}
+
+// Log is the append-side interface the service writes state changes
+// through. *WAL implements it; a nil Log (in-memory mode) means the
+// caller skips persistence entirely.
+type Log interface {
+	// Append journals one record. It returns once the record is in the
+	// OS write buffer; durability follows within the sync interval, or
+	// immediately after a Sync.
+	Append(kind string, v any) error
+	// Sync blocks until every appended record is fsynced.
+	Sync() error
+}

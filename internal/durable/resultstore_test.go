@@ -1,0 +1,137 @@
+package durable
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+)
+
+func key(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprint(i)))
+	return hex.EncodeToString(sum[:])
+}
+
+func TestResultStorePutGet(t *testing.T) {
+	s, err := OpenResultStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key(1)); ok {
+		t.Fatal("empty store returned a blob")
+	}
+	blob := []byte(`{"result":42}`)
+	if err := s.Put(key(1), blob); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key(1), blob); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key(1))
+	if !ok || !bytes.Equal(got, blob) {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	if err := s.Put("not a key", blob); err == nil {
+		t.Error("invalid key accepted")
+	}
+	st := s.Stats()
+	if st.Entries != 1 || st.Bytes != int64(len(blob)) || st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestResultStoreSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenResultStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key(1), []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key(2), []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenResultStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s2.Get(key(2)); !ok || string(got) != "two" {
+		t.Fatalf("after reopen: %q, %v", got, ok)
+	}
+	if st := s2.Stats(); st.Entries != 2 {
+		t.Errorf("reindexed %d entries, want 2", st.Entries)
+	}
+}
+
+// TestResultStoreEvictsLRU fills the store past its byte bound and
+// checks the coldest blobs go first — including recency learned from
+// Get, and recency carried across a reopen via mtimes.
+func TestResultStoreEvictsLRU(t *testing.T) {
+	dir := t.TempDir()
+	blob := bytes.Repeat([]byte("x"), 100)
+	s, err := OpenResultStore(dir, 250) // fits two blobs
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key(1), blob); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key(2), blob); err != nil {
+		t.Fatal(err)
+	}
+	// Touch key(1) so key(2) is now the coldest.
+	if _, ok := s.Get(key(1)); !ok {
+		t.Fatal("key 1 missing before eviction")
+	}
+	if err := s.Put(key(3), blob); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key(2)); ok {
+		t.Error("key 2 should have been evicted (coldest)")
+	}
+	if _, ok := s.Get(key(1)); !ok {
+		t.Error("key 1 was touched; it must survive")
+	}
+	if st := s.Stats(); st.Evictions != 1 || st.Entries != 2 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+// TestResultStoreRecencyAcrossReopen: eviction order after a restart
+// follows file mtimes, not directory iteration order.
+func TestResultStoreRecencyAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenResultStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := bytes.Repeat([]byte("y"), 100)
+	for i := 1; i <= 3; i++ {
+		if err := s.Put(key(i), blob); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Backdate key(2): it becomes the coldest on reopen.
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(s.path(key(2)), old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenResultStore(dir, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(key(2)); ok {
+		t.Error("backdated blob should have been evicted at open")
+	}
+	for _, i := range []int{1, 3} {
+		if _, ok := s2.Get(key(i)); !ok {
+			t.Errorf("key %d missing after reopen eviction", i)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package durable
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+const snapshotName = "snapshot.json"
+
+// SaveSnapshot atomically replaces dir's snapshot with the JSON
+// encoding of state: write to a temp file, fsync, rename over the old
+// snapshot, fsync the directory. A crash at any point leaves either the
+// old snapshot or the new one, never a mix.
+func SaveSnapshot(dir string, state any) error {
+	data, err := json.Marshal(state)
+	if err != nil {
+		return fmt.Errorf("durable: encoding snapshot: %w", err)
+	}
+	return WriteFileAtomic(filepath.Join(dir, snapshotName), data)
+}
+
+// LoadSnapshot decodes dir's snapshot into state, reporting found=false
+// (and leaving state untouched) when none has been taken yet.
+func LoadSnapshot(dir string, state any) (found bool, err error) {
+	data, err := os.ReadFile(filepath.Join(dir, snapshotName))
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	if err := json.Unmarshal(data, state); err != nil {
+		return false, fmt.Errorf("durable: decoding snapshot: %w", err)
+	}
+	return true, nil
+}
+
+// WriteFileAtomic durably replaces path with data: write to a temp file
+// in the same directory, fsync, rename, fsync the directory. Exposed for
+// callers (the service's upload payloads) that persist blobs the
+// journal will reference.
+func WriteFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}

@@ -32,6 +32,12 @@ type GraphSpec struct {
 
 // Graph is a registered graph: the materialized edge slice plus lazily
 // cached views, shared read-only by every job that references it.
+//
+// A graph restored from the durable log starts unmaterialized: only its
+// metadata (and, for uploads, the persisted edge-list file) came back
+// from disk, and `load` regenerates the edge slice on first use. The
+// generated graph types are deterministic functions of their spec, so
+// re-materialization is exact; uploads re-read their persisted payload.
 type Graph struct {
 	ID         string
 	Type       string
@@ -40,39 +46,116 @@ type Graph struct {
 	EdgeCount  int
 	Registered time.Time
 
-	edges []chaos.Edge
-	mu    sync.Mutex
-	views map[chaos.View][]chaos.Edge
+	// spec is the registration request with any upload payload
+	// stripped; it is what the durable log records so the graph can be
+	// rebuilt after a restart.
+	spec GraphSpec
+	// load materializes the edge slice for restored graphs (nil once
+	// edges is set, or for graphs registered in this process).
+	load func() ([]chaos.Edge, error)
+
+	// loadMu serializes materialization only; g.mu guards the quick
+	// state reads (edges pointer, views map) and is never held across
+	// generation or file IO, so Info/List stay responsive while a big
+	// restored graph rebuilds.
+	loadMu sync.Mutex
+	mu     sync.Mutex
+	edges  []chaos.Edge // nil for a restored graph until ensure()
+	views  map[chaos.View][]chaos.Edge
+	// persisted means the registration has reached the durable log. A
+	// snapshot captured in the window between catalog insertion and the
+	// journal append must skip the graph: if persisting then fails, the
+	// registration is rolled back and reported 500, and a snapshot that
+	// had captured it would resurrect it on restart.
+	persisted bool
+}
+
+// markPersisted records that the durable log holds this registration.
+func (g *Graph) markPersisted() {
+	g.mu.Lock()
+	g.persisted = true
+	g.mu.Unlock()
+}
+
+// isPersisted reports whether the durable log holds this registration.
+func (g *Graph) isPersisted() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.persisted
+}
+
+// ensure materializes a restored graph's edge slice. It is a no-op for
+// graphs registered in this process; every job run calls it before
+// touching View. Concurrent calls are serialized; after the first
+// success the edges are immutable.
+func (g *Graph) ensure() error {
+	g.loadMu.Lock()
+	defer g.loadMu.Unlock()
+	g.mu.Lock()
+	loaded := g.edges != nil
+	g.mu.Unlock()
+	if loaded {
+		return nil
+	}
+	if g.load == nil {
+		return fmt.Errorf("service: graph %q has no edges and no loader", g.ID)
+	}
+	edges, err := g.load() // potentially slow: no locks besides loadMu
+	if err != nil {
+		return fmt.Errorf("service: re-materializing graph %q: %w", g.ID, err)
+	}
+	if len(edges) != g.EdgeCount {
+		// The regenerated/re-read edge list disagrees with the recorded
+		// metadata: a swapped upload file or a generator change. Serving
+		// it would silently invalidate every cached result for this id.
+		return fmt.Errorf("service: graph %q re-materialized with %d edges, recorded %d", g.ID, len(edges), g.EdgeCount)
+	}
+	g.mu.Lock()
+	g.edges = edges
+	g.mu.Unlock()
+	return nil
+}
+
+// Materialized reports whether the edge slice is resident (restored
+// graphs stay cold until their first job).
+func (g *Graph) Materialized() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.edges != nil
 }
 
 // GraphInfo is the wire form of a Graph (Graph itself carries the edge
 // slices and a mutex, so it never crosses the API boundary).
 type GraphInfo struct {
-	ID          string    `json:"id"`
-	Type        string    `json:"type"`
-	Weighted    bool      `json:"weighted"`
-	Vertices    uint64    `json:"vertices"`
-	Edges       int       `json:"edges"`
-	Registered  time.Time `json:"registered"`
-	CachedViews []string  `json:"cachedViews"`
+	ID           string    `json:"id"`
+	Type         string    `json:"type"`
+	Weighted     bool      `json:"weighted"`
+	Vertices     uint64    `json:"vertices"`
+	Edges        int       `json:"edges"`
+	Registered   time.Time `json:"registered"`
+	Materialized bool      `json:"materialized"`
+	CachedViews  []string  `json:"cachedViews"`
 }
 
 // Info snapshots the graph for serialization.
 func (g *Graph) Info() GraphInfo {
 	return GraphInfo{
-		ID:          g.ID,
-		Type:        g.Type,
-		Weighted:    g.Weighted,
-		Vertices:    g.Vertices,
-		Edges:       g.EdgeCount,
-		Registered:  g.Registered,
-		CachedViews: g.CachedViews(),
+		ID:           g.ID,
+		Type:         g.Type,
+		Weighted:     g.Weighted,
+		Vertices:     g.Vertices,
+		Edges:        g.EdgeCount,
+		Registered:   g.Registered,
+		Materialized: g.Materialized(),
+		CachedViews:  g.CachedViews(),
 	}
 }
 
 // View returns the graph's edges in the requested view, converting on
 // first use and caching the result so subsequent jobs skip the
-// pre-processing (the point of registering a graph once).
+// pre-processing (the point of registering a graph once). For a graph
+// restored from the durable log the caller must ensure() first; the
+// scheduler's execute path always does.
 func (g *Graph) View(v chaos.View) []chaos.Edge {
 	if v == chaos.ViewDirected {
 		return g.edges
@@ -91,6 +174,9 @@ func (g *Graph) View(v chaos.View) []chaos.Edge {
 func (g *Graph) CachedViews() []string {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	if g.edges == nil {
+		return []string{} // restored and still cold: nothing resident
+	}
 	names := []string{chaos.ViewDirected.String()}
 	for v := range g.views {
 		names = append(names, v.String())
@@ -177,6 +263,8 @@ func (c *Catalog) Register(spec GraphSpec) (*Graph, error) {
 	if _, exists := c.graphs[id]; exists {
 		return nil, &conflictError{what: "graph", id: id}
 	}
+	persistSpec := spec
+	persistSpec.Data = nil // upload payloads are persisted as files, not journal records
 	g := &Graph{
 		ID:         id,
 		Type:       spec.Type,
@@ -184,12 +272,57 @@ func (c *Catalog) Register(spec GraphSpec) (*Graph, error) {
 		Vertices:   n,
 		EdgeCount:  len(edges),
 		Registered: time.Now().UTC(),
+		spec:       persistSpec,
 		edges:      edges,
 		views:      make(map[chaos.View][]chaos.Edge),
 	}
 	c.graphs[id] = g
 	c.order = append(c.order, id)
 	return g, nil
+}
+
+// restore files a graph rebuilt from the durable log without
+// materializing its edges. Duplicate ids are ignored (journal replay is
+// idempotent: a registration can appear in both the snapshot and the
+// surviving journal segment around a compaction).
+func (c *Catalog) restore(g *Graph) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.graphs[g.ID]; exists {
+		return
+	}
+	if g.views == nil {
+		g.views = make(map[chaos.View][]chaos.Edge)
+	}
+	c.graphs[g.ID] = g
+	c.order = append(c.order, g.ID)
+}
+
+// remove unregisters a graph; the registration path uses it to roll
+// back when persisting a fresh registration fails.
+func (c *Catalog) remove(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.graphs[id]; !ok {
+		return
+	}
+	delete(c.graphs, id)
+	for i, got := range c.order {
+		if got == id {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// floorNextID raises the anonymous-id counter so ids assigned after a
+// restart never collide with recovered ones.
+func (c *Catalog) floorNextID(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n > c.nextID {
+		c.nextID = n
+	}
 }
 
 // Get returns the graph registered under id.

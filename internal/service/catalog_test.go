@@ -65,14 +65,14 @@ func TestCatalogRejectsBadSpecs(t *testing.T) {
 		t.Fatal(err)
 	}
 	cases := []GraphSpec{
-		{Name: "x", Type: "rmat", Scale: 6},         // duplicate name
-		{Name: "bad name", Type: "rmat", Scale: 6},  // invalid name
-		{Type: "rmat", Scale: 0},                    // scale out of range
-		{Type: "rmat", Scale: 31},                   // scale out of range
-		{Type: "web", Pages: 1},                     // too few pages
-		{Type: "upload"},                            // no data
-		{Type: "upload", Data: []byte{1, 2, 3}},     // truncated record
-		{Type: "mystery"},                           // unknown type
+		{Name: "x", Type: "rmat", Scale: 6},        // duplicate name
+		{Name: "bad name", Type: "rmat", Scale: 6}, // invalid name
+		{Type: "rmat", Scale: 0},                   // scale out of range
+		{Type: "rmat", Scale: 31},                  // scale out of range
+		{Type: "web", Pages: 1},                    // too few pages
+		{Type: "upload"},                           // no data
+		{Type: "upload", Data: []byte{1, 2, 3}},    // truncated record
+		{Type: "mystery"},                          // unknown type
 	}
 	for _, spec := range cases {
 		if _, err := c.Register(spec); err == nil {

@@ -1,0 +1,493 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"chaos"
+	"chaos/internal/durable"
+	"chaos/internal/graph"
+)
+
+// Journal record kinds. The on-disk layout under Config.DataDir:
+//
+//	wal/journal-<seq>.wal   append-only record segments (durable.Journal)
+//	wal/snapshot.json       latest compacting snapshot (serviceSnapshot)
+//	results/<k[:2]>/<key>   content-addressed result blobs (storedResult)
+//	uploads/<id>.edges      uploaded edge-list payloads (chaos-gen binary)
+//
+// Unknown kinds are skipped on replay, so older binaries tolerate
+// journals written by newer ones.
+const (
+	recGraph  = "graph"  // graphRecord: a registration (spec, not edge bytes)
+	recJob    = "job"    // jobRecord: full job state at a transition (upsert)
+	recResult = "result" // resultRecord: a result-store write
+)
+
+// graphRecord is the journaled form of a registration. Edge bytes are
+// never journaled: generated graphs are deterministic functions of
+// (type, scale/pages, seed), and uploads persist their payload under
+// uploads/ with only the path recorded here.
+type graphRecord struct {
+	ID         string    `json:"id"`
+	Type       string    `json:"type"`
+	Scale      int       `json:"scale,omitempty"`
+	Pages      uint64    `json:"pages,omitempty"`
+	Seed       int64     `json:"seed,omitempty"`
+	Registered time.Time `json:"registered"`
+	// SpecWeighted and DeclaredVertices reproduce the upload record
+	// format (graph.FormatFor's inputs); Weighted/Vertices/Edges are the
+	// effective metadata served without materializing.
+	SpecWeighted     bool   `json:"specWeighted,omitempty"`
+	DeclaredVertices uint64 `json:"declaredVertices,omitempty"`
+	Weighted         bool   `json:"weighted"`
+	Vertices         uint64 `json:"vertices"`
+	Edges            int    `json:"edges"`
+	Upload           string `json:"upload,omitempty"` // data-dir-relative payload path
+}
+
+// jobRecord is the journaled form of one job transition. It carries the
+// job's complete state, not a delta, so replay is an idempotent upsert:
+// the last record wins, and a record that also made it into a snapshot
+// is harmless to reapply.
+type jobRecord struct {
+	ID        string        `json:"id"`
+	Graph     string        `json:"graph"`
+	Algorithm string        `json:"algorithm"`
+	Options   chaos.Options `json:"options"`
+	State     JobState      `json:"state"`
+	// Canceling marks a running job whose cancellation the API already
+	// accepted; recovery honors it by restoring the job as canceled
+	// instead of re-enqueuing it.
+	Canceling  bool      `json:"canceling,omitempty"`
+	Error      string    `json:"error,omitempty"`
+	CacheHit   bool      `json:"cacheHit,omitempty"`
+	Restarts   int       `json:"restarts,omitempty"`
+	EnqueuedAt time.Time `json:"enqueuedAt"`
+	StartedAt  time.Time `json:"startedAt,omitzero"`
+	FinishedAt time.Time `json:"finishedAt,omitzero"`
+}
+
+// resultRecord notes a result-store write. The store itself re-indexes
+// its directory on boot, so the record is informational (ordering the
+// blob against job transitions in the log, sizing during debugging).
+type resultRecord struct {
+	Key   string `json:"key"`
+	Bytes int    `json:"bytes"`
+}
+
+// serviceSnapshot is the compacting snapshot: the full durable state at
+// capture time. Replay applies it first, then the surviving journal
+// records on top.
+type serviceSnapshot struct {
+	SavedAt     time.Time     `json:"savedAt"`
+	NextGraphID int           `json:"nextGraphID"`
+	NextJobID   int           `json:"nextJobID"`
+	Graphs      []graphRecord `json:"graphs"`
+	Jobs        []jobRecord   `json:"jobs"`
+}
+
+// persistence bundles the durable machinery behind a Service with a
+// data dir. A Service without one has a nil *persistence.
+type persistence struct {
+	dataDir       string
+	wal           *durable.WAL
+	store         *durable.ResultStore
+	snapshotEvery int
+	compacting    atomic.Bool
+	// err is the first persistence failure (sticky, reported in Stats):
+	// the service keeps serving from memory, but durability is gone and
+	// operators need to see that.
+	err atomic.Value // string
+}
+
+func openPersistence(cfg Config) (*persistence, *durable.Recovered, error) {
+	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	wal, rec, err := durable.OpenWAL(filepath.Join(cfg.DataDir, "wal"), 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	store, err := durable.OpenResultStore(filepath.Join(cfg.DataDir, "results"), cfg.ResultStoreMaxBytes)
+	if err != nil {
+		wal.Close()
+		return nil, nil, err
+	}
+	return &persistence{
+		dataDir:       cfg.DataDir,
+		wal:           wal,
+		store:         store,
+		snapshotEvery: cfg.SnapshotEvery,
+	}, rec, nil
+}
+
+// note records a persistence failure without failing the request path.
+func (p *persistence) note(err error) {
+	if err != nil {
+		p.err.CompareAndSwap(nil, err.Error())
+	}
+}
+
+// lastError returns the sticky persistence failure, "" when healthy.
+func (p *persistence) lastError() string {
+	if s, ok := p.err.Load().(string); ok {
+		return s
+	}
+	return ""
+}
+
+// uploadRel is where a graph's uploaded payload lives, relative to the
+// data dir. Derived from the id so nothing has to be mutated after
+// registration.
+func uploadRel(id string) string { return filepath.Join("uploads", id+".edges") }
+
+// graphRecordOf flattens a registered graph for the journal/snapshot.
+func graphRecordOf(g *Graph) graphRecord {
+	rec := graphRecord{
+		ID:               g.ID,
+		Type:             g.Type,
+		Scale:            g.spec.Scale,
+		Pages:            g.spec.Pages,
+		Seed:             g.spec.Seed,
+		Registered:       g.Registered,
+		SpecWeighted:     g.spec.Weighted,
+		DeclaredVertices: g.spec.Vertices,
+		Weighted:         g.Weighted,
+		Vertices:         g.Vertices,
+		Edges:            g.EdgeCount,
+	}
+	if g.Type == "upload" {
+		rec.Upload = uploadRel(g.ID)
+	}
+	return rec
+}
+
+// graphFromRecord rebuilds a catalog entry lazily: metadata now, edges
+// on first use via the loader.
+func graphFromRecord(rec graphRecord, dataDir string) *Graph {
+	g := &Graph{
+		ID:         rec.ID,
+		Type:       rec.Type,
+		Weighted:   rec.Weighted,
+		Vertices:   rec.Vertices,
+		EdgeCount:  rec.Edges,
+		Registered: rec.Registered,
+		persisted:  true, // it came FROM the log
+		spec: GraphSpec{
+			Name:     rec.ID,
+			Type:     rec.Type,
+			Scale:    rec.Scale,
+			Pages:    rec.Pages,
+			Weighted: rec.SpecWeighted,
+			Seed:     rec.Seed,
+			Vertices: rec.DeclaredVertices,
+		},
+	}
+	switch rec.Type {
+	case "rmat":
+		g.load = func() ([]chaos.Edge, error) {
+			return chaos.GenerateRMAT(rec.Scale, rec.SpecWeighted, rec.Seed), nil
+		}
+	case "web":
+		g.load = func() ([]chaos.Edge, error) {
+			return chaos.GenerateWebGraph(rec.Pages, rec.Seed), nil
+		}
+	case "upload":
+		path := filepath.Join(dataDir, rec.Upload)
+		g.load = func() ([]chaos.Edge, error) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return nil, err
+			}
+			declared := rec.DeclaredVertices
+			if declared == 0 {
+				declared = 1 // compact format, as at registration
+			}
+			return graph.NewReader(bytes.NewReader(data), graph.FormatFor(declared, rec.SpecWeighted)).ReadAll()
+		}
+	default:
+		g.load = func() ([]chaos.Edge, error) {
+			return nil, fmt.Errorf("unknown persisted graph type %q", rec.Type)
+		}
+	}
+	return g
+}
+
+// jobRecordOf flattens a job for the journal/snapshot; callers hold the
+// scheduler's mutex.
+func jobRecordOf(j *Job) jobRecord {
+	return jobRecord{
+		ID:         j.ID,
+		Graph:      j.Graph,
+		Algorithm:  j.Algorithm,
+		Options:    j.Options,
+		State:      j.state,
+		Canceling:  j.canceling && j.state == JobRunning,
+		Error:      j.err,
+		CacheHit:   j.cacheHit,
+		Restarts:   j.restarts,
+		EnqueuedAt: j.enqueuedAt,
+		StartedAt:  j.startedAt,
+		FinishedAt: j.finishedAt,
+	}
+}
+
+func terminal(s JobState) bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// recover rebuilds the service's state from what the WAL found:
+// snapshot first, then journal records as idempotent upserts. Jobs that
+// were queued or running at crash time are re-enqueued (the engine is
+// deterministic, so a rerun reproduces the lost run exactly — usually
+// as a disk-cache hit); jobs whose graph cannot be recovered are failed
+// with a restart reason.
+func (s *Service) recover(rec *durable.Recovered) error {
+	var snap serviceSnapshot
+	if rec.Snapshot != nil {
+		if err := json.Unmarshal(rec.Snapshot, &snap); err != nil {
+			return fmt.Errorf("service: decoding snapshot: %w", err)
+		}
+	}
+
+	graphs := snap.Graphs
+	graphIdx := make(map[string]int, len(graphs))
+	for i, g := range graphs {
+		graphIdx[g.ID] = i
+	}
+	jobs := snap.Jobs
+	jobIdx := make(map[string]int, len(jobs))
+	for i, j := range jobs {
+		jobIdx[j.ID] = i
+	}
+
+	for _, r := range rec.Records {
+		switch r.Kind {
+		case recGraph:
+			var gr graphRecord
+			if err := json.Unmarshal(r.Data, &gr); err != nil {
+				return fmt.Errorf("service: decoding graph record: %w", err)
+			}
+			if _, ok := graphIdx[gr.ID]; ok {
+				continue // snapshot already has it (compaction overlap)
+			}
+			graphIdx[gr.ID] = len(graphs)
+			graphs = append(graphs, gr)
+		case recJob:
+			var jr jobRecord
+			if err := json.Unmarshal(r.Data, &jr); err != nil {
+				return fmt.Errorf("service: decoding job record: %w", err)
+			}
+			if i, ok := jobIdx[jr.ID]; ok {
+				// Last record wins — except that a snapshot captured
+				// after this record was appended may already hold a
+				// LATER state (the compaction overlap window). A
+				// terminal state never regresses.
+				if terminal(jobs[i].State) && !terminal(jr.State) {
+					continue
+				}
+				jobs[i] = jr
+				continue
+			}
+			jobIdx[jr.ID] = len(jobs)
+			jobs = append(jobs, jr)
+		case recResult:
+			// The result store re-indexed its directory already.
+		default:
+			// Forward compatibility: skip kinds this binary predates.
+		}
+	}
+
+	// Catalog: restore metadata; edges re-materialize lazily.
+	nextGraph := snap.NextGraphID
+	for _, gr := range graphs {
+		s.catalog.restore(graphFromRecord(gr, s.persist.dataDir))
+		var n int
+		if _, err := fmt.Sscanf(gr.ID, "g%d", &n); err == nil && n > nextGraph {
+			nextGraph = n
+		}
+	}
+	s.catalog.floorNextID(nextGraph)
+
+	// Scheduler: restore history, re-enqueue interrupted work.
+	sort.SliceStable(jobs, func(i, k int) bool {
+		a, _ := jobSeq(jobs[i].ID)
+		b, _ := jobSeq(jobs[k].ID)
+		return a < b
+	})
+	s.restoreJobs(jobs, snap.NextJobID)
+	return nil
+}
+
+// restoreJobs files recovered job records with the scheduler. Terminal
+// jobs come back as history (results rehydrate lazily from the disk
+// store); queued/running jobs go back on the queue, or fail if their
+// graph is gone. Changed jobs are re-journaled so the log reflects the
+// requeue/failure.
+func (s *Service) restoreJobs(recs []jobRecord, nextID int) {
+	sc := s.scheduler
+	now := time.Now().UTC()
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	maxSeq := nextID
+	for _, r := range recs {
+		if _, dup := sc.jobs[r.ID]; dup {
+			continue
+		}
+		j := &Job{
+			ID:         r.ID,
+			Graph:      r.Graph,
+			Algorithm:  r.Algorithm,
+			Options:    r.Options,
+			state:      r.State,
+			err:        r.Error,
+			cacheHit:   r.CacheHit,
+			restarts:   r.Restarts,
+			enqueuedAt: r.EnqueuedAt,
+			startedAt:  r.StartedAt,
+			finishedAt: r.FinishedAt,
+		}
+		changed := false
+		switch {
+		case !terminal(j.state) && r.Canceling:
+			// The API accepted this cancellation before the crash;
+			// honor it instead of rerunning the job.
+			j.state = JobCanceled
+			j.err = "canceled while running; the process restarted before the run stopped"
+			j.finishedAt = now
+			changed = true
+		case !terminal(j.state):
+			if _, ok := s.catalog.Get(j.Graph); !ok {
+				j.state = JobFailed
+				j.err = fmt.Sprintf("not recoverable after restart: graph %q is gone", j.Graph)
+				j.finishedAt = now
+			} else {
+				j.state = JobQueued
+				j.startedAt = time.Time{}
+				j.finishedAt = time.Time{}
+				j.restarts++
+				sc.queue = append(sc.queue, j)
+			}
+			changed = true
+		}
+		sc.jobs[j.ID] = j
+		sc.order = append(sc.order, j.ID)
+		sc.counts[j.Algorithm]++
+		if seq, ok := jobSeq(j.ID); ok && seq > maxSeq {
+			maxSeq = seq
+		}
+		if changed {
+			sc.noteLocked(j)
+		}
+	}
+	sc.nextID = maxSeq
+	sc.pruneLocked()
+	sc.cond.Broadcast()
+}
+
+// noteJob is the scheduler's transition hook: journal every state
+// change (called with the scheduler mutex held, which keeps the journal
+// in transition order; the append is a buffered write, fsync is
+// batched). It also drives the snapshot policy.
+func (s *Service) noteJob(j *Job) {
+	s.persist.note(s.persist.wal.Append(recJob, jobRecordOf(j)))
+	s.maybeCompact()
+}
+
+// persistGraph makes a fresh registration durable: the upload payload
+// (if any) first, fsynced, then the journal record, synced before the
+// client sees 201 — a graph the API acknowledged must never vanish.
+func (s *Service) persistGraph(g *Graph, payload []byte) error {
+	p := s.persist
+	if g.Type == "upload" {
+		path := filepath.Join(p.dataDir, uploadRel(g.ID))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return err
+		}
+		if err := durable.WriteFileAtomic(path, payload); err != nil {
+			return err
+		}
+	}
+	if err := p.wal.Append(recGraph, graphRecordOf(g)); err != nil {
+		return err
+	}
+	if err := p.wal.Sync(); err != nil {
+		return err
+	}
+	g.markPersisted() // snapshots may include it from here on
+	s.maybeCompact()
+	return nil
+}
+
+// persistResult makes a finished run durable: blob first (fsynced by
+// the store), then the journal record. Runs on the worker goroutine
+// that computed the result, off every lock.
+func (s *Service) persistResult(key string, res *chaos.Result, rep *chaos.Report) {
+	p := s.persist
+	data, err := json.Marshal(storedResult{Result: res, Report: rep})
+	if err != nil {
+		p.note(err)
+		return
+	}
+	if err := p.store.Put(key, data); err != nil {
+		p.note(err)
+		return
+	}
+	p.note(p.wal.Append(recResult, resultRecord{Key: key, Bytes: len(data)}))
+}
+
+// maybeCompact kicks off a background snapshot once the journal has
+// accumulated SnapshotEvery records. Single-flight; the snapshot runs
+// off the request path (see durable.WAL.Compact for why appends may
+// proceed concurrently).
+func (s *Service) maybeCompact() {
+	p := s.persist
+	if p.wal.AppendedSinceCompact() < p.snapshotEvery {
+		return
+	}
+	if !p.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer p.compacting.Store(false)
+		p.note(p.wal.Compact(s.captureSnapshot))
+	}()
+}
+
+// captureSnapshot freezes the full durable state. Called by the WAL
+// after rotating the journal; takes the catalog and scheduler locks.
+func (s *Service) captureSnapshot() (any, error) {
+	snap := serviceSnapshot{SavedAt: time.Now().UTC()}
+	c := s.catalog
+	c.mu.RLock()
+	snap.NextGraphID = c.nextID
+	graphs := make([]*Graph, 0, len(c.order))
+	for _, id := range c.order {
+		graphs = append(graphs, c.graphs[id])
+	}
+	c.mu.RUnlock()
+	for _, g := range graphs {
+		// Skip registrations the journal does not hold yet: if their
+		// persist step fails they are rolled back and reported 500, and
+		// a snapshot must not resurrect them (isPersisted takes g.mu,
+		// so it cannot be read under the catalog lock ordering).
+		if g.isPersisted() {
+			snap.Graphs = append(snap.Graphs, graphRecordOf(g))
+		}
+	}
+	sc := s.scheduler
+	sc.mu.Lock()
+	snap.NextJobID = sc.nextID
+	for _, id := range sc.order {
+		snap.Jobs = append(snap.Jobs, jobRecordOf(sc.jobs[id]))
+	}
+	sc.mu.Unlock()
+	return snap, nil
+}

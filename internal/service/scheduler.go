@@ -2,7 +2,9 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -14,7 +16,11 @@ type JobState string
 
 // Job lifecycle: Submit puts a job in JobQueued; a worker moves it to
 // JobRunning and then JobDone or JobFailed; Cancel moves a still-queued
-// job to JobCanceled (running simulations are not interruptible).
+// job straight to JobCanceled, and asks a running job to stop at its
+// next iteration boundary (the engine observes the job's context there),
+// after which the worker records JobCanceled. After a crash, recovery
+// re-enqueues jobs that were queued or running and fails unrecoverable
+// ones with a restart reason.
 const (
 	JobQueued   JobState = "queued"
 	JobRunning  JobState = "running"
@@ -40,6 +46,14 @@ type Job struct {
 	enqueuedAt time.Time
 	startedAt  time.Time
 	finishedAt time.Time
+
+	// cancel stops the running simulation at its next iteration
+	// boundary; set only while state == JobRunning.
+	cancel    context.CancelFunc
+	canceling bool // Cancel was requested on a running job
+	// restarts counts how many times crash recovery re-enqueued this
+	// job (diagnostics; also journaled).
+	restarts int
 }
 
 // JobView is an immutable snapshot of a Job, safe to serialize.
@@ -49,6 +63,8 @@ type JobView struct {
 	Algorithm  string        `json:"algorithm"`
 	State      JobState      `json:"state"`
 	CacheHit   bool          `json:"cacheHit,omitempty"`
+	Canceling  bool          `json:"canceling,omitempty"`
+	Restarts   int           `json:"restarts,omitempty"`
 	Error      string        `json:"error,omitempty"`
 	EnqueuedAt time.Time     `json:"enqueuedAt"`
 	StartedAt  *time.Time    `json:"startedAt,omitempty"`
@@ -65,6 +81,8 @@ func (j *Job) view() JobView {
 		Algorithm:  j.Algorithm,
 		State:      j.state,
 		CacheHit:   j.cacheHit,
+		Canceling:  j.canceling && j.state == JobRunning,
+		Restarts:   j.restarts,
 		Error:      j.err,
 		EnqueuedAt: j.enqueuedAt,
 		Result:     j.result,
@@ -82,8 +100,10 @@ func (j *Job) view() JobView {
 }
 
 // runFunc executes one job and returns its result; the scheduler owns all
-// state transitions around the call.
-type runFunc func(*Job) (*chaos.Result, *chaos.Report, error)
+// state transitions around the call. ctx is canceled when the job's
+// cancellation is requested; a run that returns ctx.Err() after that is
+// recorded as canceled, not failed.
+type runFunc func(ctx context.Context, j *Job) (*chaos.Result, *chaos.Report, error)
 
 // Scheduler runs jobs on a bounded worker pool: at most `workers`
 // simulations execute concurrently, the rest wait in a FIFO queue.
@@ -102,6 +122,23 @@ type Scheduler struct {
 	closed  bool
 	counts  map[string]int // submissions per algorithm
 	wg      sync.WaitGroup
+
+	// onUpdate, when set (before any submission), observes every state
+	// transition with s.mu held — the service journals them through it.
+	// Holding the lock keeps the journal in transition order.
+	onUpdate func(*Job)
+	// hydrate, when set, lazily reloads the (result, report) of a done
+	// job whose payload did not survive in memory (a job restored from
+	// the journal); it may read the disk result store.
+	hydrate func(graph, algorithm string, opt chaos.Options) (*chaos.Result, *chaos.Report, bool)
+}
+
+// noteLocked reports a state transition to the service; callers hold
+// s.mu and call it after every mutation of a job's state.
+func (s *Scheduler) noteLocked(j *Job) {
+	if s.onUpdate != nil {
+		s.onUpdate(j)
+	}
 }
 
 // NewScheduler starts a pool of workers feeding jobs through run. The
@@ -179,6 +216,7 @@ func (s *Scheduler) Submit(graphID, alg string, opt chaos.Options) (JobView, err
 	j := s.newJobLocked(graphID, alg, opt)
 	j.state = JobQueued
 	s.queue = append(s.queue, j)
+	s.noteLocked(j)
 	s.cond.Signal()
 	return j.view(), nil
 }
@@ -197,34 +235,109 @@ func (s *Scheduler) AdmitCached(graphID, alg string, opt chaos.Options, res *cha
 	j.result = res
 	j.report = rep
 	j.finishedAt = j.enqueuedAt
+	s.noteLocked(j)
 	return j.view(), nil
 }
 
-// Get snapshots the job with the given id.
+// Get snapshots the job with the given id, lazily rehydrating the
+// result payload of a journal-restored done job from the disk store.
 func (s *Scheduler) Get(id string) (JobView, bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
 	if !ok {
+		s.mu.Unlock()
 		return JobView{}, false
+	}
+	needsHydration := j.state == JobDone && j.result == nil && s.hydrate != nil
+	v := j.view()
+	s.mu.Unlock()
+	if !needsHydration {
+		return v, true
+	}
+	// Hydration reads the disk store; doing it under s.mu would stall
+	// every worker transition and submission behind one HTTP GET. The
+	// payload for a key is immutable, so filling it in after re-locking
+	// cannot race to a wrong value (a concurrent Get at worst loads the
+	// same blob twice).
+	res, rep, ok := s.hydrate(v.Graph, v.Algorithm, j.Options)
+	if !ok {
+		return v, true // blob evicted or lost: the view just lacks a result
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.result == nil {
+		j.result, j.report = res, rep
 	}
 	return j.view(), true
 }
 
 // List snapshots every job in submission order.
 func (s *Scheduler) List() []JobView {
+	return s.ListFiltered(JobFilter{})
+}
+
+// JobFilter selects and pages a job listing.
+type JobFilter struct {
+	// State keeps only jobs in this state ("" = all).
+	State JobState
+	// After resumes the listing just past this job id (exclusive
+	// cursor). The id itself need not still exist — history eviction
+	// may have removed it — because ids are ordered: jN sorts by N.
+	After string
+	// Limit caps the page size (0 = unlimited).
+	Limit int
+}
+
+// ListFiltered snapshots jobs in submission order, restricted by f.
+// Pagination protocol: pass the last id of one page as After for the
+// next; a short (or empty) page means the listing is exhausted.
+func (s *Scheduler) ListFiltered(f JobFilter) []JobView {
+	afterSeq := -1
+	if f.After != "" {
+		if seq, ok := jobSeq(f.After); ok {
+			afterSeq = seq
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]JobView, 0, len(s.order))
+	out := []JobView{}
 	for _, id := range s.order {
-		out = append(out, s.jobs[id].view())
+		if afterSeq >= 0 {
+			if seq, ok := jobSeq(id); ok && seq <= afterSeq {
+				continue
+			}
+		}
+		j := s.jobs[id]
+		if f.State != "" && j.state != f.State {
+			continue
+		}
+		out = append(out, j.view())
+		if f.Limit > 0 && len(out) >= f.Limit {
+			break
+		}
 	}
 	return out
 }
 
-// Cancel moves a queued job to JobCanceled. Running jobs are not
-// interruptible (the simulation has no preemption point); finished jobs
-// are immutable. Both report a state conflict.
+// jobSeq extracts the numeric part of a job id ("j42" -> 42). Ids are
+// assigned from a single counter, so the sequence orders submissions
+// even across restarts.
+func jobSeq(id string) (int, bool) {
+	if len(id) < 2 || id[0] != 'j' {
+		return 0, false
+	}
+	n, err := strconv.Atoi(id[1:])
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// Cancel stops a job. A queued job moves to JobCanceled immediately; a
+// running job gets its context canceled and stops at the simulation's
+// next iteration boundary (the returned view still says "running" with
+// canceling set — poll until the worker records the final state).
+// Finished jobs are immutable and report a state conflict.
 func (s *Scheduler) Cancel(id string) (JobView, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -232,13 +345,26 @@ func (s *Scheduler) Cancel(id string) (JobView, error) {
 	if !ok {
 		return JobView{}, &notFoundError{what: "job", id: id}
 	}
-	if j.state != JobQueued {
-		return j.view(), fmt.Errorf("service: job %s is %s, only queued jobs can be canceled", id, j.state)
+	switch j.state {
+	case JobQueued:
+		j.state = JobCanceled
+		j.finishedAt = time.Now().UTC()
+		s.noteLocked(j)
+		// The job stays in s.queue; workers skip non-queued entries.
+		return j.view(), nil
+	case JobRunning:
+		if !j.canceling {
+			j.canceling = true
+			j.cancel() // observed at the next iteration boundary
+			// Journal the accepted cancellation: if the process dies
+			// before the boundary, recovery must cancel the job, not
+			// rerun it to completion.
+			s.noteLocked(j)
+		}
+		return j.view(), nil // idempotent: repeat cancels just re-report
+	default:
+		return j.view(), fmt.Errorf("service: job %s is already %s", id, j.state)
 	}
-	j.state = JobCanceled
-	j.finishedAt = time.Now().UTC()
-	// The job stays in s.queue; workers skip non-queued entries.
-	return j.view(), nil
 }
 
 // worker pops queued jobs until shutdown.
@@ -261,22 +387,32 @@ func (s *Scheduler) worker() {
 		}
 		j.state = JobRunning
 		j.startedAt = time.Now().UTC()
+		ctx, cancel := context.WithCancel(context.Background())
+		j.cancel = cancel
 		s.running++
+		s.noteLocked(j)
 		s.mu.Unlock()
 
-		res, rep, err := s.run(j)
+		res, rep, err := s.run(ctx, j)
+		cancel()
 
 		s.mu.Lock()
 		s.running--
+		j.cancel = nil
 		j.finishedAt = time.Now().UTC()
-		if err != nil {
-			j.state = JobFailed
-			j.err = err.Error()
-		} else {
+		switch {
+		case err == nil:
 			j.state = JobDone
 			j.result = res
 			j.report = rep
+		case errors.Is(err, context.Canceled) && j.canceling:
+			j.state = JobCanceled
+			j.err = "canceled while running; stopped at an iteration boundary"
+		default:
+			j.state = JobFailed
+			j.err = err.Error()
 		}
+		s.noteLocked(j)
 		s.mu.Unlock()
 	}
 }
@@ -289,7 +425,9 @@ func (s *Scheduler) Shutdown(ctx context.Context) error {
 	for _, j := range s.queue {
 		if j.state == JobQueued {
 			j.state = JobCanceled
+			j.err = "canceled at shutdown before running"
 			j.finishedAt = time.Now().UTC()
+			s.noteLocked(j)
 		}
 	}
 	s.queue = nil

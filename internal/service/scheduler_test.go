@@ -23,7 +23,10 @@ type gate struct {
 
 func newGate() *gate { return &gate{release: make(chan struct{})} }
 
-func (g *gate) run(j *Job) (*chaos.Result, *chaos.Report, error) {
+// run blocks until released or canceled, mirroring the engine's
+// iteration-boundary cancellation: a canceled context surfaces as
+// ctx.Err() from the run.
+func (g *gate) run(ctx context.Context, j *Job) (*chaos.Result, *chaos.Report, error) {
 	n := g.active.Add(1)
 	for {
 		p := g.peak.Load()
@@ -31,8 +34,12 @@ func (g *gate) run(j *Job) (*chaos.Result, *chaos.Report, error) {
 			break
 		}
 	}
-	<-g.release
-	g.active.Add(-1)
+	defer g.active.Add(-1)
+	select {
+	case <-g.release:
+	case <-ctx.Done():
+		return nil, nil, ctx.Err()
+	}
 	g.runs.Add(1)
 	return &chaos.Result{Algorithm: j.Algorithm}, &chaos.Report{Algorithm: j.Algorithm}, nil
 }
@@ -93,7 +100,8 @@ func TestSchedulerBoundsConcurrency(t *testing.T) {
 }
 
 // TestSchedulerCancel covers the cancellation state machine: queued jobs
-// cancel, running and finished ones conflict, canceled jobs never run.
+// cancel immediately, running jobs stop cooperatively via their context,
+// finished ones conflict, canceled jobs never run.
 func TestSchedulerCancel(t *testing.T) {
 	g := newGate()
 	s := NewScheduler(1, 0, g.run)
@@ -115,26 +123,33 @@ func TestSchedulerCancel(t *testing.T) {
 	if jv, _ := s.Get(queued.ID); jv.State != JobCanceled {
 		t.Errorf("state %s, want canceled", jv.State)
 	}
-	if _, err := s.Cancel(running.ID); err == nil {
-		t.Error("canceling a running job should conflict")
-	}
 	if _, err := s.Cancel("j999"); !errors.As(err, new(*notFoundError)) {
 		t.Errorf("canceling unknown job: %v, want not-found", err)
 	}
 
-	// The canceled job is skipped, not run: release the running job and
-	// verify only one run ever happened.
-	g.release <- struct{}{}
-	waitFor(t, "first job done", func() bool {
+	// Canceling the running job is accepted (not a conflict): the view
+	// reports the pending cancellation, and the job lands in canceled
+	// once the run observes its context — without ever being released.
+	jv, err := s.Cancel(running.ID)
+	if err != nil {
+		t.Fatalf("cancel running: %v", err)
+	}
+	if jv.State != JobRunning || !jv.Canceling {
+		t.Errorf("cancel running returned state %s canceling %v", jv.State, jv.Canceling)
+	}
+	if _, err := s.Cancel(running.ID); err != nil {
+		t.Errorf("repeated cancel of a running job must be idempotent: %v", err)
+	}
+	waitFor(t, "running job canceled", func() bool {
 		jv, _ := s.Get(running.ID)
-		return jv.State == JobDone
+		return jv.State == JobCanceled
 	})
 	waitFor(t, "queue drained", func() bool { return s.stats().queueDepth == 0 })
-	if got := g.runs.Load(); got != 1 {
-		t.Errorf("%d jobs ran, want 1 (canceled job must not run)", got)
+	if got := g.runs.Load(); got != 0 {
+		t.Errorf("%d jobs ran to completion, want 0 (both were canceled)", got)
 	}
 	if _, err := s.Cancel(running.ID); err == nil {
-		t.Error("canceling a done job should conflict")
+		t.Error("canceling an already-canceled job should conflict")
 	}
 }
 
@@ -226,7 +241,7 @@ func TestSchedulerRetentionEvictsOnlyFinishedJobs(t *testing.T) {
 
 // TestResultCacheEviction checks the bounded cache evicts oldest-first.
 func TestResultCacheEviction(t *testing.T) {
-	c := newResultCache(2)
+	c := newResultCache(2, nil)
 	res := &chaos.Result{}
 	rep := &chaos.Report{}
 	c.store("a", res, rep)
@@ -246,9 +261,107 @@ func TestResultCacheEviction(t *testing.T) {
 	}
 }
 
+// TestResultCacheEvictionOrderAndCompaction is the regression test for
+// the order-slice leak: eviction used to reslice order = order[1:],
+// which keeps every evicted key reachable through the shared backing
+// array forever. The ring head plus periodic compaction must keep the
+// queue's capacity proportional to the cache bound while still evicting
+// strictly oldest-first.
+func TestResultCacheEvictionOrderAndCompaction(t *testing.T) {
+	const capacity, total = 8, 1000
+	c := newResultCache(capacity, nil)
+	res := &chaos.Result{}
+	rep := &chaos.Report{}
+	key := func(i int) string { return fmt.Sprintf("k%04d", i) }
+	for i := 0; i < total; i++ {
+		c.store(key(i), res, rep)
+		if n := len(c.entries); n > capacity {
+			t.Fatalf("after %d stores: %d entries, cap %d", i+1, n, capacity)
+		}
+	}
+	// Strict FIFO: exactly the last `capacity` keys survive.
+	for i := 0; i < total-capacity; i++ {
+		if _, _, ok := c.lookup(key(i)); ok {
+			t.Fatalf("evicted key %s still cached", key(i))
+		}
+	}
+	for i := total - capacity; i < total; i++ {
+		if _, _, ok := c.lookup(key(i)); !ok {
+			t.Fatalf("live key %s missing", key(i))
+		}
+	}
+	// The order queue must not have accumulated the ~1000 dead keys:
+	// compaction bounds both its length and its capacity.
+	c.mu.Lock()
+	qlen, qcap, head := len(c.order), cap(c.order), c.head
+	c.mu.Unlock()
+	if qlen-head != capacity {
+		t.Errorf("live queue window %d, want %d", qlen-head, capacity)
+	}
+	if qcap > 8*capacity {
+		t.Errorf("order queue capacity grew to %d for a %d-entry cache (evicted keys pinned)", qcap, capacity)
+	}
+}
+
+// TestSchedulerListFiltered covers state filtering and after/limit
+// paging over a mixed-state history.
+func TestSchedulerListFiltered(t *testing.T) {
+	g := newGate()
+	s := NewScheduler(1, 0, g.run)
+	defer func() {
+		close(g.release)
+		s.Shutdown(context.Background())
+	}()
+
+	running, _ := s.Submit("g", "PR", chaos.Options{})
+	waitFor(t, "job running", func() bool {
+		jv, _ := s.Get(running.ID)
+		return jv.State == JobRunning
+	})
+	var queued []string
+	for i := 0; i < 5; i++ {
+		jv, err := s.Submit("g", "BFS", chaos.Options{Seed: int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		queued = append(queued, jv.ID)
+	}
+	if _, err := s.Cancel(queued[1]); err != nil {
+		t.Fatal(err)
+	}
+
+	if all := s.ListFiltered(JobFilter{}); len(all) != 6 {
+		t.Fatalf("unfiltered: %d jobs, want 6", len(all))
+	}
+	q := s.ListFiltered(JobFilter{State: JobQueued})
+	if len(q) != 4 {
+		t.Fatalf("queued filter: %d jobs, want 4", len(q))
+	}
+	// Page through the queued jobs two at a time using the cursor.
+	page1 := s.ListFiltered(JobFilter{State: JobQueued, Limit: 2})
+	if len(page1) != 2 || page1[0].ID != q[0].ID || page1[1].ID != q[1].ID {
+		t.Fatalf("page1 %v", page1)
+	}
+	page2 := s.ListFiltered(JobFilter{State: JobQueued, Limit: 2, After: page1[1].ID})
+	if len(page2) != 2 || page2[0].ID != q[2].ID {
+		t.Fatalf("page2 %v", page2)
+	}
+	if page3 := s.ListFiltered(JobFilter{State: JobQueued, Limit: 2, After: page2[1].ID}); len(page3) != 0 {
+		t.Fatalf("page3 %v, want empty", page3)
+	}
+	// A cursor whose job no longer exists still works: ids order the
+	// sequence even after history eviction.
+	if got := s.ListFiltered(JobFilter{After: "j3"}); len(got) != 3 {
+		t.Fatalf("after j3: %d jobs, want 3", len(got))
+	}
+	if got := s.ListFiltered(JobFilter{State: JobCanceled}); len(got) != 1 || got[0].ID != queued[1] {
+		t.Fatalf("canceled filter %v", got)
+	}
+}
+
 // TestSchedulerFailedJob surfaces run errors as the failed state.
 func TestSchedulerFailedJob(t *testing.T) {
-	s := NewScheduler(1, 0, func(j *Job) (*chaos.Result, *chaos.Report, error) {
+	s := NewScheduler(1, 0, func(ctx context.Context, j *Job) (*chaos.Result, *chaos.Report, error) {
 		return nil, nil, fmt.Errorf("boom")
 	})
 	defer s.Shutdown(context.Background())

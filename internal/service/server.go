@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 
 	"chaos"
 )
@@ -14,9 +15,10 @@ import (
 //	GET    /v1/graphs     list registered graphs
 //	GET    /v1/graphs/{id}  one graph with its cached views
 //	POST   /v1/jobs       submit a job (jobRequest JSON) -> 202
-//	GET    /v1/jobs       list jobs
+//	GET    /v1/jobs       list jobs (?state=done&limit=N&after=<id>)
 //	GET    /v1/jobs/{id}  job state, full Report and Result when done
-//	DELETE /v1/jobs/{id}  cancel a queued job
+//	DELETE /v1/jobs/{id}  cancel a job (running ones stop at the next
+//	                      iteration boundary; poll until "canceled")
 //	GET    /healthz       liveness
 //	GET    /v1/stats      queue depth, cache hit rate, per-algorithm counts
 func (s *Service) Handler() http.Handler {
@@ -100,15 +102,18 @@ func (r jobRequest) resolve() (string, chaos.Options, error) {
 	return chaos.ParseOptions(r.Algorithm, r.Options.Storage, r.Options.Network, base)
 }
 
-// maxBodyBytes bounds POST payloads; both request shapes are small
-// metadata, so anything past 1 MB is garbage or abuse.
+// maxBodyBytes bounds POST /v1/jobs payloads: job requests are small
+// metadata, so anything past 1 MB is garbage or abuse. Graph
+// registrations carry whole base64 edge lists and get their own, far
+// larger, configurable cap (Config.MaxUploadBytes) — a weighted
+// scale-16 R-MAT upload alone is tens of MB.
 const maxBodyBytes = 1 << 20
 
 // decodeStrict decodes a JSON request body, rejecting unknown fields —
 // a typo'd option name fails loudly with 400 instead of silently running
-// with defaults — and enforcing the body size limit.
-func decodeStrict(w http.ResponseWriter, r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+// with defaults — and enforcing the given body size limit.
+func decodeStrict(w http.ResponseWriter, r *http.Request, v any, limit int64) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return err
@@ -118,6 +123,17 @@ func decodeStrict(w http.ResponseWriter, r *http.Request, v any) error {
 		return errors.New("request body must be a single JSON object")
 	}
 	return nil
+}
+
+// decodeStatus maps a decodeStrict failure to its HTTP status: an
+// over-limit body is 413 Content Too Large, anything else is the
+// caller's 400.
+func decodeStatus(err error) int {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 type errorResponse struct {
@@ -154,11 +170,11 @@ func statusFor(err error, fallback int) int {
 
 func (s *Service) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
 	var spec GraphSpec
-	if err := decodeStrict(w, r, &spec); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if err := decodeStrict(w, r, &spec, s.cfg.MaxUploadBytes); err != nil {
+		writeError(w, decodeStatus(err), err)
 		return
 	}
-	g, err := s.catalog.Register(spec)
+	g, err := s.RegisterGraph(spec)
 	if err != nil {
 		writeError(w, statusFor(err, http.StatusBadRequest), err)
 		return
@@ -186,8 +202,8 @@ func (s *Service) handleGetGraph(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	var req jobRequest
-	if err := decodeStrict(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if err := decodeStrict(w, r, &req, maxBodyBytes); err != nil {
+		writeError(w, decodeStatus(err), err)
 		return
 	}
 	alg, opt, err := req.resolve()
@@ -203,8 +219,39 @@ func (s *Service) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, job)
 }
 
+// handleListJobs lists jobs, optionally filtered and paged:
+// ?state=<queued|running|done|failed|canceled> keeps one state,
+// ?limit=N caps the page, ?after=<id> resumes past a previous page's
+// last id. With the journal preserving history across restarts,
+// unpaged listings would otherwise grow with the service's lifetime.
 func (s *Service) handleListJobs(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.scheduler.List())
+	q := r.URL.Query()
+	var f JobFilter
+	if st := q.Get("state"); st != "" {
+		switch JobState(st) {
+		case JobQueued, JobRunning, JobDone, JobFailed, JobCanceled:
+			f.State = JobState(st)
+		default:
+			writeError(w, http.StatusBadRequest, errors.New("unknown state "+strconv.Quote(st)))
+			return
+		}
+	}
+	if lim := q.Get("limit"); lim != "" {
+		n, err := strconv.Atoi(lim)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, errors.New("limit must be a non-negative integer"))
+			return
+		}
+		f.Limit = n
+	}
+	if after := q.Get("after"); after != "" {
+		if _, ok := jobSeq(after); !ok {
+			writeError(w, http.StatusBadRequest, errors.New("after must be a job id like j42"))
+			return
+		}
+		f.After = after
+	}
+	writeJSON(w, http.StatusOK, s.scheduler.ListFiltered(f))
 }
 
 func (s *Service) handleGetJob(w http.ResponseWriter, r *http.Request) {

@@ -22,8 +22,10 @@ package service
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"chaos"
+	"chaos/internal/durable"
 )
 
 // Config parameterizes a Service.
@@ -42,6 +44,22 @@ type Config struct {
 	// MaxJobHistory bounds how many finished jobs stay queryable;
 	// queued and running jobs are never evicted (default 10000).
 	MaxJobHistory int
+	// MaxUploadBytes bounds POST /v1/graphs request bodies (default
+	// 64 MiB). Graph uploads carry whole edge lists, so they get a far
+	// larger cap than the other endpoints' 1 MB.
+	MaxUploadBytes int64
+	// DataDir, when non-empty, makes the service durable: graph
+	// registrations, job transitions and results are journaled under
+	// it and recovered on the next Open (see internal/durable and
+	// DESIGN.md). Empty means today's purely in-memory service.
+	DataDir string
+	// SnapshotEvery compacts the journal into a snapshot after this
+	// many records (default 1024; needs DataDir).
+	SnapshotEvery int
+	// ResultStoreMaxBytes bounds the disk result store; the least
+	// recently used blobs are evicted past it (0 = unbounded; needs
+	// DataDir).
+	ResultStoreMaxBytes int64
 }
 
 // Service is the graph-analytics job service.
@@ -50,43 +68,133 @@ type Service struct {
 	catalog   *Catalog
 	scheduler *Scheduler
 	cache     *resultCache
+
+	persist   *persistence // nil without Config.DataDir
+	closeOnce sync.Once
 }
 
-// New starts a Service with its worker pool running.
+// New starts an in-memory Service with its worker pool running. It is
+// Open for configurations that cannot fail; a Config with a DataDir
+// should use Open directly (New panics on persistence errors).
 func New(cfg Config) *Service {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err) // unreachable without DataDir: no IO happens
+	}
+	return s
+}
+
+// Open starts a Service. With cfg.DataDir set it opens the durable
+// state under it, recovers graphs and job history from the snapshot and
+// journal, and re-enqueues whatever was queued or running when the last
+// process died; jobs that cannot be recovered are marked failed with a
+// restart reason.
+func Open(cfg Config) (*Service, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 4
 	}
 	if cfg.MaxCacheEntries <= 0 {
 		cfg.MaxCacheEntries = 4096
 	}
+	if cfg.MaxUploadBytes <= 0 {
+		cfg.MaxUploadBytes = 64 << 20
+	}
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = 1024
+	}
 	s := &Service{
 		cfg:     cfg,
 		catalog: NewCatalog(),
-		cache:   newResultCache(cfg.MaxCacheEntries),
+	}
+	var recovered *durable.Recovered
+	if cfg.DataDir != "" {
+		p, rec, err := openPersistence(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("service: opening data dir %s: %w", cfg.DataDir, err)
+		}
+		s.persist = p
+		recovered = rec
+		s.cache = newResultCache(cfg.MaxCacheEntries, p.store)
+	} else {
+		s.cache = newResultCache(cfg.MaxCacheEntries, nil)
 	}
 	s.scheduler = NewScheduler(cfg.Workers, cfg.MaxJobHistory, s.execute)
-	return s
+	if s.persist != nil {
+		// Hooks before recovery: requeue/failure transitions during
+		// recovery must hit the journal too. The lazy result hydrator
+		// serves GETs of pre-crash done jobs from the disk store.
+		s.scheduler.onUpdate = s.noteJob
+		s.scheduler.hydrate = func(graphID, alg string, opt chaos.Options) (*chaos.Result, *chaos.Report, bool) {
+			return s.cache.lookup(cacheKey(graphID, alg, opt))
+		}
+		if err := s.recover(recovered); err != nil {
+			s.persist.wal.Close()
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
 // execute runs one job to completion on a worker goroutine: resolve the
-// graph, fetch its cached edge view, run the algorithm, and populate the
-// result cache on success.
-func (s *Service) execute(job *Job) (*chaos.Result, *chaos.Report, error) {
+// graph (re-materializing it if it was restored from the journal), fetch
+// its cached edge view, run the algorithm — canceling at iteration
+// boundaries once ctx is canceled — and populate the result cache (and,
+// when durable, the disk result store) on success.
+func (s *Service) execute(ctx context.Context, job *Job) (*chaos.Result, *chaos.Report, error) {
+	key := cacheKey(job.Graph, job.Algorithm, job.Options)
+	if job.restarts > 0 {
+		// A crash-re-enqueued job may have finished before the crash
+		// with only its "done" record lost in the fsync-batching
+		// window; the fsynced result blob then answers without
+		// re-simulating. Fresh submissions were already cache-checked
+		// in Submit, so only restarted jobs pay this lookup.
+		if res, rep, ok := s.cache.lookup(key); ok {
+			return res, rep, nil
+		}
+	}
 	g, ok := s.catalog.Get(job.Graph)
 	if !ok {
 		return nil, nil, fmt.Errorf("service: graph %q disappeared", job.Graph)
+	}
+	if err := g.ensure(); err != nil {
+		return nil, nil, err
 	}
 	view, err := chaos.ViewFor(job.Algorithm)
 	if err != nil {
 		return nil, nil, err
 	}
-	res, rep, err := chaos.RunPrepared(job.Algorithm, g.View(view), g.Vertices, job.Options)
+	res, rep, err := chaos.RunPreparedContext(ctx, job.Algorithm, g.View(view), g.Vertices, job.Options)
 	if err != nil {
 		return nil, nil, err
 	}
-	s.cache.store(cacheKey(job.Graph, job.Algorithm, job.Options), res, rep)
+	s.cache.store(key, res, rep)
+	if s.persist != nil {
+		// Blob (fsynced) before journal record: a journaled key never
+		// points at a hole. The done transition is journaled by the
+		// scheduler hook after this returns.
+		s.persistResult(key, res, rep)
+	}
 	return res, rep, nil
+}
+
+// RegisterGraph materializes and files a graph, and — when durable —
+// persists the registration (upload payloads land as files under the
+// data dir, generated graphs as their spec) before acknowledging it.
+func (s *Service) RegisterGraph(spec GraphSpec) (*Graph, error) {
+	g, err := s.catalog.Register(spec)
+	if err != nil {
+		return nil, err
+	}
+	if s.persist != nil {
+		if err := s.persistGraph(g, spec.Data); err != nil {
+			// Roll back: a registration the log does not have must not
+			// be visible, or it would silently vanish on restart.
+			s.catalog.remove(g.ID)
+			s.persist.note(err)
+			return nil, fmt.Errorf("service: persisting graph %q: %w", g.ID, err)
+		}
+	}
+	return g, nil
 }
 
 // Submit enqueues a job for graph id, serving it from the result cache
@@ -169,12 +277,26 @@ type Stats struct {
 	Jobs         map[string]int `json:"jobs"`
 	PerAlgorithm map[string]int `json:"perAlgorithm"`
 	Cache        CacheStats     `json:"cache"`
+	// Durable reports the persistence layer; nil without a data dir.
+	Durable *DurableStats `json:"durable,omitempty"`
+}
+
+// DurableStats is the persistence slice of /v1/stats.
+type DurableStats struct {
+	DataDir string `json:"dataDir"`
+	// JournalRecords counts records appended since the last compacting
+	// snapshot (the snapshot-every policy input).
+	JournalRecords int `json:"journalRecords"`
+	// LastError is the first persistence failure since boot, "" while
+	// healthy. State keeps serving from memory past it, but durability
+	// is gone until the operator intervenes.
+	LastError string `json:"lastError,omitempty"`
 }
 
 // Stats snapshots the service counters.
 func (s *Service) Stats() Stats {
 	st := s.scheduler.stats()
-	return Stats{
+	out := Stats{
 		Graphs:       len(s.catalog.List()),
 		Workers:      s.cfg.Workers,
 		QueueDepth:   st.queueDepth,
@@ -183,12 +305,37 @@ func (s *Service) Stats() Stats {
 		PerAlgorithm: st.perAlgorithm,
 		Cache:        s.cache.stats(),
 	}
+	if s.persist != nil {
+		out.Durable = &DurableStats{
+			DataDir:        s.persist.dataDir,
+			JournalRecords: s.persist.wal.AppendedSinceCompact(),
+			LastError:      s.persist.lastError(),
+		}
+	}
+	return out
 }
 
 // Shutdown stops accepting work, cancels still-queued jobs and drains the
-// running ones, waiting up to ctx's deadline.
+// running ones, waiting up to ctx's deadline. A durable service then
+// takes a final compacting snapshot and closes the journal, so the next
+// Open replays (almost) nothing.
 func (s *Service) Shutdown(ctx context.Context) error {
-	return s.scheduler.Shutdown(ctx)
+	err := s.scheduler.Shutdown(ctx)
+	s.Close()
+	return err
+}
+
+// Close releases the persistence layer (final snapshot + journal
+// close) without waiting for jobs; Shutdown calls it. Idempotent, safe
+// on an in-memory service.
+func (s *Service) Close() {
+	if s.persist == nil {
+		return
+	}
+	s.closeOnce.Do(func() {
+		s.persist.note(s.persist.wal.Compact(s.captureSnapshot))
+		s.persist.wal.Close()
+	})
 }
 
 // notFoundError distinguishes missing resources so the HTTP layer can

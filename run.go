@@ -1,6 +1,8 @@
 package chaos
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -11,13 +13,32 @@ import (
 )
 
 // runProgram executes a GAS program through the Chaos engine and wraps the
-// statistics.
-func runProgram[V, U, A any](opt Options, prog gas.Program[V, U, A], edges []Edge, n uint64) ([]V, *Report, error) {
-	values, run, err := core.Run(opt.config(), prog, edges, n)
+// statistics. A cancelable ctx is observed at iteration boundaries: the
+// engine finishes the current iteration, unwinds cleanly and the error
+// is ctx.Err() (so callers can errors.Is against context.Canceled).
+func runProgram[V, U, A any](ctx context.Context, opt Options, prog gas.Program[V, U, A], edges []Edge, n uint64) ([]V, *Report, error) {
+	cfg := opt.config()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if done := ctx.Done(); done != nil {
+		cfg.Interrupt = func() bool {
+			select {
+			case <-done:
+				return true
+			default:
+				return false
+			}
+		}
+	}
+	values, run, err := core.Run(cfg, prog, edges, n)
 	if err != nil {
+		if errors.Is(err, core.ErrInterrupted) && ctx.Err() != nil {
+			return nil, nil, ctx.Err()
+		}
 		return nil, nil, err
 	}
-	return values, reportFrom(run, opt.config().Spec.Machines), nil
+	return values, reportFrom(run, cfg.Spec.Machines), nil
 }
 
 // View names the edge-list transformation an algorithm consumes. The
@@ -77,11 +98,11 @@ func ViewFor(name string) (View, error) {
 // of edges. Levels of unreachable vertices are ^uint32(0). n may be zero
 // to infer the vertex count.
 func RunBFS(edges []Edge, n uint64, root VertexID, opt Options) ([]uint32, *Report, error) {
-	return runBFS(ViewUndirected.Apply(edges), n, root, opt)
+	return runBFS(context.Background(), ViewUndirected.Apply(edges), n, root, opt)
 }
 
-func runBFS(undirected []Edge, n uint64, root VertexID, opt Options) ([]uint32, *Report, error) {
-	values, rep, err := runProgram(opt, &algorithms.BFS{Root: root}, undirected, n)
+func runBFS(ctx context.Context, undirected []Edge, n uint64, root VertexID, opt Options) ([]uint32, *Report, error) {
+	values, rep, err := runProgram(ctx, opt, &algorithms.BFS{Root: root}, undirected, n)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -95,11 +116,11 @@ func runBFS(undirected []Edge, n uint64, root VertexID, opt Options) ([]uint32, 
 // RunWCC returns the minimum vertex ID of each vertex's weakly connected
 // component.
 func RunWCC(edges []Edge, n uint64, opt Options) ([]uint32, *Report, error) {
-	return runWCC(ViewUndirected.Apply(edges), n, opt)
+	return runWCC(context.Background(), ViewUndirected.Apply(edges), n, opt)
 }
 
-func runWCC(undirected []Edge, n uint64, opt Options) ([]uint32, *Report, error) {
-	values, rep, err := runProgram(opt, &algorithms.WCC{}, undirected, n)
+func runWCC(ctx context.Context, undirected []Edge, n uint64, opt Options) ([]uint32, *Report, error) {
+	values, rep, err := runProgram(ctx, opt, &algorithms.WCC{}, undirected, n)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -113,11 +134,11 @@ func runWCC(undirected []Edge, n uint64, opt Options) ([]uint32, *Report, error)
 // RunSSSP returns shortest-path distances from root over the undirected
 // weighted view of edges (Inf for unreachable vertices).
 func RunSSSP(edges []Edge, n uint64, root VertexID, opt Options) ([]float32, *Report, error) {
-	return runSSSP(ViewUndirected.Apply(edges), n, root, opt)
+	return runSSSP(context.Background(), ViewUndirected.Apply(edges), n, root, opt)
 }
 
-func runSSSP(undirected []Edge, n uint64, root VertexID, opt Options) ([]float32, *Report, error) {
-	values, rep, err := runProgram(opt, &algorithms.SSSP{Root: root}, undirected, n)
+func runSSSP(ctx context.Context, undirected []Edge, n uint64, root VertexID, opt Options) ([]float32, *Report, error) {
+	values, rep, err := runProgram(ctx, opt, &algorithms.SSSP{Root: root}, undirected, n)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -131,7 +152,11 @@ func runSSSP(undirected []Edge, n uint64, root VertexID, opt Options) ([]float32
 // RunPageRank runs iters rounds of PageRank over the directed edge list
 // and returns the rank vector.
 func RunPageRank(edges []Edge, n uint64, iters int, opt Options) ([]float32, *Report, error) {
-	values, rep, err := runProgram(opt, &algorithms.PageRank{Iterations: iters}, edges, n)
+	return runPageRank(context.Background(), edges, n, iters, opt)
+}
+
+func runPageRank(ctx context.Context, edges []Edge, n uint64, iters int, opt Options) ([]float32, *Report, error) {
+	values, rep, err := runProgram(ctx, opt, &algorithms.PageRank{Iterations: iters}, edges, n)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -145,12 +170,12 @@ func RunPageRank(edges []Edge, n uint64, iters int, opt Options) ([]float32, *Re
 // RunMIS computes a maximal independent set over the undirected view of
 // edges and returns the membership vector.
 func RunMIS(edges []Edge, n uint64, opt Options) ([]bool, *Report, error) {
-	return runMIS(ViewUndirected.Apply(edges), n, opt)
+	return runMIS(context.Background(), ViewUndirected.Apply(edges), n, opt)
 }
 
-func runMIS(undirected []Edge, n uint64, opt Options) ([]bool, *Report, error) {
+func runMIS(ctx context.Context, undirected []Edge, n uint64, opt Options) ([]bool, *Report, error) {
 	prog := &algorithms.MIS{}
-	values, rep, err := runProgram(opt, prog, undirected, n)
+	values, rep, err := runProgram(ctx, opt, prog, undirected, n)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -174,12 +199,12 @@ type MCSTResult struct {
 // RunMCST computes the minimum-cost spanning forest of the undirected
 // weighted view of edges (Borůvka's algorithm).
 func RunMCST(edges []Edge, n uint64, opt Options) (*MCSTResult, *Report, error) {
-	return runMCST(ViewUndirected.Apply(edges), n, opt)
+	return runMCST(context.Background(), ViewUndirected.Apply(edges), n, opt)
 }
 
-func runMCST(undirected []Edge, n uint64, opt Options) (*MCSTResult, *Report, error) {
+func runMCST(ctx context.Context, undirected []Edge, n uint64, opt Options) (*MCSTResult, *Report, error) {
 	prog := &algorithms.MCST{}
-	values, rep, err := runProgram(opt, prog, undirected, n)
+	values, rep, err := runProgram(ctx, opt, prog, undirected, n)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -193,11 +218,11 @@ func runMCST(undirected []Edge, n uint64, opt Options) (*MCSTResult, *Report, er
 // RunSCC returns each vertex's strongly connected component label over the
 // directed edge list.
 func RunSCC(edges []Edge, n uint64, opt Options) ([]uint32, *Report, error) {
-	return runSCC(ViewAugmented.Apply(edges), n, opt)
+	return runSCC(context.Background(), ViewAugmented.Apply(edges), n, opt)
 }
 
-func runSCC(augmented []Edge, n uint64, opt Options) ([]uint32, *Report, error) {
-	values, rep, err := runProgram(opt, &algorithms.SCC{}, augmented, n)
+func runSCC(ctx context.Context, augmented []Edge, n uint64, opt Options) ([]uint32, *Report, error) {
+	values, rep, err := runProgram(ctx, opt, &algorithms.SCC{}, augmented, n)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -211,8 +236,12 @@ func runSCC(augmented []Edge, n uint64, opt Options) ([]uint32, *Report, error) 
 // RunConductance computes the conductance of a deterministic hash-based
 // vertex subset over the directed edge list (a single pass).
 func RunConductance(edges []Edge, n uint64, opt Options) (float64, *Report, error) {
+	return runConductance(context.Background(), edges, n, opt)
+}
+
+func runConductance(ctx context.Context, edges []Edge, n uint64, opt Options) (float64, *Report, error) {
 	prog := &algorithms.Conductance{}
-	values, rep, err := runProgram(opt, prog, edges, n)
+	values, rep, err := runProgram(ctx, opt, prog, edges, n)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -222,7 +251,11 @@ func RunConductance(edges []Edge, n uint64, opt Options) (float64, *Report, erro
 // RunSpMV computes y = A*x over the weighted directed edge list
 // (A[dst][src] = weight; x is a deterministic input vector) and returns y.
 func RunSpMV(edges []Edge, n uint64, opt Options) ([]float32, *Report, error) {
-	values, rep, err := runProgram(opt, &algorithms.SpMV{}, edges, n)
+	return runSpMV(context.Background(), edges, n, opt)
+}
+
+func runSpMV(ctx context.Context, edges []Edge, n uint64, opt Options) ([]float32, *Report, error) {
+	values, rep, err := runProgram(ctx, opt, &algorithms.SpMV{}, edges, n)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -236,7 +269,11 @@ func RunSpMV(edges []Edge, n uint64, opt Options) ([]float32, *Report, error) {
 // RunBP runs iters rounds of simplified loopy belief propagation over the
 // weighted directed edge list and returns the belief vector.
 func RunBP(edges []Edge, n uint64, iters int, opt Options) ([]float32, *Report, error) {
-	values, rep, err := runProgram(opt, &algorithms.BP{Iterations: iters}, edges, n)
+	return runBP(context.Background(), edges, n, iters, opt)
+}
+
+func runBP(ctx context.Context, edges []Edge, n uint64, iters int, opt Options) ([]float32, *Report, error) {
+	values, rep, err := runProgram(ctx, opt, &algorithms.BP{Iterations: iters}, edges, n)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -272,13 +309,22 @@ type Result struct {
 // undirected and one augmented copy per graph — use it to skip the
 // per-run conversion RunByName performs.
 func RunPrepared(name string, edges []Edge, n uint64, opt Options) (*Result, *Report, error) {
+	return RunPreparedContext(context.Background(), name, edges, n, opt)
+}
+
+// RunPreparedContext is RunPrepared with cooperative cancellation: the
+// engine polls ctx at each iteration boundary and, once ctx is
+// canceled, finishes the iteration, unwinds the simulation cleanly and
+// returns ctx.Err(). The job service uses it to make DELETE on a
+// running job take effect without killing the process.
+func RunPreparedContext(ctx context.Context, name string, edges []Edge, n uint64, opt Options) (*Result, *Report, error) {
 	res := &Result{Algorithm: name}
 	var rep *Report
 	var err error
 	switch name {
 	case "BFS":
 		var levels []uint32
-		levels, rep, err = runBFS(edges, n, 0, opt)
+		levels, rep, err = runBFS(ctx, edges, n, 0, opt)
 		if err == nil {
 			reachable, depth := 0, uint32(0)
 			for _, l := range levels {
@@ -294,14 +340,14 @@ func RunPrepared(name string, edges []Edge, n uint64, opt Options) (*Result, *Re
 		}
 	case "WCC":
 		var labels []uint32
-		labels, rep, err = runWCC(edges, n, opt)
+		labels, rep, err = runWCC(ctx, edges, n, opt)
 		if err == nil {
 			res.Vertices = len(labels)
 			res.Summary = componentSummary(labels)
 		}
 	case "MCST":
 		var forest *MCSTResult
-		forest, rep, err = runMCST(edges, n, opt)
+		forest, rep, err = runMCST(ctx, edges, n, opt)
 		if err == nil {
 			res.Vertices = len(forest.Component)
 			res.Summary = map[string]float64{
@@ -311,7 +357,7 @@ func RunPrepared(name string, edges []Edge, n uint64, opt Options) (*Result, *Re
 		}
 	case "MIS":
 		var in []bool
-		in, rep, err = runMIS(edges, n, opt)
+		in, rep, err = runMIS(ctx, edges, n, opt)
 		if err == nil {
 			size := 0
 			for _, b := range in {
@@ -324,7 +370,7 @@ func RunPrepared(name string, edges []Edge, n uint64, opt Options) (*Result, *Re
 		}
 	case "SSSP":
 		var dists []float32
-		dists, rep, err = runSSSP(edges, n, 0, opt)
+		dists, rep, err = runSSSP(ctx, edges, n, 0, opt)
 		if err == nil {
 			reached, maxDist := 0, 0.0
 			for _, d := range dists {
@@ -340,7 +386,7 @@ func RunPrepared(name string, edges []Edge, n uint64, opt Options) (*Result, *Re
 		}
 	case "PR":
 		var ranks []float32
-		ranks, rep, err = RunPageRank(edges, n, 5, opt)
+		ranks, rep, err = runPageRank(ctx, edges, n, 5, opt)
 		if err == nil {
 			sum, maxRank := 0.0, 0.0
 			for _, r := range ranks {
@@ -354,14 +400,14 @@ func RunPrepared(name string, edges []Edge, n uint64, opt Options) (*Result, *Re
 		}
 	case "SCC":
 		var ids []uint32
-		ids, rep, err = runSCC(edges, n, opt)
+		ids, rep, err = runSCC(ctx, edges, n, opt)
 		if err == nil {
 			res.Vertices = len(ids)
 			res.Summary = componentSummary(ids)
 		}
 	case "Cond":
 		var cond float64
-		cond, rep, err = RunConductance(edges, n, opt)
+		cond, rep, err = runConductance(ctx, edges, n, opt)
 		if err == nil {
 			nv := n
 			if nv == 0 {
@@ -372,7 +418,7 @@ func RunPrepared(name string, edges []Edge, n uint64, opt Options) (*Result, *Re
 		}
 	case "SpMV":
 		var y []float32
-		y, rep, err = RunSpMV(edges, n, opt)
+		y, rep, err = runSpMV(ctx, edges, n, opt)
 		if err == nil {
 			var norm1 float64
 			for _, v := range y {
@@ -383,7 +429,7 @@ func RunPrepared(name string, edges []Edge, n uint64, opt Options) (*Result, *Re
 		}
 	case "BP":
 		var beliefs []float32
-		beliefs, rep, err = RunBP(edges, n, 5, opt)
+		beliefs, rep, err = runBP(ctx, edges, n, 5, opt)
 		if err == nil {
 			var sum float64
 			for _, b := range beliefs {

@@ -1,0 +1,45 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestRunPreparedContextCanceled: a canceled context stops the engine
+// at the first iteration boundary and surfaces as context.Canceled (so
+// the job service can tell cancellation from failure). Pre-canceling
+// makes the test deterministic — the engine must notice at its first
+// poll, not depend on timing.
+func TestRunPreparedContextCanceled(t *testing.T) {
+	edges := GenerateRMAT(6, false, 1)
+	opt := Options{ChunkBytes: 1 << 10, LatencyScale: 1.0 / 4096, Seed: 1}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, rep, err := RunPreparedContext(ctx, "PR", edges, 1<<6, opt)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil || rep != nil {
+		t.Error("canceled run must not return partial results")
+	}
+}
+
+// TestRunPreparedContextBackground: a background context changes
+// nothing — bit-identical to the context-free entry point.
+func TestRunPreparedContextBackground(t *testing.T) {
+	edges := GenerateRMAT(6, false, 1)
+	opt := Options{ChunkBytes: 1 << 10, LatencyScale: 1.0 / 4096, Seed: 1}
+	want, wantRep, err := RunPrepared("PR", edges, 1<<6, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotRep, err := RunPreparedContext(context.Background(), "PR", edges, 1<<6, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Summary["rank_sum"] != want.Summary["rank_sum"] || gotRep.SimulatedSeconds != wantRep.SimulatedSeconds {
+		t.Errorf("context run drifted: %v/%v vs %v/%v",
+			got.Summary, gotRep.SimulatedSeconds, want.Summary, wantRep.SimulatedSeconds)
+	}
+}

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# chaos-serve durability smoke: start -> register -> job -> kill -> restart -> cache hit
+set -euo pipefail
+BIN=${1:-./chaos-serve}
+DIR=$(mktemp -d)
+ADDR=127.0.0.1:18080
+BASE=http://$ADDR
+
+wait_up() {
+  for i in $(seq 1 100); do
+    curl -sf $BASE/healthz >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "server did not come up" >&2; return 1
+}
+
+cleanup() {
+  kill -TERM "${PID:-}" 2>/dev/null || true
+  wait "${PID:-}" 2>/dev/null || true
+  rm -rf "$DIR"
+}
+
+"$BIN" -addr $ADDR -workers 2 -chunk-kb 1 -data-dir "$DIR/state" &
+PID=$!
+# Installed before the first request: a failure anywhere must not leak
+# the server (holding the port for the next run) or the temp dir.
+trap cleanup EXIT
+wait_up
+
+curl -sf -XPOST $BASE/v1/graphs -d '{"name":"smoke","type":"rmat","scale":7,"weighted":true,"seed":42}' >/dev/null
+JOB=$(curl -sf -XPOST $BASE/v1/jobs -d '{"graph":"smoke","algorithm":"PR","options":{"machines":2,"seed":7}}' | sed -n 's/.*"id": "\(j[0-9]*\)".*/\1/p')
+for i in $(seq 1 200); do
+  STATE=$(curl -sf $BASE/v1/jobs/$JOB | sed -n 's/.*"state": "\([a-z]*\)".*/\1/p')
+  [ "$STATE" = done ] && break
+  [ "$STATE" = failed ] && { echo "job failed" >&2; exit 1; }
+  sleep 0.1
+done
+[ "$STATE" = done ] || { echo "job never finished: $STATE" >&2; exit 1; }
+
+# SIGTERM: graceful shutdown snapshots before exit.
+kill -TERM $PID; wait $PID || true
+
+"$BIN" -addr $ADDR -workers 2 -chunk-kb 1 -data-dir "$DIR/state" &
+PID=$!
+wait_up
+
+# The graph survived the restart...
+curl -sf $BASE/v1/graphs | grep -q '"id": "smoke"' || { echo "graph lost" >&2; exit 1; }
+# ...and the identical submission is an immediate cache hit served from
+# the disk result store (the fresh process's memory cache was empty).
+HIT=$(curl -sf -XPOST $BASE/v1/jobs -d '{"graph":"smoke","algorithm":"PR","options":{"machines":2,"seed":7}}')
+echo "$HIT" | grep -q '"state": "done"' || { echo "resubmission not served from cache: $HIT" >&2; exit 1; }
+echo "$HIT" | grep -q '"cacheHit": true' || { echo "no cacheHit flag: $HIT" >&2; exit 1; }
+curl -sf $BASE/v1/stats | grep -q '"diskHits": [1-9]' || { echo "no disk hit recorded" >&2; exit 1; }
+echo "SMOKE OK"
