@@ -9,6 +9,16 @@
 //	chaos-serve -addr :8080 -workers 4
 //	chaos-serve -addr :8080 -chunk-kb 64        # lab-scale default chunks
 //	chaos-serve -addr :8080 -data-dir /var/lib/chaos   # durable state
+//	chaos-serve -addr :8080 -max-queue 256      # admission control (429 past it)
+//
+// Operability: GET /v1/jobs/{id} shows live iteration-boundary progress
+// of a running job, GET /v1/jobs/{id}/events streams transitions and
+// progress ticks as Server-Sent Events, and GET /metrics serves the
+// service counters in Prometheus text exposition format. The queue is
+// bounded by -max-queue: overflow answers 429 with Retry-After. The
+// host compute budget (-compute-budget, default GOMAXPROCS) is divided
+// across concurrently running simulations so N jobs do not oversubscribe
+// the machine N×.
 //
 // With -data-dir, graph registrations, job history and memoized results
 // survive restarts: state is journaled to a write-ahead log with
@@ -46,6 +56,10 @@ func main() {
 		workers  = flag.Int("workers", 4, "concurrently running simulations")
 		chunkKB  = flag.Int("chunk-kb", 4096, "default chunk size in KiB for jobs that set none (paper: 4096)")
 		drainSec = flag.Int("drain-seconds", 120, "graceful-shutdown drain budget")
+		maxQueue = flag.Int("max-queue", 1024,
+			"queued-job bound; submissions past it answer 429 with Retry-After (0 = unbounded)")
+		computeBudget = flag.Int("compute-budget", 0,
+			"total engine compute workers shared across running jobs (0 = GOMAXPROCS, -1 = unmanaged)")
 
 		dataDir       = flag.String("data-dir", "", "durable state directory (empty = in-memory only)")
 		snapshotEvery = flag.Int("snapshot-every", 1024,
@@ -62,6 +76,8 @@ func main() {
 			ChunkBytes:   *chunkKB << 10,
 			LatencyScale: float64(*chunkKB<<10) / float64(4<<20),
 		},
+		MaxQueue:            *maxQueue,
+		ComputeBudget:       *computeBudget,
 		MaxUploadBytes:      int64(*maxUploadMB) << 20,
 		DataDir:             *dataDir,
 		SnapshotEvery:       *snapshotEvery,
@@ -81,6 +97,9 @@ func main() {
 		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+	// SSE streams never go idle, so srv.Shutdown would wait its whole
+	// deadline on one attached viewer; end them the moment drain starts.
+	srv.RegisterOnShutdown(svc.CloseEventStreams)
 
 	errc := make(chan error, 1)
 	go func() {

@@ -90,6 +90,31 @@ type Config struct {
 	// service wires a context's Done check here so DELETE on a running
 	// job is observed between iterations.
 	Interrupt func() bool
+	// Progress, when non-nil, is called at the same iteration boundary
+	// Interrupt is polled at, with a snapshot of the run's counters so
+	// far. The callback only observes state the decision point has
+	// already settled — it draws no randomness, consumes no virtual
+	// time, and cannot reorder simulated events — so subscribing is
+	// guaranteed not to change results, reports or the virtual clock
+	// (TestProgressDoesNotPerturbRun). It runs on the simulation
+	// goroutine: a slow callback stalls host wall-clock, never
+	// simulated time.
+	Progress func(Progress)
+}
+
+// Progress is the point-in-time counter snapshot handed to
+// Config.Progress at each iteration boundary. The final snapshot of a
+// converged run matches the run's metrics (same Iterations, bytes and
+// steal totals at the last decision point).
+type Progress struct {
+	// Iterations counts completed iterations (1 at the first boundary).
+	Iterations int
+	// Now is the virtual clock at the decision point.
+	Now sim.Time
+	// BytesRead / BytesWritten are the device-level totals so far.
+	BytesRead, BytesWritten int64
+	// StealsAccepted counts steal proposals accepted so far.
+	StealsAccepted int
 }
 
 // DefaultConfig returns the paper's defaults on the given hardware.

@@ -328,6 +328,19 @@ func (eng *engine[V, U, A]) vertexSetBytes(part int) int64 {
 // decide is machine 0's decision-point logic between the gather barrier and
 // the decision barrier: convergence, checkpoint commit, failure injection.
 func (eng *engine[V, U, A]) decide(iter int) {
+	if eng.cfg.Progress != nil {
+		// Same boundary as the Interrupt poll below. Purely observational:
+		// every counter read here is already settled for this iteration,
+		// and the callback cannot touch the RNG, clock or mailboxes, so a
+		// run with a subscriber is bit-identical to one without.
+		eng.cfg.Progress(Progress{
+			Iterations:     iter + 1,
+			Now:            eng.env.Now(),
+			BytesRead:      eng.run.BytesRead,
+			BytesWritten:   eng.run.BytesWritten,
+			StealsAccepted: eng.run.StealsAccepted,
+		})
+	}
 	d := decision{iter: iter, rollbackTo: -1}
 	d.done = eng.prog.Converged(iter, eng.changed) || iter+1 >= eng.cfg.MaxIterations
 	if !d.done && eng.cfg.Interrupt != nil && eng.cfg.Interrupt() {

@@ -34,6 +34,7 @@ type Journal struct {
 	f     *os.File // current segment, positioned at its end
 	seq   int      // current segment number
 	dirty bool     // written since the last fsync
+	syncs int      // fsyncs actually issued (batching effectiveness, /metrics)
 	err   error    // sticky write/sync error: the journal is dead once a write is lost
 	stop  chan struct{}
 	done  chan struct{}
@@ -275,7 +276,16 @@ func (j *Journal) syncLocked() error {
 		return j.err
 	}
 	j.dirty = false
+	j.syncs++
 	return nil
+}
+
+// Syncs returns how many fsyncs the journal has issued — appends per
+// sync is the batching win /metrics reports.
+func (j *Journal) Syncs() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.syncs
 }
 
 // flusher is the fsync batcher: it amortizes one fsync over every

@@ -17,7 +17,26 @@ type WAL struct {
 
 	mu        sync.Mutex
 	appended  int        // records since the last compaction (snapshot policy input)
+	total     int        // records appended over the WAL's lifetime (this process)
+	snapshots int        // successful compactions (this process)
 	compactMu sync.Mutex // serializes Compact callers
+}
+
+// WALStats snapshots the WAL's counters for /metrics and /v1/stats.
+// All counts are per-process (since this WAL was opened), matching the
+// Prometheus counter convention of resetting on restart.
+type WALStats struct {
+	// Records counts journal records appended since open (replayed
+	// records from a previous process count once, at open).
+	Records int `json:"records"`
+	// SinceCompact counts records appended since the last compacting
+	// snapshot — the snapshot-every policy input.
+	SinceCompact int `json:"sinceCompact"`
+	// Fsyncs counts fsyncs the journal actually issued; Records much
+	// greater than Fsyncs is group commit working.
+	Fsyncs int `json:"fsyncs"`
+	// Snapshots counts successful compacting snapshots since open.
+	Snapshots int `json:"snapshots"`
 }
 
 // Recovered is what a WAL found on disk at open time.
@@ -58,7 +77,7 @@ func OpenWAL(dir string, syncInterval time.Duration) (*WAL, *Recovered, error) {
 		return nil, nil, err
 	}
 	rec.Torn = torn
-	w := &WAL{dir: dir, journal: j, appended: len(rec.Records)}
+	w := &WAL{dir: dir, journal: j, appended: len(rec.Records), total: len(rec.Records)}
 	return w, rec, nil
 }
 
@@ -77,6 +96,7 @@ func (w *WAL) Append(kind string, v any) error {
 	}
 	w.mu.Lock()
 	w.appended++
+	w.total++
 	w.mu.Unlock()
 	return nil
 }
@@ -91,6 +111,18 @@ func (w *WAL) AppendedSinceCompact() int {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.appended
+}
+
+// Stats snapshots the WAL's counters.
+func (w *WAL) Stats() WALStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return WALStats{
+		Records:      w.total,
+		SinceCompact: w.appended,
+		Fsyncs:       w.journal.Syncs(),
+		Snapshots:    w.snapshots,
+	}
 }
 
 // Compact bounds replay time: it rotates the journal onto a fresh
@@ -125,7 +157,13 @@ func (w *WAL) Compact(capture func() (any, error)) error {
 	if err := SaveSnapshot(w.dir, state); err != nil {
 		return err
 	}
-	return w.journal.DropThrough(sealed)
+	if err := w.journal.DropThrough(sealed); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	w.snapshots++
+	w.mu.Unlock()
+	return nil
 }
 
 // Close fsyncs and closes the journal. The caller should Compact first

@@ -104,3 +104,53 @@ func TestWALCompactBoundsReplay(t *testing.T) {
 		t.Fatalf("replayed %d records after compaction, want 1", len(rec.Records))
 	}
 }
+
+// TestWALStats: the counter surface behind /metrics — lifetime records,
+// fsyncs actually issued, snapshot count — tracks appends, Sync and
+// Compact, and restarts from the replayed record count.
+func TestWALStats(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := OpenWAL(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := w.Append("job", testRec{"j1", "running"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st := w.Stats()
+	if st.Records != 5 || st.SinceCompact != 5 {
+		t.Errorf("stats after 5 appends: %+v", st)
+	}
+	if st.Fsyncs < 1 {
+		t.Errorf("no fsync counted after Sync: %+v", st)
+	}
+	if st.Snapshots != 0 {
+		t.Errorf("snapshots before any compaction: %+v", st)
+	}
+	if err := w.Compact(func() (any, error) { return testState{}, nil }); err != nil {
+		t.Fatal(err)
+	}
+	st = w.Stats()
+	if st.Snapshots != 1 || st.SinceCompact != 0 || st.Records != 5 {
+		t.Errorf("stats after compaction: %+v", st)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A restart keeps replayed records in the lifetime count but resets
+	// the per-process fsync and snapshot counters.
+	w2, _, err := OpenWAL(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if st := w2.Stats(); st.Records != 0 || st.Snapshots != 0 {
+		t.Errorf("stats after clean restart (snapshot subsumed the records): %+v", st)
+	}
+}

@@ -1,0 +1,112 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// promWriter accumulates Prometheus text exposition format (the 0.0.4
+// text format every Prometheus-compatible scraper speaks). The service
+// has a handful of scalar counters and two small label families, so a
+// dependency-free emitter beats vendoring a client library the
+// container cannot fetch anyway.
+type promWriter struct {
+	b strings.Builder
+}
+
+// family starts a metric family with its HELP/TYPE preamble.
+func (p *promWriter) family(name, help, typ string) {
+	fmt.Fprintf(&p.b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// sample emits one sample line; labels come as name=value pairs. %q
+// escapes exactly the metacharacters the exposition format defines for
+// label values (backslash, quote, newline) in the format it expects;
+// the label domain here (job states, canonical algorithm names) is
+// printable ASCII, so %q never reaches its non-Prometheus escapes.
+func (p *promWriter) sample(name string, labels [][2]string, value float64) {
+	p.b.WriteString(name)
+	if len(labels) > 0 {
+		p.b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				p.b.WriteByte(',')
+			}
+			fmt.Fprintf(&p.b, "%s=%q", l[0], l[1])
+		}
+		p.b.WriteByte('}')
+	}
+	// %g prints integers without an exponent or trailing zeros, and the
+	// format tolerates either form for every metric type.
+	fmt.Fprintf(&p.b, " %g\n", value)
+}
+
+// scalar is family + one unlabeled sample, the common case here.
+func (p *promWriter) scalar(name, help, typ string, value float64) {
+	p.family(name, help, typ)
+	p.sample(name, nil, value)
+}
+
+// jobStates fixes the label order so scrapes are stable and every
+// state series exists from the first scrape (absent-vs-zero matters to
+// alerting rules).
+var jobStates = []JobState{JobQueued, JobRunning, JobDone, JobFailed, JobCanceled}
+
+// metricsText renders the service counters — the same surface as
+// /v1/stats — in Prometheus text exposition format.
+func (s *Service) metricsText() string {
+	st := s.Stats()
+	var p promWriter
+
+	p.family("chaos_jobs", "Jobs in history by lifecycle state.", "gauge")
+	for _, state := range jobStates {
+		p.sample("chaos_jobs", [][2]string{{"state", string(state)}}, float64(st.Jobs[string(state)]))
+	}
+	p.scalar("chaos_queue_depth", "Jobs queued and not yet running.", "gauge", float64(st.QueueDepth))
+	p.scalar("chaos_running", "Simulations currently executing.", "gauge", float64(st.Running))
+	p.scalar("chaos_workers", "Size of the simulation worker pool.", "gauge", float64(st.Workers))
+	p.scalar("chaos_graphs", "Graphs registered in the catalog.", "gauge", float64(st.Graphs))
+
+	p.family("chaos_jobs_submitted_total", "Job submissions by algorithm.", "counter")
+	algs := make([]string, 0, len(st.PerAlgorithm))
+	for alg := range st.PerAlgorithm {
+		algs = append(algs, alg)
+	}
+	sort.Strings(algs)
+	for _, alg := range algs {
+		p.sample("chaos_jobs_submitted_total", [][2]string{{"algorithm", alg}}, float64(st.PerAlgorithm[alg]))
+	}
+
+	p.scalar("chaos_result_cache_entries", "Entries in the in-memory result cache.", "gauge", float64(st.Cache.Entries))
+	p.scalar("chaos_result_cache_hits_total", "Result-cache hits (memory or disk).", "counter", float64(st.Cache.Hits))
+	p.scalar("chaos_result_cache_misses_total", "Result-cache misses.", "counter", float64(st.Cache.Misses))
+	p.scalar("chaos_result_cache_disk_hits_total", "Hits served by the disk tier (subset of hits).", "counter", float64(st.Cache.DiskHits))
+
+	if d := st.Cache.Disk; d != nil {
+		p.scalar("chaos_result_store_entries", "Blobs in the disk result store.", "gauge", float64(d.Entries))
+		p.scalar("chaos_result_store_bytes", "Bytes held by the disk result store.", "gauge", float64(d.Bytes))
+		p.scalar("chaos_result_store_max_bytes", "Disk result store bound (0 = unbounded).", "gauge", float64(d.MaxBytes))
+		p.scalar("chaos_result_store_evictions_total", "Blobs LRU-evicted from the disk result store.", "counter", float64(d.Evictions))
+	}
+	if du := st.Durable; du != nil {
+		p.scalar("chaos_wal_records_total", "Journal records appended since this process opened the WAL.", "counter", float64(du.WAL.Records))
+		p.scalar("chaos_wal_records_since_snapshot", "Journal records since the last compacting snapshot.", "gauge", float64(du.WAL.SinceCompact))
+		p.scalar("chaos_wal_fsyncs_total", "Fsyncs the journal issued (group commit batches many records per fsync).", "counter", float64(du.WAL.Fsyncs))
+		p.scalar("chaos_wal_snapshots_total", "Compacting snapshots taken since this process started.", "counter", float64(du.WAL.Snapshots))
+		healthy := 1.0
+		if du.LastError != "" {
+			healthy = 0
+		}
+		p.scalar("chaos_persist_healthy", "1 while no persistence failure has occurred, 0 after the first (durability lost; see /v1/stats lastError).", "gauge", healthy)
+	}
+	return p.b.String()
+}
+
+// handleMetrics serves GET /metrics.
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte(s.metricsText()))
+}

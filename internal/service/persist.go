@@ -229,7 +229,7 @@ func jobRecordOf(j *Job) jobRecord {
 		Algorithm:  j.Algorithm,
 		Options:    j.Options,
 		State:      j.state,
-		Canceling:  j.canceling && j.state == JobRunning,
+		Canceling:  j.canceling.Load() && j.state == JobRunning,
 		Error:      j.err,
 		CacheHit:   j.cacheHit,
 		Restarts:   j.restarts,
@@ -369,11 +369,14 @@ func (s *Service) restoreJobs(recs []jobRecord, nextID int) {
 				j.err = fmt.Sprintf("not recoverable after restart: graph %q is gone", j.Graph)
 				j.finishedAt = now
 			} else {
+				// Re-enqueues bypass admission control: a job the API
+				// already accepted must not be dropped by MaxQueue.
 				j.state = JobQueued
 				j.startedAt = time.Time{}
 				j.finishedAt = time.Time{}
 				j.restarts++
 				sc.queue = append(sc.queue, j)
+				sc.queued++
 			}
 			changed = true
 		}

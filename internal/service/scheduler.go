@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"chaos"
@@ -49,11 +50,24 @@ type Job struct {
 
 	// cancel stops the running simulation at its next iteration
 	// boundary; set only while state == JobRunning.
-	cancel    context.CancelFunc
-	canceling bool // Cancel was requested on a running job
+	cancel context.CancelFunc
+	// canceling records that Cancel was accepted on a running job;
+	// atomic (all writes still happen under s.mu) so the lock-free
+	// progress ticks can carry the flag — otherwise a cancel would
+	// visibly "un-happen" in every tick between acceptance and the
+	// iteration boundary that honors it.
+	canceling atomic.Bool
 	// restarts counts how many times crash recovery re-enqueued this
 	// job (diagnostics; also journaled).
 	restarts int
+
+	// progress is the engine's latest iteration-boundary snapshot,
+	// written by the run goroutine at every tick and read by view();
+	// atomic so ticks never contend on the scheduler mutex.
+	progress atomic.Pointer[chaos.Progress]
+	// computeShare is this job's slice of the scheduler's shared
+	// compute-worker budget, fixed when the job starts (0 = unmanaged).
+	computeShare int
 }
 
 // JobView is an immutable snapshot of a Job, safe to serialize.
@@ -71,6 +85,19 @@ type JobView struct {
 	FinishedAt *time.Time    `json:"finishedAt,omitempty"`
 	Result     *chaos.Result `json:"result,omitempty"`
 	Report     *chaos.Report `json:"report,omitempty"`
+	// Progress is the live iteration-boundary snapshot of a running
+	// job: iterations, simulated seconds, bytes moved, steals accepted.
+	Progress *chaos.Progress `json:"progress,omitempty"`
+}
+
+// stripped returns the view without the Result/Report payloads —
+// the uniform list/event form. Listings used to embed full payloads
+// for in-memory done jobs but null for journal-restored ones (listing
+// never hydrates from the disk store); stripping both ways keeps
+// listings uniform and cheap, and GET /v1/jobs/{id} keeps the payload.
+func (v JobView) stripped() JobView {
+	v.Result, v.Report = nil, nil
+	return v
 }
 
 // view snapshots the job; callers hold s.mu.
@@ -81,7 +108,7 @@ func (j *Job) view() JobView {
 		Algorithm:  j.Algorithm,
 		State:      j.state,
 		CacheHit:   j.cacheHit,
-		Canceling:  j.canceling && j.state == JobRunning,
+		Canceling:  j.canceling.Load() && j.state == JobRunning,
 		Restarts:   j.restarts,
 		Error:      j.err,
 		EnqueuedAt: j.enqueuedAt,
@@ -96,6 +123,9 @@ func (j *Job) view() JobView {
 		t := j.finishedAt
 		v.FinishedAt = &t
 	}
+	if j.state == JobRunning {
+		v.Progress = j.progress.Load()
+	}
 	return v
 }
 
@@ -106,15 +136,28 @@ func (j *Job) view() JobView {
 type runFunc func(ctx context.Context, j *Job) (*chaos.Result, *chaos.Report, error)
 
 // Scheduler runs jobs on a bounded worker pool: at most `workers`
-// simulations execute concurrently, the rest wait in a FIFO queue.
+// simulations execute concurrently, the rest wait in a bounded FIFO
+// queue (admission control rejects past MaxQueue).
 type Scheduler struct {
-	run     runFunc
-	workers int
-	retain  int // finished jobs kept in history
+	run      runFunc
+	workers  int
+	retain   int // finished jobs kept in history
+	maxQueue int // queued-job bound (0 = unbounded)
+	// computeBudget is the shared pool of engine compute workers divided
+	// across running jobs (0 = unmanaged: every job defaults to
+	// GOMAXPROCS, oversubscribing the host N×).
+	computeBudget int
 
-	mu      sync.Mutex
-	cond    *sync.Cond
+	mu   sync.Mutex
+	cond *sync.Cond
+	// queue is the FIFO of submitted jobs: live entries are
+	// queue[qhead:]. Popping advances qhead after nilling the slot —
+	// queue = queue[1:] would pin every popped *Job (result payloads
+	// included) in the backing array — and compacts once the dead
+	// prefix dominates, the same ring-head discipline as resultCache.
 	queue   []*Job
+	qhead   int
+	queued  int // jobs in state JobQueued (admission-control depth)
 	jobs    map[string]*Job
 	order   []string
 	nextID  int
@@ -122,6 +165,10 @@ type Scheduler struct {
 	closed  bool
 	counts  map[string]int // submissions per algorithm
 	wg      sync.WaitGroup
+
+	// events fans state transitions and progress ticks out to SSE
+	// subscribers; it has its own lock and never blocks publishers.
+	events *eventHub
 
 	// onUpdate, when set (before any submission), observes every state
 	// transition with s.mu held — the service journals them through it.
@@ -133,33 +180,94 @@ type Scheduler struct {
 	hydrate func(graph, algorithm string, opt chaos.Options) (*chaos.Result, *chaos.Report, bool)
 }
 
-// noteLocked reports a state transition to the service; callers hold
-// s.mu and call it after every mutation of a job's state.
+// noteLocked reports a state transition to the service and to event
+// subscribers; callers hold s.mu and call it after every mutation of a
+// job's state.
 func (s *Scheduler) noteLocked(j *Job) {
 	if s.onUpdate != nil {
 		s.onUpdate(j)
 	}
+	s.events.publish(j.ID, EventState, j.view().stripped())
 }
 
-// NewScheduler starts a pool of workers feeding jobs through run. The
-// job history is bounded: once more than retain jobs exist, the oldest
-// finished ones are evicted (queued and running jobs never are), so an
-// always-on server does not grow without bound. retain <= 0 means the
-// default of 10000.
-func NewScheduler(workers, retain int, run runFunc) *Scheduler {
-	if retain <= 0 {
-		retain = 10000
+// NoteProgress files an engine progress tick against a running job:
+// the job's live snapshot is replaced (lock-free — ticks arrive at
+// every simulated iteration boundary) and subscribers get an event.
+// Ordering with state events is inherent: ticks happen strictly inside
+// the run, after the running transition and before the terminal one.
+func (s *Scheduler) NoteProgress(j *Job, p chaos.Progress) {
+	j.progress.Store(&p)
+	// The view is assembled lock-free from fields that cannot change
+	// while the job runs (identity, enqueue time, restart count), the
+	// atomic canceling flag (so an accepted cancel never "un-happens"
+	// in a later tick), and the tick itself.
+	v := JobView{
+		ID:         j.ID,
+		Graph:      j.Graph,
+		Algorithm:  j.Algorithm,
+		State:      JobRunning,
+		Canceling:  j.canceling.Load(),
+		Restarts:   j.restarts,
+		EnqueuedAt: j.enqueuedAt,
+		Progress:   &p,
+	}
+	if !j.startedAt.IsZero() { // set before the run began, stable since
+		t := j.startedAt
+		v.StartedAt = &t
+	}
+	s.events.publish(j.ID, EventProgress, v)
+}
+
+// Subscribe streams a job's state transitions and progress ticks; see
+// eventHub.subscribe for the channel contract.
+func (s *Scheduler) Subscribe(id string) (<-chan JobEvent, func()) {
+	return s.events.subscribe(id)
+}
+
+// SchedulerConfig parameterizes a Scheduler.
+type SchedulerConfig struct {
+	// Workers bounds concurrently running simulations.
+	Workers int
+	// Retain bounds the finished-job history: once more than Retain jobs
+	// exist, the oldest finished ones are evicted (queued and running
+	// jobs never are), so an always-on server does not grow without
+	// bound. <= 0 means the default of 10000.
+	Retain int
+	// MaxQueue bounds the number of queued (not yet running) jobs;
+	// Submit past it returns *QueueFullError so the HTTP layer can
+	// answer 429 with Retry-After. 0 = unbounded.
+	MaxQueue int
+	// ComputeBudget is the total engine compute workers shared across
+	// running jobs: a job that does not pin Options.ComputeWorkers
+	// starts with the budget divided by the concurrency it will see
+	// (running + backlog, capped at Workers), so a lone job gets the
+	// whole budget and a burst's shares sum to at most the budget —
+	// except that every job keeps a floor of one worker, so a pool
+	// wider than the budget still runs Workers jobs at one worker each.
+	// Without the budget every job defaults to GOMAXPROCS, and N
+	// concurrent jobs oversubscribe the host N×. 0 = unmanaged (the
+	// old behavior).
+	ComputeBudget int
+}
+
+// NewScheduler starts a pool of workers feeding jobs through run.
+func NewScheduler(cfg SchedulerConfig, run runFunc) *Scheduler {
+	if cfg.Retain <= 0 {
+		cfg.Retain = 10000
 	}
 	s := &Scheduler{
-		run:     run,
-		workers: workers,
-		retain:  retain,
-		jobs:    make(map[string]*Job),
-		counts:  make(map[string]int),
+		run:           run,
+		workers:       cfg.Workers,
+		retain:        cfg.Retain,
+		maxQueue:      cfg.MaxQueue,
+		computeBudget: cfg.ComputeBudget,
+		jobs:          make(map[string]*Job),
+		counts:        make(map[string]int),
+		events:        newEventHub(),
 	}
 	s.cond = sync.NewCond(&s.mu)
-	s.wg.Add(workers)
-	for i := 0; i < workers; i++ {
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
 	return s
@@ -167,6 +275,38 @@ func NewScheduler(workers, retain int, run runFunc) *Scheduler {
 
 // ErrShuttingDown is returned by Submit after Shutdown has begun.
 var ErrShuttingDown = fmt.Errorf("service: shutting down")
+
+// QueueFullError reports a submission rejected by admission control:
+// the queue already holds MaxQueue jobs. The HTTP layer answers 429
+// with a Retry-After derived from the backlog.
+type QueueFullError struct {
+	Depth   int // queued jobs at rejection time
+	Max     int
+	Workers int
+}
+
+func (e *QueueFullError) Error() string {
+	return fmt.Sprintf("service: job queue is full (%d queued, max %d); retry later", e.Depth, e.Max)
+}
+
+// RetryAfterSeconds estimates when a retry could be admitted. Job
+// durations are unknowable up front (they depend on graph size and
+// options), so this is deliberately a coarse backlog-per-worker
+// heuristic, never less than a second.
+func (e *QueueFullError) RetryAfterSeconds() int {
+	w := e.Workers
+	if w < 1 {
+		w = 1
+	}
+	retry := e.Depth / w
+	if retry < 1 {
+		retry = 1
+	}
+	if retry > 60 {
+		retry = 60
+	}
+	return retry
+}
 
 // pruneLocked evicts the oldest finished jobs beyond the retention cap;
 // callers hold s.mu.
@@ -206,16 +346,21 @@ func (s *Scheduler) newJobLocked(graphID, alg string, opt chaos.Options) *Job {
 	return j
 }
 
-// Submit enqueues a job.
+// Submit enqueues a job, rejecting it with *QueueFullError when
+// admission control finds the queue at its bound.
 func (s *Scheduler) Submit(graphID, alg string, opt chaos.Options) (JobView, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return JobView{}, ErrShuttingDown
 	}
+	if s.maxQueue > 0 && s.queued >= s.maxQueue {
+		return JobView{}, &QueueFullError{Depth: s.queued, Max: s.maxQueue, Workers: s.workers}
+	}
 	j := s.newJobLocked(graphID, alg, opt)
 	j.state = JobQueued
 	s.queue = append(s.queue, j)
+	s.queued++
 	s.noteLocked(j)
 	s.cond.Signal()
 	return j.view(), nil
@@ -276,6 +421,29 @@ func (s *Scheduler) List() []JobView {
 	return s.ListFiltered(JobFilter{})
 }
 
+// Peek snapshots a job payload-stripped, without the lazy disk-store
+// hydration Get performs — the right form for event streams and other
+// callers that would discard the Result/Report anyway (hydrating would
+// read and pin a potentially large blob just to strip it). The second
+// return is the event-hub sequence the snapshot is current as of:
+// subscribers that attached before the Peek must discard buffered
+// events at or below it, or they would replay pre-snapshot history
+// (stale progress, earlier states) after the newer snapshot.
+func (s *Scheduler) Peek(id string) (JobView, uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, 0, false
+	}
+	// Seq before view would be equally correct for state (both are
+	// under s.mu); for lock-free progress ticks the store-then-publish
+	// order in NoteProgress means a tick not yet published when we read
+	// the seq is already visible to view() — replayed, it is a
+	// duplicate, never a regression.
+	return j.view().stripped(), s.events.lastSeq(), true
+}
+
 // JobFilter selects and pages a job listing.
 type JobFilter struct {
 	// State keeps only jobs in this state ("" = all).
@@ -291,6 +459,11 @@ type JobFilter struct {
 // ListFiltered snapshots jobs in submission order, restricted by f.
 // Pagination protocol: pass the last id of one page as After for the
 // next; a short (or empty) page means the listing is exhausted.
+// Listing views are payload-stripped (no Result/Report): an unpaged
+// listing of N done jobs must not serialize N full reports, and
+// journal-restored done jobs would list null payloads anyway (listing
+// never hydrates from the disk store). GET /v1/jobs/{id} serves the
+// full payload.
 func (s *Scheduler) ListFiltered(f JobFilter) []JobView {
 	afterSeq := -1
 	if f.After != "" {
@@ -311,7 +484,7 @@ func (s *Scheduler) ListFiltered(f JobFilter) []JobView {
 		if f.State != "" && j.state != f.State {
 			continue
 		}
-		out = append(out, j.view())
+		out = append(out, j.view().stripped())
 		if f.Limit > 0 && len(out) >= f.Limit {
 			break
 		}
@@ -349,12 +522,13 @@ func (s *Scheduler) Cancel(id string) (JobView, error) {
 	case JobQueued:
 		j.state = JobCanceled
 		j.finishedAt = time.Now().UTC()
+		s.queued--
 		s.noteLocked(j)
 		// The job stays in s.queue; workers skip non-queued entries.
 		return j.view(), nil
 	case JobRunning:
-		if !j.canceling {
-			j.canceling = true
+		if !j.canceling.Load() {
+			j.canceling.Store(true)
 			j.cancel() // observed at the next iteration boundary
 			// Journal the accepted cancellation: if the process dies
 			// before the boundary, recovery must cancel the job, not
@@ -367,20 +541,45 @@ func (s *Scheduler) Cancel(id string) (JobView, error) {
 	}
 }
 
+// popLocked removes and returns the queue head; callers hold s.mu and
+// have checked non-emptiness. The vacated slot is nilled immediately
+// (so a finished job's payload is collectable the moment history
+// eviction drops it) and the dead prefix is compacted once it
+// dominates, releasing the backing array that queue = queue[1:] used
+// to pin every popped *Job in.
+func (s *Scheduler) popLocked() *Job {
+	j := s.queue[s.qhead]
+	s.queue[s.qhead] = nil
+	s.qhead++
+	switch {
+	case s.qhead == len(s.queue):
+		// Drained: every slot behind qhead is already nil, so resetting
+		// in place pins nothing.
+		s.queue = s.queue[:0]
+		s.qhead = 0
+	case s.qhead >= 32 && s.qhead*2 >= len(s.queue):
+		s.queue = append(make([]*Job, 0, len(s.queue)-s.qhead), s.queue[s.qhead:]...)
+		s.qhead = 0
+	}
+	return j
+}
+
+// queueLen reports the live queue window; callers hold s.mu.
+func (s *Scheduler) queueLenLocked() int { return len(s.queue) - s.qhead }
+
 // worker pops queued jobs until shutdown.
 func (s *Scheduler) worker() {
 	defer s.wg.Done()
 	for {
 		s.mu.Lock()
-		for len(s.queue) == 0 && !s.closed {
+		for s.queueLenLocked() == 0 && !s.closed {
 			s.cond.Wait()
 		}
-		if len(s.queue) == 0 && s.closed {
+		if s.queueLenLocked() == 0 && s.closed {
 			s.mu.Unlock()
 			return
 		}
-		j := s.queue[0]
-		s.queue = s.queue[1:]
+		j := s.popLocked()
 		if j.state != JobQueued { // canceled while waiting
 			s.mu.Unlock()
 			continue
@@ -390,6 +589,34 @@ func (s *Scheduler) worker() {
 		ctx, cancel := context.WithCancel(context.Background())
 		j.cancel = cancel
 		s.running++
+		s.queued--
+		if s.computeBudget > 0 {
+			// Split the host compute budget across the concurrency this
+			// job will actually see: the jobs running now plus the backlog
+			// that will run beside it, capped at the pool size. A lone job
+			// on an idle pool gets the whole budget; a burst divides it so
+			// the shares of jobs started under load sum to at most the
+			// budget — instead of every job defaulting to GOMAXPROCS and
+			// oversubscribing the host N×. A simulation's pool is fixed at
+			// start, so shares are never rebalanced mid-run: a job started
+			// alone briefly overlaps later arrivals above the budget, and
+			// that is the accepted trade against idling the whole machine
+			// between bursts. ComputeWorkers only trades wall-clock —
+			// results are bit-identical for every value — so the share is
+			// free to vary run to run.
+			// s.queued, not the queue slice length: canceled jobs linger
+			// in the slice until popped and must not dilute the shares of
+			// jobs that will actually run.
+			concurrency := s.running + s.queued
+			if concurrency > s.workers {
+				concurrency = s.workers
+			}
+			if share := s.computeBudget / concurrency; share > 1 {
+				j.computeShare = share
+			} else {
+				j.computeShare = 1
+			}
+		}
 		s.noteLocked(j)
 		s.mu.Unlock()
 
@@ -405,7 +632,7 @@ func (s *Scheduler) worker() {
 			j.state = JobDone
 			j.result = res
 			j.report = rep
-		case errors.Is(err, context.Canceled) && j.canceling:
+		case errors.Is(err, context.Canceled) && j.canceling.Load():
 			j.state = JobCanceled
 			j.err = "canceled while running; stopped at an iteration boundary"
 		default:
@@ -417,20 +644,29 @@ func (s *Scheduler) worker() {
 	}
 }
 
-// Shutdown stops accepting submissions, cancels still-queued jobs, and
-// waits for the running ones to drain (or ctx to expire).
+// CloseEventStreams disconnects every event subscriber and refuses new
+// ones. The HTTP front end registers it as an on-shutdown hook: an SSE
+// stream is never idle as far as the HTTP server can tell, so without
+// this a single attached viewer would hold the entire drain budget.
+func (s *Scheduler) CloseEventStreams() { s.events.closeAll() }
+
+// Shutdown stops accepting submissions, cancels still-queued jobs,
+// disconnects event subscribers, and waits for the running ones to
+// drain (or ctx to expire).
 func (s *Scheduler) Shutdown(ctx context.Context) error {
+	s.events.closeAll()
 	s.mu.Lock()
 	s.closed = true
-	for _, j := range s.queue {
+	for _, j := range s.queue[s.qhead:] {
 		if j.state == JobQueued {
 			j.state = JobCanceled
 			j.err = "canceled at shutdown before running"
 			j.finishedAt = time.Now().UTC()
+			s.queued--
 			s.noteLocked(j)
 		}
 	}
-	s.queue = nil
+	s.queue, s.qhead = nil, 0
 	s.cond.Broadcast()
 	s.mu.Unlock()
 
@@ -460,14 +696,12 @@ func (s *Scheduler) stats() schedStats {
 	defer s.mu.Unlock()
 	st := schedStats{
 		running:      s.running,
+		queueDepth:   s.queued,
 		jobs:         make(map[string]int),
 		perAlgorithm: make(map[string]int),
 	}
 	for _, j := range s.jobs {
 		st.jobs[string(j.state)]++
-		if j.state == JobQueued {
-			st.queueDepth++
-		}
 	}
 	for alg, n := range s.counts {
 		st.perAlgorithm[alg] = n

@@ -61,7 +61,7 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 func TestSchedulerBoundsConcurrency(t *testing.T) {
 	const workers, jobs = 3, 12
 	g := newGate()
-	s := NewScheduler(workers, 0, g.run)
+	s := NewScheduler(SchedulerConfig{Workers: workers}, g.run)
 
 	var wg sync.WaitGroup
 	for i := 0; i < jobs; i++ {
@@ -104,7 +104,7 @@ func TestSchedulerBoundsConcurrency(t *testing.T) {
 // finished ones conflict, canceled jobs never run.
 func TestSchedulerCancel(t *testing.T) {
 	g := newGate()
-	s := NewScheduler(1, 0, g.run)
+	s := NewScheduler(SchedulerConfig{Workers: 1}, g.run)
 	defer func() {
 		close(g.release)
 		s.Shutdown(context.Background())
@@ -157,7 +157,7 @@ func TestSchedulerCancel(t *testing.T) {
 // cancels queued ones, and refuses new submissions.
 func TestSchedulerShutdownDrains(t *testing.T) {
 	g := newGate()
-	s := NewScheduler(1, 0, g.run)
+	s := NewScheduler(SchedulerConfig{Workers: 1}, g.run)
 
 	running, _ := s.Submit("g", "PR", chaos.Options{})
 	waitFor(t, "job running", func() bool {
@@ -197,7 +197,7 @@ func TestSchedulerShutdownDrains(t *testing.T) {
 // running jobs survive even when the cap is exceeded.
 func TestSchedulerRetentionEvictsOnlyFinishedJobs(t *testing.T) {
 	g := newGate()
-	s := NewScheduler(1, 3, g.run)
+	s := NewScheduler(SchedulerConfig{Workers: 1, Retain: 3}, g.run)
 	defer s.Shutdown(context.Background())
 
 	// Five finished jobs, released one at a time.
@@ -307,7 +307,7 @@ func TestResultCacheEvictionOrderAndCompaction(t *testing.T) {
 // paging over a mixed-state history.
 func TestSchedulerListFiltered(t *testing.T) {
 	g := newGate()
-	s := NewScheduler(1, 0, g.run)
+	s := NewScheduler(SchedulerConfig{Workers: 1}, g.run)
 	defer func() {
 		close(g.release)
 		s.Shutdown(context.Background())
@@ -361,7 +361,7 @@ func TestSchedulerListFiltered(t *testing.T) {
 
 // TestSchedulerFailedJob surfaces run errors as the failed state.
 func TestSchedulerFailedJob(t *testing.T) {
-	s := NewScheduler(1, 0, func(ctx context.Context, j *Job) (*chaos.Result, *chaos.Report, error) {
+	s := NewScheduler(SchedulerConfig{Workers: 1}, func(ctx context.Context, j *Job) (*chaos.Result, *chaos.Report, error) {
 		return nil, nil, fmt.Errorf("boom")
 	})
 	defer s.Shutdown(context.Background())

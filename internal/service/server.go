@@ -3,6 +3,8 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 
@@ -14,13 +16,19 @@ import (
 //	POST   /v1/graphs     register a graph (GraphSpec JSON)
 //	GET    /v1/graphs     list registered graphs
 //	GET    /v1/graphs/{id}  one graph with its cached views
-//	POST   /v1/jobs       submit a job (jobRequest JSON) -> 202
-//	GET    /v1/jobs       list jobs (?state=done&limit=N&after=<id>)
-//	GET    /v1/jobs/{id}  job state, full Report and Result when done
+//	POST   /v1/jobs       submit a job (jobRequest JSON) -> 202, or 429
+//	                      + Retry-After when the queue is at -max-queue
+//	GET    /v1/jobs       list jobs (?state=done&limit=N&after=<id>);
+//	                      views are payload-stripped (no Result/Report)
+//	GET    /v1/jobs/{id}  job state, live progress while running, full
+//	                      Report and Result when done
+//	GET    /v1/jobs/{id}/events  SSE stream of state transitions and
+//	                      iteration-boundary progress ticks
 //	DELETE /v1/jobs/{id}  cancel a job (running ones stop at the next
 //	                      iteration boundary; poll until "canceled")
 //	GET    /healthz       liveness
 //	GET    /v1/stats      queue depth, cache hit rate, per-algorithm counts
+//	GET    /metrics       Prometheus text exposition of the same counters
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/graphs", s.handleRegisterGraph)
@@ -29,9 +37,11 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
 
@@ -213,6 +223,15 @@ func (s *Service) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	}
 	job, err := s.Submit(req.Graph, alg, opt)
 	if err != nil {
+		var qf *QueueFullError
+		if errors.As(err, &qf) {
+			// Admission control: the queue is at -max-queue. 429 with a
+			// backlog-derived Retry-After keeps well-behaved clients
+			// backing off instead of hammering the full queue.
+			w.Header().Set("Retry-After", strconv.Itoa(qf.RetryAfterSeconds()))
+			writeError(w, http.StatusTooManyRequests, err)
+			return
+		}
 		writeError(w, statusFor(err, http.StatusBadRequest), err)
 		return
 	}
@@ -270,6 +289,79 @@ func (s *Service) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, job)
+}
+
+// handleJobEvents streams a job's lifecycle as Server-Sent Events: a
+// "state" snapshot first (so subscribers start from truth, not from
+// the next transition), then every state transition and engine
+// progress tick as they happen. The stream ends when the job reaches a
+// terminal state, the client disconnects, or the subscriber lags too
+// far behind a transition (reconnect and resync from the fresh
+// snapshot). Event payloads are payload-stripped job views; fetch
+// GET /v1/jobs/{id} for the full Result/Report after the "done" event.
+func (s *Service) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("response writer does not support streaming"))
+		return
+	}
+	// Subscribe before snapshotting so no transition is lost in the
+	// gap; events buffered in that gap are older than the snapshot and
+	// are discarded below by the snapshot's sequence watermark (they
+	// are not harmless duplicates — replaying them would walk a
+	// client's progress backward).
+	ch, cancelSub := s.scheduler.Subscribe(id)
+	defer cancelSub()
+	// Peek, not Get: the stream never serves payloads, so hydrating a
+	// journal-restored job's result from the disk store here would read
+	// and pin a blob only to strip it.
+	jv, since, ok := s.scheduler.Peek(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, &notFoundError{what: "job", id: id})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	if err := writeSSE(w, JobEvent{Seq: since, Type: EventState, Job: jv}); err != nil {
+		return
+	}
+	flusher.Flush()
+	if terminal(jv.State) {
+		return
+	}
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case ev, open := <-ch:
+			if !open {
+				return // hub dropped a lagging subscriber; client resyncs
+			}
+			if ev.Seq <= since {
+				continue // published before the snapshot; already reflected
+			}
+			if err := writeSSE(w, ev); err != nil {
+				return
+			}
+			flusher.Flush()
+			if ev.Type == EventState && terminal(ev.Job.State) {
+				return
+			}
+		}
+	}
+}
+
+// writeSSE frames one event in text/event-stream form.
+func writeSSE(w io.Writer, ev JobEvent) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+	return err
 }
 
 func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {

@@ -22,6 +22,7 @@ package service
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"chaos"
@@ -44,6 +45,19 @@ type Config struct {
 	// MaxJobHistory bounds how many finished jobs stay queryable;
 	// queued and running jobs are never evicted (default 10000).
 	MaxJobHistory int
+	// MaxQueue bounds the number of queued (not yet running) jobs —
+	// the admission control that keeps a traffic burst from growing the
+	// queue without bound. Submissions past it fail with *QueueFullError
+	// (HTTP 429 + Retry-After). 0 = unbounded.
+	MaxQueue int
+	// ComputeBudget is the total engine compute workers shared across
+	// concurrently running jobs (default GOMAXPROCS): a job that does
+	// not pin Options.ComputeWorkers starts with the budget divided by
+	// the concurrency it will run beside (running + backlog, capped at
+	// Workers), so N concurrent simulations stop oversubscribing the
+	// host N×. Negative disables the division (every job defaults to
+	// GOMAXPROCS again).
+	ComputeBudget int
 	// MaxUploadBytes bounds POST /v1/graphs request bodies (default
 	// 64 MiB). Graph uploads carry whole edge lists, so they get a far
 	// larger cap than the other endpoints' 1 MB.
@@ -102,6 +116,12 @@ func Open(cfg Config) (*Service, error) {
 	if cfg.SnapshotEvery <= 0 {
 		cfg.SnapshotEvery = 1024
 	}
+	switch {
+	case cfg.ComputeBudget == 0:
+		cfg.ComputeBudget = runtime.GOMAXPROCS(0)
+	case cfg.ComputeBudget < 0:
+		cfg.ComputeBudget = 0 // explicit opt-out: unmanaged
+	}
 	s := &Service{
 		cfg:     cfg,
 		catalog: NewCatalog(),
@@ -118,7 +138,12 @@ func Open(cfg Config) (*Service, error) {
 	} else {
 		s.cache = newResultCache(cfg.MaxCacheEntries, nil)
 	}
-	s.scheduler = NewScheduler(cfg.Workers, cfg.MaxJobHistory, s.execute)
+	s.scheduler = NewScheduler(SchedulerConfig{
+		Workers:       cfg.Workers,
+		Retain:        cfg.MaxJobHistory,
+		MaxQueue:      cfg.MaxQueue,
+		ComputeBudget: cfg.ComputeBudget,
+	}, s.execute)
 	if s.persist != nil {
 		// Hooks before recovery: requeue/failure transitions during
 		// recovery must hit the journal too. The lazy result hydrator
@@ -163,7 +188,23 @@ func (s *Service) execute(ctx context.Context, job *Job) (*chaos.Result, *chaos.
 	if err != nil {
 		return nil, nil, err
 	}
-	res, rep, err := chaos.RunPreparedContext(ctx, job.Algorithm, g.View(view), g.Vertices, job.Options)
+	// Live progress: the engine reports at every iteration boundary (the
+	// Interrupt boundary), the scheduler keeps the latest snapshot for
+	// job views and fans ticks out to SSE subscribers. Subscribing
+	// cannot change the run (see chaos.WithProgress).
+	ctx = chaos.WithProgress(ctx, func(p chaos.Progress) {
+		s.scheduler.NoteProgress(job, p)
+	})
+	opt := job.Options
+	if opt.ComputeWorkers == 0 && job.computeShare > 0 {
+		// The job did not pin its host parallelism: run it on its share
+		// of the scheduler's compute budget instead of the GOMAXPROCS
+		// default, which would oversubscribe the host by the number of
+		// running jobs. Does not touch job.Options: the cache key and the
+		// journal keep the submitted options.
+		opt.ComputeWorkers = job.computeShare
+	}
+	res, rep, err := chaos.RunPreparedContext(ctx, job.Algorithm, g.View(view), g.Vertices, opt)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -262,6 +303,14 @@ func mergeOptions(base, opt chaos.Options) chaos.Options {
 	return opt
 }
 
+// CloseEventStreams ends every open job-event stream and refuses new
+// subscriptions. Register it with http.Server.RegisterOnShutdown so
+// SSE connections — never idle from the HTTP server's point of view —
+// end when drain begins instead of consuming the whole drain budget
+// (Service.Shutdown also closes them, but the HTTP server drains
+// handlers first).
+func (s *Service) CloseEventStreams() { s.scheduler.CloseEventStreams() }
+
 // Catalog exposes the graph catalog (used by the HTTP layer and tests).
 func (s *Service) Catalog() *Catalog { return s.catalog }
 
@@ -287,6 +336,9 @@ type DurableStats struct {
 	// JournalRecords counts records appended since the last compacting
 	// snapshot (the snapshot-every policy input).
 	JournalRecords int `json:"journalRecords"`
+	// WAL is the full write-ahead-log counter surface (lifetime
+	// records, fsyncs issued, snapshots taken) — what /metrics exports.
+	WAL durable.WALStats `json:"wal"`
 	// LastError is the first persistence failure since boot, "" while
 	// healthy. State keeps serving from memory past it, but durability
 	// is gone until the operator intervenes.
@@ -309,6 +361,7 @@ func (s *Service) Stats() Stats {
 		out.Durable = &DurableStats{
 			DataDir:        s.persist.dataDir,
 			JournalRecords: s.persist.wal.AppendedSinceCompact(),
+			WAL:            s.persist.wal.Stats(),
 			LastError:      s.persist.lastError(),
 		}
 	}

@@ -1,0 +1,64 @@
+package chaos
+
+import (
+	"context"
+
+	"chaos/internal/core"
+)
+
+// Progress is a live snapshot of a running simulation, reported at each
+// iteration boundary — the same boundary cooperative cancellation is
+// observed at. Subscribing is guaranteed not to perturb the run: the
+// engine invokes the callback with already-settled counters and the
+// callback cannot reach the run's RNG, clock or event order, so
+// results, reports and the virtual clock are bit-identical with and
+// without a subscriber (see DESIGN.md and TestProgressDoesNotPerturbRun).
+type Progress struct {
+	// Iterations counts completed iterations (1 at the first boundary).
+	Iterations int `json:"iterations"`
+	// SimulatedSeconds is the virtual clock at the boundary.
+	SimulatedSeconds float64 `json:"simulatedSeconds"`
+	// BytesRead / BytesWritten are device-level totals so far.
+	BytesRead    int64 `json:"bytesRead"`
+	BytesWritten int64 `json:"bytesWritten"`
+	// StealsAccepted counts steal proposals accepted so far.
+	StealsAccepted int `json:"stealsAccepted"`
+}
+
+// progressKey carries the subscriber through a context; the engine-side
+// wiring happens in runProgram, so every context-taking entry point
+// (RunPreparedContext and the algorithm runners) observes it.
+type progressKey struct{}
+
+// WithProgress returns a context that subscribes fn to iteration-
+// boundary progress reports of any run started under it (the job
+// service feeds live job views and SSE ticks from this). fn runs on the
+// simulation goroutine: keep it cheap — a slow callback stalls host
+// wall-clock, never simulated time or results.
+func WithProgress(ctx context.Context, fn func(Progress)) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, progressKey{}, fn)
+}
+
+// progressFrom extracts the subscriber WithProgress installed, nil if
+// none.
+func progressFrom(ctx context.Context) func(Progress) {
+	if ctx == nil {
+		return nil
+	}
+	fn, _ := ctx.Value(progressKey{}).(func(Progress))
+	return fn
+}
+
+// coreProgress adapts the engine's counter snapshot to the public form.
+func coreProgress(p core.Progress) Progress {
+	return Progress{
+		Iterations:       p.Iterations,
+		SimulatedSeconds: p.Now.Seconds(),
+		BytesRead:        p.BytesRead,
+		BytesWritten:     p.BytesWritten,
+		StealsAccepted:   p.StealsAccepted,
+	}
+}

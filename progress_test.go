@@ -1,0 +1,64 @@
+package chaos
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestProgressDeterminism is the serving-path determinism guarantee:
+// for every algorithm, a run with a progress subscriber produces a
+// bit-identical Result, Report and virtual clock to one without, and
+// the subscriber's final tick agrees with the report.
+func TestProgressDeterminism(t *testing.T) {
+	opt := Options{
+		Machines: 2, ChunkBytes: 1 << 10, LatencyScale: 1.0 / 4096,
+		MemBudgetBytes: 1 << 12, Seed: 1,
+	}
+	edges := GenerateRMAT(6, true, 42)
+	for _, alg := range Algorithms() {
+		t.Run(alg, func(t *testing.T) {
+			view, err := ViewFor(alg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prepared := view.Apply(edges)
+			want, wantRep, err := RunPrepared(alg, prepared, 1<<6, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var ticks []Progress
+			ctx := WithProgress(context.Background(), func(p Progress) {
+				ticks = append(ticks, p)
+			})
+			got, gotRep, err := RunPreparedContext(ctx, alg, prepared, 1<<6, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ticks) != gotRep.Iterations {
+				t.Fatalf("%d ticks, want one per iteration (%d)", len(ticks), gotRep.Iterations)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("result drifted under a subscriber:\n%+v\nvs\n%+v", got, want)
+			}
+			if !reflect.DeepEqual(gotRep, wantRep) {
+				t.Errorf("report drifted under a subscriber:\n%+v\nvs\n%+v", gotRep, wantRep)
+			}
+			// Bit-level virtual-clock check, not just DeepEqual of the
+			// float: the clock is the acceptance criterion.
+			if math.Float64bits(gotRep.SimulatedSeconds) != math.Float64bits(wantRep.SimulatedSeconds) {
+				t.Errorf("virtual clock drifted: %v vs %v", gotRep.SimulatedSeconds, wantRep.SimulatedSeconds)
+			}
+			last := ticks[len(ticks)-1]
+			if last.Iterations != gotRep.Iterations || last.StealsAccepted != gotRep.StealsAccepted {
+				t.Errorf("final tick %+v disagrees with report (%d iters, %d steals)",
+					last, gotRep.Iterations, gotRep.StealsAccepted)
+			}
+			if last.SimulatedSeconds > gotRep.SimulatedSeconds {
+				t.Errorf("final tick clock %v past the report's %v",
+					last.SimulatedSeconds, gotRep.SimulatedSeconds)
+			}
+		})
+	}
+}

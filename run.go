@@ -31,6 +31,9 @@ func runProgram[V, U, A any](ctx context.Context, opt Options, prog gas.Program[
 			}
 		}
 	}
+	if fn := progressFrom(ctx); fn != nil {
+		cfg.Progress = func(p core.Progress) { fn(coreProgress(p)) }
+	}
 	values, run, err := core.Run(cfg, prog, edges, n)
 	if err != nil {
 		if errors.Is(err, core.ErrInterrupted) && ctx.Err() != nil {

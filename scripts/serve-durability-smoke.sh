@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# chaos-serve durability smoke: start -> register -> job -> kill -> restart -> cache hit
+# chaos-serve durability smoke: start -> register -> job (with /metrics
+# scrape + /events SSE stream) -> kill -> restart -> cache hit, with
+# /metrics re-scraped on the recovered process.
 set -euo pipefail
 BIN=${1:-./chaos-serve}
 DIR=$(mktemp -d)
@@ -29,6 +31,11 @@ wait_up
 
 curl -sf -XPOST $BASE/v1/graphs -d '{"name":"smoke","type":"rmat","scale":7,"weighted":true,"seed":42}' >/dev/null
 JOB=$(curl -sf -XPOST $BASE/v1/jobs -d '{"graph":"smoke","algorithm":"PR","options":{"machines":2,"seed":7}}' | sed -n 's/.*"id": "\(j[0-9]*\)".*/\1/p')
+# Stream the job's SSE feed while it runs; the handler closes the
+# stream at the terminal state, so this curl exits on its own.
+EVENTS="$DIR/events.txt"
+curl -sN -m 60 $BASE/v1/jobs/$JOB/events > "$EVENTS" &
+SSE=$!
 for i in $(seq 1 200); do
   STATE=$(curl -sf $BASE/v1/jobs/$JOB | sed -n 's/.*"state": "\([a-z]*\)".*/\1/p')
   [ "$STATE" = done ] && break
@@ -36,6 +43,17 @@ for i in $(seq 1 200); do
   sleep 0.1
 done
 [ "$STATE" = done ] || { echo "job never finished: $STATE" >&2; exit 1; }
+wait $SSE || { echo "event stream did not terminate with the job" >&2; exit 1; }
+grep -q '^event: state' "$EVENTS" || { echo "no state events in SSE stream" >&2; cat "$EVENTS" >&2; exit 1; }
+grep -q '"state":"done"' "$EVENTS" || { echo "SSE stream missed the done transition" >&2; cat "$EVENTS" >&2; exit 1; }
+
+# /metrics serves Prometheus text exposition with the serving and WAL
+# counter families.
+METRICS=$(curl -sf $BASE/metrics)
+echo "$METRICS" | grep -q '^# TYPE chaos_jobs gauge' || { echo "metrics missing TYPE preamble" >&2; exit 1; }
+echo "$METRICS" | grep -q '^chaos_jobs{state="done"} [1-9]' || { echo "metrics missing done-job count" >&2; echo "$METRICS" >&2; exit 1; }
+echo "$METRICS" | grep -q '^chaos_wal_records_total [1-9]' || { echo "metrics missing WAL records" >&2; exit 1; }
+echo "$METRICS" | grep -q '^chaos_persist_healthy 1' || { echo "persistence not healthy" >&2; exit 1; }
 
 # SIGTERM: graceful shutdown snapshots before exit.
 kill -TERM $PID; wait $PID || true
@@ -52,4 +70,10 @@ HIT=$(curl -sf -XPOST $BASE/v1/jobs -d '{"graph":"smoke","algorithm":"PR","optio
 echo "$HIT" | grep -q '"state": "done"' || { echo "resubmission not served from cache: $HIT" >&2; exit 1; }
 echo "$HIT" | grep -q '"cacheHit": true' || { echo "no cacheHit flag: $HIT" >&2; exit 1; }
 curl -sf $BASE/v1/stats | grep -q '"diskHits": [1-9]' || { echo "no disk hit recorded" >&2; exit 1; }
+# The recovered process exposes the restored history on /metrics (two
+# done jobs now: the pre-crash run and the cache-hit resubmission).
+curl -sf $BASE/metrics | grep -q '^chaos_jobs{state="done"} [2-9]' || { echo "recovered metrics missing job history" >&2; exit 1; }
+# The SSE stream of a job finished before the crash replays as a single
+# terminal snapshot on the recovered process.
+curl -sN -m 10 $BASE/v1/jobs/$JOB/events | grep -q '"state":"done"' || { echo "no terminal snapshot for recovered job" >&2; exit 1; }
 echo "SMOKE OK"
