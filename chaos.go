@@ -124,10 +124,29 @@ type Options struct {
 	// reports and simulated times are bit-identical for every value —
 	// the knob only trades host wall-clock time.
 	ComputeWorkers int
+	// Engine selects the execution plane: EngineSim (the default, also
+	// "" or "des") runs the protocol under the deterministic
+	// discrete-event simulation and reports virtual time; EngineNative
+	// runs the same protocol as goroutine groups directly on the host —
+	// results are identical up to floating-point fold order, the report
+	// carries wall-clock instead of simulated seconds, and no
+	// paper-facing performance claim is made (see DESIGN.md, "Two
+	// planes, one protocol").
+	Engine string
 	// Seed drives all randomized decisions; equal seeds reproduce runs
 	// exactly.
 	Seed int64
 }
+
+// Engine names accepted by Options.Engine (see ParseEngine).
+const (
+	// EngineSim is the discrete-event-simulation driver (internal/core):
+	// virtual time, modeled hardware, the paper's evaluation plane.
+	EngineSim = "sim"
+	// EngineNative is the host-speed driver (internal/core/native):
+	// goroutine groups, real chunks, wall-clock only.
+	EngineNative = "native"
+)
 
 // spec builds the cluster hardware description.
 func (o Options) spec() cluster.Spec {
@@ -197,12 +216,23 @@ func (o Options) config() core.Config {
 
 // Report summarizes a run: simulated wall-clock (including pre-processing,
 // as in the paper), I/O volumes and the Figure 17 breakdown.
+//
+// Engine records which driver executed the run. For EngineSim the
+// *Seconds fields are virtual time and WallSeconds is zero (wall-clock
+// varies run to run, and sim reports are bit-reproducible). For
+// EngineNative there is no virtual clock: SimulatedSeconds and
+// PreprocessSeconds are zero, WallSeconds is the host wall-clock of the
+// whole run, and AggregateBandwidth is bytes moved per wall second.
 type Report struct {
 	Algorithm         string
 	Machines          int
+	Engine            string
 	SimulatedSeconds  float64
 	PreprocessSeconds float64
-	Iterations        int
+	// WallSeconds is the host wall-clock of a native run (zero under
+	// the DES driver, whose reports must stay bit-reproducible).
+	WallSeconds float64
+	Iterations  int
 	BytesRead         int64
 	BytesWritten      int64
 	// AggregateBandwidth is device bytes moved per simulated second
@@ -225,6 +255,7 @@ func reportFrom(run *metrics.Run, machines int) *Report {
 	r := &Report{
 		Algorithm:          run.Algorithm,
 		Machines:           machines,
+		Engine:             EngineSim,
 		SimulatedSeconds:   run.Runtime.Seconds(),
 		PreprocessSeconds:  run.Preprocess.Seconds(),
 		Iterations:         run.Iterations,
@@ -242,6 +273,19 @@ func reportFrom(run *metrics.Run, machines int) *Report {
 	for _, c := range metrics.Categories() {
 		r.Breakdown[c.String()] = run.Fraction(c)
 	}
+	return r
+}
+
+// nativeReportFrom shapes a native run's metrics: the driver stores host
+// wall-clock in the Run's time fields, so they move to WallSeconds and
+// the virtual-time fields stay zero — a native report never claims
+// simulated seconds (EXPERIMENTS.md keeps the figures DES-only).
+func nativeReportFrom(run *metrics.Run, machines int) *Report {
+	r := reportFrom(run, machines)
+	r.Engine = EngineNative
+	r.WallSeconds = run.Runtime.Seconds()
+	r.SimulatedSeconds = 0
+	r.PreprocessSeconds = 0
 	return r
 }
 

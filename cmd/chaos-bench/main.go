@@ -6,6 +6,7 @@
 //
 //	chaos-bench                     # run everything at laboratory scale
 //	chaos-bench -experiment fig16   # just the batch-factor sweep
+//	chaos-bench -experiment native  # native plane vs DES wall-clock (BENCH_native.json)
 //	chaos-bench -quick              # reduced smoke scale
 package main
 
@@ -42,6 +43,7 @@ var all = []struct {
 	{"fig18", experiments.Figure18},
 	{"fig19", experiments.Figure19},
 	{"fig20", experiments.Figure20},
+	{"native", experiments.NativeVsDES},
 	{"abl-combiners", experiments.AblationCombiner},
 	{"abl-compaction", experiments.AblationCompaction},
 	{"abl-replication", experiments.AblationReplication},
@@ -58,14 +60,32 @@ func main() {
 		network   = flag.String("network", "40g", "default network: 40g or 1g")
 		benchJSON = flag.String("bench-json", ".", "directory for BENCH_<experiment>.json records (empty disables)")
 		workers   = flag.Int("workers", 0, "engine compute workers (0 = GOMAXPROCS); results are identical for every value")
+		engineFl  = flag.String("engine", "sim",
+			"execution engine: sim reproduces the paper's figures; native selects the native-vs-DES wall-clock comparison (the figures themselves are DES-only)")
 	)
 	flag.Parse()
 
-	// Hardware names go through the same helper as chaos-run and
+	// Hardware names go through the same helpers as chaos-run and
 	// chaos-serve, so a typo fails with the identical message everywhere.
 	_, hw, err := chaos.ParseOptions("", *storage, *network, chaos.Options{})
 	if err != nil {
 		log.Fatal(err)
+	}
+	engine, err := chaos.ParseEngine(*engineFl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if engine == chaos.EngineNative {
+		// The evaluation figures are produced by the DES driver and only
+		// it (EXPERIMENTS.md): the native plane has no virtual clock, so
+		// the only native benchmark is the wall-clock comparison.
+		switch *which {
+		case "all":
+			*which = "native"
+		case "native":
+		default:
+			log.Fatalf("-engine native only applies to the native-vs-DES comparison; the figures are DES-only (run -experiment %s without -engine, or -experiment native)", *which)
+		}
 	}
 
 	scale := experiments.Lab

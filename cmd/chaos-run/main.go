@@ -11,6 +11,11 @@
 //
 //	chaos-run -alg PR -scale 14 -machines 8
 //	chaos-run -alg SSSP -input graph.bin -weighted -vertices 65536 -machines 4 -storage hdd
+//	chaos-run -alg PR -scale 14 -machines 8 -engine native   # host-speed plane, wall-clock
+//
+// -engine native runs the same protocol on the native execution plane
+// (goroutine groups, no virtual clock): identical results, host
+// wall-clock instead of simulated seconds, no device-model figures.
 package main
 
 import (
@@ -41,12 +46,19 @@ func main() {
 		budgetMB = flag.Int64("mem-mb", 0, "per-machine vertex memory budget in MiB (0 = unconstrained)")
 		ckpt     = flag.Int("checkpoint", 0, "checkpoint every n iterations (0 = off)")
 		seed     = flag.Int64("seed", 1, "randomization seed")
+		engine   = flag.String("engine", "sim",
+			"execution engine: sim (discrete-event simulation, virtual time) or native (host-speed goroutine plane, wall-clock)")
 	)
 	flag.Parse()
 
-	// The shared helper validates algorithm/storage/network names exactly
-	// as chaos-serve does, so error messages match across front ends.
+	// The shared helpers validate algorithm/storage/network/engine names
+	// exactly as chaos-serve does, so error messages match across front
+	// ends.
 	alg, hw, err := chaos.ParseOptions(*algName, *storage, *network, chaos.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := chaos.ParseEngine(*engine)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -89,6 +101,7 @@ func main() {
 		CheckpointEvery: *ckpt,
 		Seed:            *seed,
 		LatencyScale:    float64(*chunkKB<<10) / float64(4<<20),
+		Engine:          eng,
 	}
 
 	rep, err := chaos.RunByName(alg, edges, n, opt)
@@ -98,10 +111,27 @@ func main() {
 
 	fmt.Printf("algorithm          %s\n", rep.Algorithm)
 	fmt.Printf("machines           %d\n", rep.Machines)
+	fmt.Printf("engine             %s\n", rep.Engine)
 	fmt.Printf("edges              %d\n", len(edges))
-	fmt.Printf("simulated runtime  %.3fs (pre-processing %.3fs)\n", rep.SimulatedSeconds, rep.PreprocessSeconds)
+	if rep.Engine == chaos.EngineNative {
+		// The native plane has no virtual clock: there are no simulated
+		// seconds, device-utilization or breakdown figures to report.
+		fmt.Printf("wall-clock runtime %.3fs\n", rep.WallSeconds)
+	} else {
+		fmt.Printf("simulated runtime  %.3fs (pre-processing %.3fs)\n", rep.SimulatedSeconds, rep.PreprocessSeconds)
+	}
 	fmt.Printf("iterations         %d\n", rep.Iterations)
 	fmt.Printf("device I/O         %.2f MB read, %.2f MB written\n", float64(rep.BytesRead)/1e6, float64(rep.BytesWritten)/1e6)
+	if rep.Engine == chaos.EngineNative {
+		fmt.Printf("throughput         %.1f MB/s of chunk data moved\n", rep.AggregateBandwidth/1e6)
+		fmt.Printf("steals             %d accepted, %d rejected\n", rep.StealsAccepted, rep.StealsRejected)
+		// Checkpointing and recovery run for real on both planes; only
+		// the device-model figures (utilization, breakdown) are sim-only.
+		if rep.CheckpointBytes > 0 {
+			fmt.Printf("checkpoint I/O     %.2f MB (%d recoveries)\n", float64(rep.CheckpointBytes)/1e6, rep.Recoveries)
+		}
+		return
+	}
 	fmt.Printf("aggregate bw       %.1f MB/s (utilization %.1f%%)\n", rep.AggregateBandwidth/1e6, 100*rep.DeviceUtilization)
 	fmt.Printf("steals             %d accepted, %d rejected\n", rep.StealsAccepted, rep.StealsRejected)
 	if rep.CheckpointBytes > 0 {

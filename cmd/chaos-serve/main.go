@@ -10,6 +10,7 @@
 //	chaos-serve -addr :8080 -chunk-kb 64        # lab-scale default chunks
 //	chaos-serve -addr :8080 -data-dir /var/lib/chaos   # durable state
 //	chaos-serve -addr :8080 -max-queue 256      # admission control (429 past it)
+//	chaos-serve -addr :8080 -engine native      # default jobs to the host-speed plane
 //
 // Operability: GET /v1/jobs/{id} shows live iteration-boundary progress
 // of a running job, GET /v1/jobs/{id}/events streams transitions and
@@ -67,14 +68,21 @@ func main() {
 		resultCacheMB = flag.Int("result-cache-mb", 512,
 			"disk result store bound in MiB, LRU-evicted past it; 0 = unbounded (with -data-dir)")
 		maxUploadMB = flag.Int("max-upload-mb", 64, "POST /v1/graphs body cap in MiB")
+		engine      = flag.String("engine", "sim",
+			"default execution engine for jobs that set none: sim (discrete-event simulation, virtual time) or native (host-speed goroutine plane)")
 	)
 	flag.Parse()
 
+	defaultEngine, err := chaos.ParseEngine(*engine)
+	if err != nil {
+		log.Fatal(err)
+	}
 	svc, err := service.Open(service.Config{
 		Workers: *workers,
 		BaseOptions: chaos.Options{
 			ChunkBytes:   *chunkKB << 10,
 			LatencyScale: float64(*chunkKB<<10) / float64(4<<20),
+			Engine:       defaultEngine,
 		},
 		MaxQueue:            *maxQueue,
 		ComputeBudget:       *computeBudget,

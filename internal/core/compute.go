@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"slices"
 
+	"chaos/internal/core/drive"
 	"chaos/internal/graph"
 	"chaos/internal/metrics"
 	"chaos/internal/sim"
@@ -557,7 +558,7 @@ func (m *machine[V, U, A]) appendUpdate(buf []byte, dst graph.VertexID, val *U) 
 
 func (m *machine[V, U, A]) decodeUpdate(buf []byte) (graph.VertexID, U) {
 	r := m.eng.decodeUpdateRecord(buf)
-	return r.dst, r.val
+	return r.Dst, r.Val
 }
 
 // ---------------------------------------------------------------------------
@@ -599,9 +600,9 @@ func (m *machine[V, U, A]) scatterPartition(p *sim.Proc, iter, part int, verts [
 			// stream's task set): the reply carries the bytes, run the
 			// same kernel at the delivery instant.
 			sc = &scatterChunk[U]{}
-			eng.scatterChunkKernel(iter, part, verts, r.data, &sc.out)
+			eng.kern.ScatterChunk(iter, part, verts, r.data, &sc.out)
 		} else {
-			sc.wait()
+			sc.Wait()
 		}
 		m.mergeScatter(p, part, &sc.out)
 	})
@@ -612,16 +613,16 @@ func (m *machine[V, U, A]) scatterPartition(p *sim.Proc, iter, part int, verts [
 // machine's buffers at the chunk's simulated delivery time: CPU charges,
 // buffer appends and chunk spills happen exactly as if the records had
 // been processed inline.
-func (m *machine[V, U, A]) mergeScatter(p *sim.Proc, part int, out *scatterOut[U]) {
+func (m *machine[V, U, A]) mergeScatter(p *sim.Proc, part int, out *drive.ScatterOut[U]) {
 	eng := m.eng
-	m.cpu(p, out.n)
-	if eng.rewriter != nil && len(out.edgesNext) > 0 {
+	m.cpu(p, out.N)
+	if eng.rewriter != nil && len(out.EdgesNext) > 0 {
 		limit := spillLimit(eng.cfg.ChunkBytes, eng.edgeFmt.EdgeSize())
-		m.edgeNextBuf[part] = m.appendSpill(storage.EdgeSetNext, part, m.edgeNextBuf[part], out.edgesNext, limit)
+		m.edgeNextBuf[part] = m.appendSpill(storage.EdgeSetNext, part, m.edgeNextBuf[part], out.EdgesNext, limit)
 	}
 	if eng.combiner != nil {
 		per := eng.updatesPerChunk()
-		for tp, chunkMap := range out.combined {
+		for tp, chunkMap := range out.Combined {
 			if len(chunkMap) == 0 {
 				continue
 			}
@@ -643,7 +644,7 @@ func (m *machine[V, U, A]) mergeScatter(p *sim.Proc, part int, out *scatterOut[U
 		}
 	}
 	limit := eng.updatesPerChunk() * eng.updBytes
-	for tp, b := range out.updates {
+	for tp, b := range out.Updates {
 		if len(b) == 0 {
 			continue
 		}
@@ -651,8 +652,8 @@ func (m *machine[V, U, A]) mergeScatter(p *sim.Proc, part int, out *scatterOut[U
 	}
 	// Combining costs an extra hash-merge per emitted update; the
 	// paper found this overhead outweighs the traffic reduction.
-	m.cpu(p, 2*out.combineOps)
-	eng.releaseScatterOut(out)
+	m.cpu(p, 2*out.CombineOps)
+	eng.kern.ReleaseScatterOut(out)
 }
 
 // spillLimit is the spill threshold in bytes for record-aligned buffers:
@@ -785,33 +786,26 @@ func (m *machine[V, U, A]) gatherPartition(p *sim.Proc, part int, verts []V, acc
 			// Inline mode or defensive fallback: decode at delivery
 			// (see scatterPartition).
 			gc = &gatherChunk[U]{}
-			gc.done = closedChan
-			gc.recs = eng.decodeUpdateChunk(eng.grabRecs(), r.data)
+			gc.Done = closedChan
+			gc.recs = eng.kern.DecodeUpdateChunk(eng.kern.GrabRecs(), r.data)
 		}
-		ft := &chunkTask{prev: tail, fn: func() {
-			gc.wait() // decode complete
+		ft := &chunkTask{Prev: tail, Fn: func() {
+			gc.Wait() // decode complete
 			for i := range gc.recs {
 				u := &gc.recs[i]
-				accums[u.dst-lo] = eng.prog.Gather(accums[u.dst-lo], u.val, &verts[u.dst-lo])
+				accums[u.Dst-lo] = eng.prog.Gather(accums[u.Dst-lo], u.Val, &verts[u.Dst-lo])
 			}
-			eng.releaseRecs(gc.recs)
+			eng.kern.ReleaseRecs(gc.recs)
 			gc.recs = nil
 		}}
-		eng.pool.submit(ft)
+		eng.pool.Submit(ft)
 		tail = ft
 	})
 	if tail != nil {
-		tail.wait()
+		tail.Wait()
 	}
 	eng.releaseGatherStream(part)
 }
-
-// closedChan is a pre-closed done channel for inline-computed fallbacks.
-var closedChan = func() chan struct{} {
-	c := make(chan struct{})
-	close(c)
-	return c
-}()
 
 // applyPartition is the master-side wrap-up for one of its partitions:
 // close the partition to new stealers, fetch and merge their accumulators,

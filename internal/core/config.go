@@ -128,6 +128,12 @@ func DefaultConfig(spec cluster.Spec) Config {
 	}
 }
 
+// Normalize validates the configuration and fills engine defaults in
+// place. The DES driver applies it on entry to Run; sibling drivers
+// (internal/core/native) call it so every driver agrees on defaults and
+// rejects the same invalid configurations.
+func (c *Config) Normalize() error { return c.normalize() }
+
 func (c *Config) normalize() error {
 	if c.Spec.Machines <= 0 {
 		return fmt.Errorf("core: config needs at least one machine")

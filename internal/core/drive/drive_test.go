@@ -1,0 +1,94 @@
+package drive
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"chaos/internal/algorithms"
+	"chaos/internal/graph"
+	"chaos/internal/partition"
+)
+
+func TestKernelUpdateRecordRoundTrip(t *testing.T) {
+	for _, n := range []uint64{1 << 10, 1 << 33} {
+		layout, err := partition.FixedLayout(n, 2, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := NewKernel(&algorithms.PageRank{Iterations: 1}, layout)
+		wantID := 4
+		if n >= 1<<32 {
+			wantID = 8
+		}
+		if k.IDBytes != wantID {
+			t.Errorf("n=%d: IDBytes=%d, want %d", n, k.IDBytes, wantID)
+		}
+		dst := graph.VertexID(n - 3)
+		val := float32(0.25)
+		buf := k.AppendUpdate(nil, dst, &val)
+		if len(buf) != k.UpdBytes {
+			t.Fatalf("record size %d, want %d", len(buf), k.UpdBytes)
+		}
+		r := k.DecodeUpdate(buf)
+		if r.Dst != dst || r.Val != val {
+			t.Errorf("round trip (%d, %g) -> (%d, %g)", dst, val, r.Dst, r.Val)
+		}
+		recs := k.DecodeUpdateChunk(nil, append(append([]byte{}, buf...), buf...))
+		if len(recs) != 2 || recs[1].Dst != dst {
+			t.Errorf("chunk decode got %+v", recs)
+		}
+	}
+}
+
+func TestSpillLimit(t *testing.T) {
+	for _, tc := range []struct{ chunk, rec, want int }{
+		{1024, 8, 1024},
+		{1024, 12, 1032}, // smallest whole number of 12-byte records >= 1024
+		{4, 8, 8},        // at least one record
+	} {
+		if got := SpillLimit(tc.chunk, tc.rec); got != tc.want {
+			t.Errorf("SpillLimit(%d, %d) = %d, want %d", tc.chunk, tc.rec, got, tc.want)
+		}
+	}
+}
+
+// TestPoolChainOrder submits a chain of dependent tasks interleaved with
+// independent ones and checks chained tasks observe their predecessors'
+// effects (the fold-ordering contract both drivers rely on).
+func TestPoolChainOrder(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := NewPool(workers)
+		var order [64]int32
+		var seq atomic.Int32
+		var tail *Task
+		for i := 0; i < len(order); i++ {
+			i := i
+			tk := &Task{Prev: tail, Fn: func() { order[i] = seq.Add(1) }}
+			p.Submit(tk)
+			tail = tk
+		}
+		tail.Wait()
+		p.Close()
+		for i := 1; i < len(order); i++ {
+			if order[i] <= order[i-1] {
+				t.Fatalf("workers=%d: chained task %d ran at %d, before predecessor at %d",
+					workers, i, order[i], order[i-1])
+			}
+		}
+	}
+}
+
+func TestStealCriterion(t *testing.T) {
+	// No data, no steal; alpha 0 disables.
+	if StealCriterion(10, 0, 1, 1) || StealCriterion(10, 1000, 1, 0) {
+		t.Error("degenerate cases should reject")
+	}
+	// Large D vs small V: worth stealing at alpha 1.
+	if !StealCriterion(10, 1_000_000, 1, 1) {
+		t.Error("large remaining work should accept")
+	}
+	// Tiny D vs large V: not worth a vertex-set copy.
+	if StealCriterion(1_000_000, 10, 1, 1) {
+		t.Error("tiny remaining work should reject")
+	}
+}

@@ -1,12 +1,11 @@
 package core
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"sync"
 
 	"chaos/internal/cluster"
+	"chaos/internal/core/drive"
 	"chaos/internal/gas"
 	"chaos/internal/graph"
 	"chaos/internal/metrics"
@@ -38,6 +37,11 @@ type engine[V, U, A any] struct {
 	env    *sim.Env
 	clu    *cluster.Cluster
 
+	// kern is the driver-neutral data plane (record formats, pure chunk
+	// kernels, scratch pools) shared with internal/core/native; see
+	// internal/core/drive. The fields below mirror its geometry for the
+	// engine's own chunk arithmetic.
+	kern     *drive.Kernel[V, U, A]
 	edgeFmt  graph.Format
 	idBytes  int // update destination field width
 	updBytes int // encoded update record size
@@ -78,32 +82,11 @@ type engine[V, U, A any] struct {
 	rewriter gas.EdgeRewriter[V]
 
 	// Compute offload (see parallel.go): the worker pool, the per-stream
-	// pre-dispatched chunk tasks, and the pooled per-chunk scratch
-	// buffers (shared between workers and the simulation thread, hence
-	// sync.Pool). The maps are touched only from simulation context.
+	// pre-dispatched chunk tasks (scratch pools live on the kernel). The
+	// maps are touched only from simulation context.
 	pool           *workerPool
 	scatterStreams map[int]*streamTasks[scatterChunk[U]]
 	gatherStreams  map[int]*streamTasks[gatherChunk[U]]
-	recPool        sync.Pool
-	bufPool        sync.Pool
-	partsPool      sync.Pool
-}
-
-// encodeDst writes an update's destination ID field (4 or 8 bytes, §8).
-func (eng *engine[V, U, A]) encodeDst(buf []byte, dst graph.VertexID) {
-	if eng.idBytes == 4 {
-		binary.LittleEndian.PutUint32(buf, uint32(dst))
-	} else {
-		binary.LittleEndian.PutUint64(buf, uint64(dst))
-	}
-}
-
-// decodeDst reads an update's destination ID field.
-func (eng *engine[V, U, A]) decodeDst(buf []byte) graph.VertexID {
-	if eng.idBytes == 4 {
-		return graph.VertexID(binary.LittleEndian.Uint32(buf))
-	}
-	return graph.VertexID(binary.LittleEndian.Uint64(buf))
 }
 
 // Run executes prog over the given unsorted edge list on the configured
@@ -167,16 +150,13 @@ func newEngine[V, U, A any](cfg Config, prog gas.Program[V, U, A], edges []graph
 		gatherStreams:  make(map[int]*streamTasks[gatherChunk[U]]),
 	}
 	eng.decision.rollbackTo = -1
-	eng.edgeFmt = graph.FormatFor(numVertices, prog.Weighted())
-	if numVertices < 1<<32 {
-		eng.idBytes = 4
-	} else {
-		eng.idBytes = 8
-	}
-	eng.updCodec = prog.UpdateCodec()
-	eng.vCodec = vcodec
-	eng.updBytes = eng.idBytes + eng.updCodec.Bytes
-	eng.vBytes = vcodec.Bytes
+	eng.kern = drive.NewKernel(prog, layout)
+	eng.edgeFmt = eng.kern.EdgeFmt
+	eng.idBytes = eng.kern.IDBytes
+	eng.updCodec = eng.kern.UpdCodec
+	eng.vCodec = eng.kern.VCodec
+	eng.updBytes = eng.kern.UpdBytes
+	eng.vBytes = eng.kern.VBytes
 	eng.window = cfg.window(clu)
 
 	if cfg.CombineUpdates {
@@ -185,6 +165,7 @@ func newEngine[V, U, A any](cfg Config, prog gas.Program[V, U, A], edges []graph
 			return nil, fmt.Errorf("core: %s does not implement gas.Combiner; cannot combine updates", prog.Name())
 		}
 		eng.combiner = c
+		eng.kern.Combiner = c
 	}
 	if cfg.RewriteEdges {
 		r, ok := any(prog).(gas.EdgeRewriter[V])
@@ -192,6 +173,7 @@ func newEngine[V, U, A any](cfg Config, prog gas.Program[V, U, A], edges []graph
 			return nil, fmt.Errorf("core: %s does not implement gas.EdgeRewriter; cannot rewrite edges", prog.Name())
 		}
 		eng.rewriter = r
+		eng.kern.Rewriter = r
 	}
 
 	nm := cfg.Spec.Machines
@@ -236,7 +218,7 @@ func newEngine[V, U, A any](cfg Config, prog gas.Program[V, U, A], edges []graph
 // so a failed run never leaks worker goroutines.
 func (eng *engine[V, U, A]) execute() error {
 	eng.pool = newWorkerPool(eng.cfg.ComputeWorkers)
-	defer eng.pool.close()
+	defer eng.pool.Close()
 	eng.env.Run()
 	if stuck := eng.env.Stuck(); len(stuck) > 0 {
 		eng.env.Close()
@@ -250,22 +232,9 @@ func (eng *engine[V, U, A]) execute() error {
 
 // splitInput divides the unsorted edge list evenly across machines,
 // modeling the paper's input "randomly distributed over all storage
-// devices" (§8).
+// devices" (§8). Shared with the native driver via internal/core/drive.
 func splitInput(edges []graph.Edge, nm int) [][]graph.Edge {
-	out := make([][]graph.Edge, nm)
-	per := (len(edges) + nm - 1) / nm
-	for i := 0; i < nm; i++ {
-		lo := i * per
-		hi := lo + per
-		if lo > len(edges) {
-			lo = len(edges)
-		}
-		if hi > len(edges) {
-			hi = len(edges)
-		}
-		out[i] = edges[lo:hi]
-	}
-	return out
+	return drive.SplitInput(edges, nm)
 }
 
 // collectValues reads the final vertex state back from the stores
@@ -376,20 +345,8 @@ func (eng *engine[V, U, A]) checkpointDue(iter int) bool {
 }
 
 // stealCriterion evaluates Equation 2 with the alpha bias of §10.2:
-// accept iff V + D/(H+1) < alpha * D/H.
+// accept iff V + D/(H+1) < alpha * D/H. Shared with the native driver
+// via internal/core/drive.
 func stealCriterion(vBytes, dBytes int64, workers int, alpha float64) bool {
-	if dBytes <= 0 {
-		return false
-	}
-	if alpha == 0 {
-		return false
-	}
-	h := float64(workers)
-	if h < 1 {
-		h = 1
-	}
-	d := float64(dBytes)
-	lhs := float64(vBytes) + d/(h+1)
-	rhs := alpha * d / h
-	return lhs < rhs
+	return drive.StealCriterion(vBytes, dBytes, workers, alpha)
 }

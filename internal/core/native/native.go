@@ -1,0 +1,395 @@
+// Package native is the second driver of the Chaos protocol: it executes
+// the same data plane as internal/core — streaming partitions, chunked
+// update sets, the GAS kernels of internal/core/drive, work stealing by
+// the §5.4 criterion, checkpoint/recovery decisions — but directly on the
+// host instead of under the discrete-event simulation. Machines are
+// goroutine groups, chunks are real byte slices moving through shared
+// per-(source, destination) buckets with barrier-ordered hand-off, and
+// the only clock is host wall-clock: nothing charges virtual time.
+//
+// What the native driver does and does not validate (see DESIGN.md, "Two
+// planes, one protocol"): algorithm results are exact and are tested
+// against internal/refalgo exactly like the DES driver's; performance
+// numbers are host wall-clock with no claim of reproducing the paper's
+// testbed. The evaluation figures remain DES-only.
+//
+// Determinism: for a fixed seed the final vertex values are reproducible
+// run to run — every order that reaches a floating-point fold is fixed
+// (edge chunks are binned per machine and concatenated in machine order;
+// update chunks fold in (source partition, chunk) order; combiner
+// flushes sort destinations). Which goroutine processes which partition
+// varies with host scheduling, but partition processing is
+// order-independent by the same GAS argument the paper relies on, so
+// only the steal counters are scheduling-dependent.
+package native
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chaos/internal/core"
+	"chaos/internal/core/drive"
+	"chaos/internal/gas"
+	"chaos/internal/graph"
+	"chaos/internal/metrics"
+	"chaos/internal/partition"
+	"chaos/internal/sim"
+)
+
+// Run executes prog over the given unsorted edge list natively and
+// returns the final vertex values plus runtime statistics. The returned
+// metrics mirror the DES driver's shape, with wall-clock durations in
+// the time fields (Runtime, Preprocess) — callers that report "simulated
+// seconds" must not source them from a native run.
+func Run[V, U, A any](cfg core.Config, prog gas.Program[V, U, A], edges []graph.Edge, numVertices uint64) ([]V, *metrics.Run, error) {
+	r, err := newRun(cfg, prog, edges, numVertices)
+	if err != nil {
+		return nil, nil, err
+	}
+	interrupted, err := r.execute(edges)
+	if err != nil {
+		return nil, nil, err
+	}
+	if interrupted {
+		// The partial vertex state is not a result anyone asked for.
+		return nil, nil, core.ErrInterrupted
+	}
+	values := r.collectValues()
+	return values, r.rmet, nil
+}
+
+// run carries the state of one native execution.
+type run[V, U, A any] struct {
+	cfg    core.Config
+	prog   gas.Program[V, U, A]
+	kern   *drive.Kernel[V, U, A]
+	layout *partition.Layout
+	pool   *drive.Pool
+	nm     int
+
+	// The native chunk store. verts[p] holds partition p's encoded
+	// vertex chunks (fixed positions, rewritten after apply); edges[p]
+	// its current-generation edge chunks; edgesNext[p] the rewritten
+	// next generation under the §6.1 extended model; upd[src][dst] the
+	// update chunks partition src's scatter emitted for partition dst.
+	// Every slot has exactly one writer per phase and readers only on
+	// the other side of a phase barrier, so the store needs no locks.
+	verts     [][][]byte
+	edges     [][][]byte
+	edgesNext [][][]byte
+	upd       [][][][]byte
+
+	// claimed is the per-phase partition ownership table: masters claim
+	// their own partitions first, idle machines steal the rest through
+	// the §5.4 criterion.
+	claimed []atomic.Bool
+	// rngs holds one steal-sweep RNG per machine, created once per run
+	// so probe orders vary across phases (as the DES driver's
+	// persistent env RNG does) while staying seed-deterministic. Each
+	// goroutine touches only its own machine's entry.
+	rngs []*rand.Rand
+
+	bytesRead    atomic.Int64
+	bytesWritten atomic.Int64
+	ckptBytes    atomic.Int64
+	changed      atomic.Uint64
+	stealsAcc    atomic.Int64
+	stealsRej    atomic.Int64
+
+	// applyMu serializes Init/Apply across partitions: those program
+	// hooks run on the single simulation thread under the DES driver,
+	// so programs are free to keep private state in them (MCST's
+	// component forest does). Scatter/Gather/Combine/RewriteEdge run
+	// concurrently here exactly as they do on the DES driver's worker
+	// pool.
+	applyMu sync.Mutex
+
+	// Checkpoint state (2-phase, §6.6): chunks staged per partition
+	// during apply, committed by the decision point.
+	ckptPending [][][]byte
+	ckptVerts   [][][]byte
+	ckptIter    int
+	failed      bool
+
+	start time.Time
+	rmet  *metrics.Run
+}
+
+func newRun[V, U, A any](cfg core.Config, prog gas.Program[V, U, A], edges []graph.Edge, numVertices uint64) (*run[V, U, A], error) {
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
+	if cfg.CentralDirectory {
+		return nil, fmt.Errorf("native: the central-directory baseline is a DES-only experiment")
+	}
+	if numVertices == 0 {
+		numVertices = graph.MaxVertex(edges)
+	}
+	if numVertices == 0 {
+		return nil, fmt.Errorf("core: empty graph")
+	}
+	vcodec := prog.VertexCodec()
+	memBudget := cfg.MemBudget
+	if memBudget <= 0 {
+		memBudget = int64(numVertices+1) * int64(vcodec.Bytes) // unconstrained
+	}
+	layout, err := partition.NewLayout(numVertices, cfg.Spec.Machines, int64(vcodec.Bytes), memBudget)
+	if err != nil {
+		return nil, err
+	}
+	r := &run[V, U, A]{
+		cfg:      cfg,
+		prog:     prog,
+		kern:     drive.NewKernel(prog, layout),
+		layout:   layout,
+		nm:       cfg.Spec.Machines,
+		ckptIter: -1,
+		rmet:     metrics.NewRun(prog.Name(), cfg.Spec.Machines),
+	}
+	if cfg.CombineUpdates {
+		c, ok := any(prog).(gas.Combiner[U])
+		if !ok {
+			return nil, fmt.Errorf("core: %s does not implement gas.Combiner; cannot combine updates", prog.Name())
+		}
+		r.kern.Combiner = c
+	}
+	if cfg.RewriteEdges {
+		rw, ok := any(prog).(gas.EdgeRewriter[V])
+		if !ok {
+			return nil, fmt.Errorf("core: %s does not implement gas.EdgeRewriter; cannot rewrite edges", prog.Name())
+		}
+		r.kern.Rewriter = rw
+	}
+	np := layout.NumPartitions
+	r.verts = make([][][]byte, np)
+	r.edges = make([][][]byte, np)
+	r.edgesNext = make([][][]byte, np)
+	r.upd = make([][][][]byte, np)
+	for p := 0; p < np; p++ {
+		r.upd[p] = make([][][]byte, np)
+	}
+	r.claimed = make([]atomic.Bool, np)
+	r.rngs = make([]*rand.Rand, r.nm)
+	for m := range r.rngs {
+		r.rngs[m] = rand.New(rand.NewSource(cfg.Seed + int64(m)))
+	}
+	r.ckptPending = make([][][]byte, np)
+	r.ckptVerts = make([][][]byte, np)
+	return r, nil
+}
+
+// execute drives the run: preprocess, then iterations of scatter and
+// gather+apply with a decision point between iterations, mirroring the
+// DES driver's loop. It reports whether Config.Interrupt stopped the run.
+func (r *run[V, U, A]) execute(edges []graph.Edge) (interrupted bool, err error) {
+	r.start = time.Now()
+	r.pool = drive.NewPool(r.cfg.ComputeWorkers)
+	defer r.pool.Close()
+
+	r.preprocess(edges)
+	r.rmet.Preprocess = r.elapsed()
+
+	for iter := 0; ; {
+		r.runPhase(func(p int) { r.scatterPartition(iter, p) }, scatterPhase)
+		r.runPhase(func(p int) { r.gatherPartition(iter, p) }, gatherPhase)
+
+		// Decision point (machine 0's role under the DES driver).
+		changed := r.changed.Swap(0)
+		if r.cfg.Progress != nil {
+			r.cfg.Progress(core.Progress{
+				Iterations:     iter + 1,
+				Now:            r.elapsed(),
+				BytesRead:      r.bytesRead.Load(),
+				BytesWritten:   r.bytesWritten.Load(),
+				StealsAccepted: int(r.stealsAcc.Load()),
+			})
+		}
+		done := r.prog.Converged(iter, changed) || iter+1 >= r.cfg.MaxIterations
+		if !done && r.cfg.Interrupt != nil && r.cfg.Interrupt() {
+			done = true
+			interrupted = true
+		}
+		if r.checkpointDue(iter) {
+			// Phase 2 of §6.6: promote pending to stable, then discard
+			// the previous checkpoint.
+			r.ckptVerts = r.ckptPending
+			r.ckptPending = make([][][]byte, r.layout.NumPartitions)
+			r.ckptIter = iter
+		}
+		if !done && r.cfg.FailAtIteration > 0 && !r.failed && iter+1 >= r.cfg.FailAtIteration && r.ckptIter >= 0 {
+			// Transient failure injection: restore the last committed
+			// checkpoint and resume after it.
+			r.failed = true
+			r.rmet.Recoveries++
+			r.restore()
+			iter = r.ckptIter + 1
+			continue
+		}
+		if done {
+			r.rmet.Iterations = iter + 1
+			break
+		}
+		if r.kern.Rewriter != nil {
+			r.promoteEdges()
+		}
+		iter++
+	}
+
+	r.rmet.Runtime = r.elapsed()
+	r.rmet.BytesRead = r.bytesRead.Load()
+	r.rmet.BytesWritten = r.bytesWritten.Load()
+	r.rmet.CheckpointBytes = r.ckptBytes.Load()
+	r.rmet.StealsAccepted = int(r.stealsAcc.Load())
+	r.rmet.StealsRejected = int(r.stealsRej.Load())
+	return interrupted, nil
+}
+
+// elapsed is host wall-clock since the run started, in the same
+// nanosecond unit the DES uses for virtual time.
+func (r *run[V, U, A]) elapsed() sim.Time { return sim.Time(time.Since(r.start)) }
+
+func (r *run[V, U, A]) checkpointDue(iter int) bool {
+	return r.cfg.CheckpointEvery > 0 && (iter+1)%r.cfg.CheckpointEvery == 0
+}
+
+// runPhase processes every partition exactly once: nm machine goroutines
+// claim their own partitions first (masters take whatever of their own
+// work nobody stole, so every partition is processed even when the
+// criterion rejects stealing it), then sweep the rest in seeded-random
+// order, stealing any still-unclaimed partition the §5.4 criterion
+// accepts.
+func (r *run[V, U, A]) runPhase(process func(p int), ph phaseKind) {
+	for i := range r.claimed {
+		r.claimed[i].Store(false)
+	}
+	stealing := r.cfg.Alpha != 0 && r.nm > 1
+	// Snapshot each partition's streamed-set size before work starts:
+	// the steal criterion's D. Stealing only ever claims unstarted
+	// partitions, whose remaining bytes equal this phase-start total —
+	// and probing live store slots mid-phase would race their owners.
+	var rem []int64
+	if stealing {
+		rem = make([]int64, r.layout.NumPartitions)
+		for p := range rem {
+			rem[p] = r.remainingBytes(ph, p)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(r.nm)
+	for m := 0; m < r.nm; m++ {
+		go func(m int) {
+			defer wg.Done()
+			// Own partitions first, in order.
+			for _, p := range r.layout.PartitionsOf(m) {
+				if r.claimed[p].CompareAndSwap(false, true) {
+					process(p)
+				}
+			}
+			if !stealing {
+				return
+			}
+			// Steal sweep over everyone else's partitions, in this
+			// machine's seeded-random order (§5.3).
+			rng := r.rngs[m]
+			others := make([]int, 0, r.layout.NumPartitions)
+			for p := 0; p < r.layout.NumPartitions; p++ {
+				if r.layout.Master(p) != m {
+					others = append(others, p)
+				}
+			}
+			rng.Shuffle(len(others), func(i, j int) { others[i], others[j] = others[j], others[i] })
+			for _, p := range others {
+				if r.claimed[p].Load() {
+					continue
+				}
+				if !drive.StealCriterion(r.vertexSetBytes(p), rem[p], 1, r.cfg.Alpha) {
+					r.stealsRej.Add(1)
+					continue
+				}
+				if r.claimed[p].CompareAndSwap(false, true) {
+					r.stealsAcc.Add(1)
+					process(p)
+				}
+			}
+		}(m)
+	}
+	wg.Wait()
+	// Every partition is claimed at this point: layout.PartitionsOf
+	// covers all partitions across machines 0..nm-1, and each master
+	// claims its own unconditionally before returning.
+}
+
+type phaseKind int
+
+const (
+	scatterPhase phaseKind = iota
+	gatherPhase
+)
+
+// remainingBytes is D in the steal criterion: the unprocessed bytes of
+// the partition's streamed set this phase.
+func (r *run[V, U, A]) remainingBytes(ph phaseKind, p int) int64 {
+	var total int64
+	if ph == scatterPhase {
+		for _, c := range r.edges[p] {
+			total += int64(len(c))
+		}
+		return total
+	}
+	for src := range r.upd {
+		for _, c := range r.upd[src][p] {
+			total += int64(len(c))
+		}
+	}
+	return total
+}
+
+// vertexSetBytes is V in the steal criterion.
+func (r *run[V, U, A]) vertexSetBytes(p int) int64 {
+	return int64(r.layout.Size(p)) * int64(r.kern.VBytes)
+}
+
+// promoteEdges swaps in the rewritten next-generation edge sets at the
+// iteration boundary (§6.1 extended model).
+func (r *run[V, U, A]) promoteEdges() {
+	for p := range r.edges {
+		r.edges[p] = r.edgesNext[p]
+		r.edgesNext[p] = nil
+	}
+}
+
+// restore rewrites every partition's vertex chunks from the last
+// committed checkpoint after an injected failure.
+func (r *run[V, U, A]) restore() {
+	for p, chunks := range r.ckptVerts {
+		if chunks == nil {
+			continue
+		}
+		r.verts[p] = chunks
+		for _, c := range chunks {
+			r.bytesWritten.Add(int64(len(c)))
+		}
+	}
+}
+
+// collectValues decodes the final vertex state out of the native store.
+func (r *run[V, U, A]) collectValues() []V {
+	values := make([]V, r.layout.NumVertices)
+	for p := 0; p < r.layout.NumPartitions; p++ {
+		lo, hi := r.layout.Range(p)
+		if lo == hi {
+			continue
+		}
+		at := uint64(lo)
+		for _, chunk := range r.verts[p] {
+			at += uint64(r.kern.VCodec.DecodeSliceInto(values[at:], chunk))
+		}
+		if at != uint64(hi) {
+			panic(fmt.Sprintf("native: partition %d vertex chunks held %d records, want %d", p, at-uint64(lo), uint64(hi-lo)))
+		}
+	}
+	return values
+}

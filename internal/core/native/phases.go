@@ -1,0 +1,388 @@
+package native
+
+import (
+	"slices"
+	"sync"
+
+	"chaos/internal/core/drive"
+	"chaos/internal/graph"
+)
+
+// ---------------------------------------------------------------------------
+// Pre-processing (§3): one pass over the input edge list, binning edges
+// by source partition into chunks, counting out-degrees if the program
+// wants them, then initializing and writing the vertex sets. Machines
+// bin their input slices concurrently; per-partition chunk lists are
+// concatenated in machine order so the edge stream every later scatter
+// sees is deterministic.
+
+func (r *run[V, U, A]) preprocess(edges []graph.Edge) {
+	np := r.layout.NumPartitions
+	perMachine := drive.SplitInput(edges, r.nm)
+	edgeSize := r.kern.EdgeFmt.EdgeSize()
+	limit := drive.SpillLimit(r.cfg.ChunkBytes, edgeSize)
+	needDeg := r.prog.NeedsDegrees()
+
+	type binned struct {
+		chunks [][][]byte // per partition
+		deg    [][]uint32 // per partition, nil unless needDeg
+	}
+	bins := make([]binned, r.nm)
+	var wg sync.WaitGroup
+	wg.Add(r.nm)
+	for m := 0; m < r.nm; m++ {
+		go func(m int) {
+			defer wg.Done()
+			b := &bins[m]
+			b.chunks = make([][][]byte, np)
+			if needDeg {
+				b.deg = make([][]uint32, np)
+			}
+			tails := make([][]byte, np)
+			for _, e := range perMachine[m] {
+				p := r.layout.Of(e.Src)
+				buf := tails[p]
+				off := len(buf)
+				buf = append(buf, make([]byte, edgeSize)...)
+				r.kern.EdgeFmt.Encode(buf[off:], e)
+				if len(buf) >= limit {
+					b.chunks[p] = append(b.chunks[p], buf)
+					buf = nil
+				}
+				tails[p] = buf
+				if needDeg {
+					deg := b.deg[p]
+					if deg == nil {
+						deg = make([]uint32, r.layout.Size(p))
+						b.deg[p] = deg
+					}
+					lo, _ := r.layout.Range(p)
+					deg[e.Src-lo]++
+				}
+			}
+			for p, buf := range tails {
+				if len(buf) > 0 {
+					b.chunks[p] = append(b.chunks[p], buf)
+				}
+			}
+		}(m)
+	}
+	wg.Wait()
+
+	// Concatenate in machine order (the deterministic stream order) and
+	// fold degrees.
+	var degAcc [][]uint32
+	if needDeg {
+		degAcc = make([][]uint32, np)
+	}
+	for m := range bins {
+		for p, chunks := range bins[m].chunks {
+			for _, c := range chunks {
+				r.edges[p] = append(r.edges[p], c)
+				r.bytesWritten.Add(int64(len(c)))
+			}
+		}
+		if needDeg {
+			for p, deg := range bins[m].deg {
+				if deg == nil {
+					continue
+				}
+				if degAcc[p] == nil {
+					degAcc[p] = make([]uint32, r.layout.Size(p))
+				}
+				for i, d := range deg {
+					degAcc[p][i] += d
+				}
+			}
+		}
+	}
+
+	// Initialize vertex values and record them. Init may keep private
+	// program state (it runs on the simulation thread under the DES
+	// driver), so this stays on one goroutine.
+	for p := 0; p < np; p++ {
+		size := r.layout.Size(p)
+		if size == 0 {
+			continue
+		}
+		lo, _ := r.layout.Range(p)
+		verts := make([]V, size)
+		var deg []uint32
+		if needDeg {
+			deg = degAcc[p]
+		}
+		for i := range verts {
+			var d uint32
+			if deg != nil {
+				d = deg[i]
+			}
+			r.prog.Init(lo+graph.VertexID(i), &verts[i], d)
+		}
+		r.storeVertices(p, verts, false)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Vertex chunk I/O against the native store.
+
+func (r *run[V, U, A]) verticesPerChunk() int {
+	per := r.cfg.VertexChunkBytes / r.kern.VBytes
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+// loadVertices decodes a partition's vertex set out of the store.
+func (r *run[V, U, A]) loadVertices(p int) []V {
+	size := r.layout.Size(p)
+	if size == 0 {
+		return nil
+	}
+	verts := make([]V, size)
+	at := 0
+	for _, chunk := range r.verts[p] {
+		at += r.kern.VCodec.DecodeSliceInto(verts[at:], chunk)
+		r.bytesRead.Add(int64(len(chunk)))
+	}
+	return verts
+}
+
+// storeVertices encodes a partition's vertex set into fixed-position
+// chunks, optionally staging a checkpoint shadow copy (phase 1 of §6.6).
+func (r *run[V, U, A]) storeVertices(p int, verts []V, checkpoint bool) {
+	per := r.verticesPerChunk()
+	n := (len(verts) + per - 1) / per
+	chunks := make([][]byte, 0, n)
+	for idx := 0; idx < n; idx++ {
+		lo := idx * per
+		hi := min(lo+per, len(verts))
+		data := r.kern.VCodec.EncodeSlice(verts[lo:hi])
+		chunks = append(chunks, data)
+		r.bytesWritten.Add(int64(len(data)))
+		if checkpoint {
+			r.bytesWritten.Add(int64(len(data)))
+			r.ckptBytes.Add(int64(len(data)))
+		}
+	}
+	r.verts[p] = chunks
+	if checkpoint {
+		// The stored chunks are immutable from here on (storeVertices
+		// replaces, never mutates), so the shadow copy shares them.
+		r.ckptPending[p] = chunks
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Scatter phase (§5.1): stream the partition's edge chunks, run the
+// shared scatter kernel on the compute pool, and merge each chunk's
+// result — in the deterministic chunk order — into per-destination spill
+// buffers that land in the update buckets.
+
+func (r *run[V, U, A]) scatterPartition(iter, p int) {
+	kern := r.kern
+	verts := r.loadVertices(p)
+	chunks := r.edges[p]
+
+	// Dispatch every chunk's pure kernel to the shared pool, then merge
+	// in chunk order (the same dispatch-then-join pattern as the DES
+	// driver's pre-read streams).
+	type scatterChunk struct {
+		drive.Task
+		out drive.ScatterOut[U]
+	}
+	tasks := make([]*scatterChunk, len(chunks))
+	for i, data := range chunks {
+		sc := &scatterChunk{}
+		data := data
+		sc.Fn = func() { kern.ScatterChunk(iter, p, verts, data, &sc.out) }
+		tasks[i] = sc
+		r.pool.Submit(&sc.Task)
+		r.bytesRead.Add(int64(len(data)))
+	}
+
+	np := r.layout.NumPartitions
+	tails := make([][]byte, np)
+	updLimit := drive.SpillLimit(r.cfg.ChunkBytes, kern.UpdBytes)
+	var combined []map[graph.VertexID]U
+	var combinedPer int
+	if kern.Combiner != nil {
+		combined = make([]map[graph.VertexID]U, np)
+		combinedPer = max(r.cfg.ChunkBytes/kern.UpdBytes, 1)
+	}
+	var nextTail []byte
+	edgeLimit := drive.SpillLimit(r.cfg.ChunkBytes, kern.EdgeFmt.EdgeSize())
+
+	for _, sc := range tasks {
+		sc.Wait()
+		out := &sc.out
+		if kern.Rewriter != nil && len(out.EdgesNext) > 0 {
+			nextTail = r.appendSpill(&r.edgesNext[p], nextTail, out.EdgesNext, edgeLimit)
+		}
+		if kern.Combiner != nil {
+			for tp, chunkMap := range out.Combined {
+				if len(chunkMap) == 0 {
+					continue
+				}
+				mp := combined[tp]
+				if mp == nil {
+					mp = make(map[graph.VertexID]U, combinedPer)
+					combined[tp] = mp
+				}
+				for dst, val := range chunkMap {
+					if old, ok := mp[dst]; ok {
+						mp[dst] = kern.Combiner.Combine(old, val)
+					} else {
+						mp[dst] = val
+					}
+				}
+				if len(mp) >= combinedPer {
+					r.flushCombined(p, tp, mp)
+				}
+			}
+		}
+		for tp, b := range out.Updates {
+			if len(b) == 0 {
+				continue
+			}
+			tails[tp] = r.appendSpill(&r.upd[p][tp], tails[tp], b, updLimit)
+		}
+		kern.ReleaseScatterOut(out)
+	}
+
+	// Flush partial buffers at phase end.
+	for tp, buf := range tails {
+		if len(buf) > 0 {
+			r.putUpdateChunk(p, tp, buf)
+		}
+	}
+	if kern.Combiner != nil {
+		for tp, mp := range combined {
+			if len(mp) > 0 {
+				r.flushCombined(p, tp, mp)
+			}
+		}
+	}
+	if len(nextTail) > 0 {
+		r.putEdgeNextChunk(p, nextTail)
+	}
+}
+
+// appendSpill appends b to buf, pushing full chunks of exactly limit
+// bytes into dst as they fill. Spilled slices join the store and must
+// not be reused, so the remainder is copied to fresh backing.
+func (r *run[V, U, A]) appendSpill(dst *[][]byte, buf, b []byte, limit int) []byte {
+	buf = append(buf, b...)
+	for len(buf) >= limit {
+		chunk := buf[:limit:limit]
+		*dst = append(*dst, chunk)
+		r.bytesWritten.Add(int64(limit))
+		rest := buf[limit:]
+		if len(rest) == 0 {
+			return nil
+		}
+		buf = append(make([]byte, 0, limit), rest...)
+	}
+	return buf
+}
+
+func (r *run[V, U, A]) putUpdateChunk(src, dst int, data []byte) {
+	r.upd[src][dst] = append(r.upd[src][dst], data)
+	r.bytesWritten.Add(int64(len(data)))
+}
+
+func (r *run[V, U, A]) putEdgeNextChunk(p int, data []byte) {
+	r.edgesNext[p] = append(r.edgesNext[p], data)
+	r.bytesWritten.Add(int64(len(data)))
+}
+
+// flushCombined encodes and spills one destination partition's combined
+// update buffer. Keys are sorted so the encoded byte order — and with it
+// downstream gather order and any float folds — is deterministic
+// (identical discipline to the DES driver).
+func (r *run[V, U, A]) flushCombined(src, dst int, mp map[graph.VertexID]U) {
+	if len(mp) == 0 {
+		return
+	}
+	dsts := make([]graph.VertexID, 0, len(mp))
+	for d := range mp {
+		dsts = append(dsts, d)
+	}
+	slices.Sort(dsts)
+	buf := make([]byte, 0, len(mp)*r.kern.UpdBytes)
+	for _, d := range dsts {
+		val := mp[d]
+		buf = r.kern.AppendUpdate(buf, d, &val)
+	}
+	clear(mp)
+	r.putUpdateChunk(src, dst, buf)
+}
+
+// ---------------------------------------------------------------------------
+// Gather + apply phase (§5.2, §5.3): stream the partition's update
+// chunks in (source partition, chunk) order — the deterministic fold
+// order — decode them on the compute pool, fold into accumulators, then
+// apply and write the vertex set back.
+
+func (r *run[V, U, A]) gatherPartition(iter, p int) {
+	kern := r.kern
+	verts := r.loadVertices(p)
+	accums := make([]A, len(verts))
+	for i := range accums {
+		accums[i] = r.prog.InitAccum()
+	}
+	lo, _ := r.layout.Range(p)
+
+	// Dispatch every chunk's decode to the pool, with the fold into this
+	// partition's accumulators chained behind it in deterministic chunk
+	// order — the DES driver's exact gather pattern. Folds are the bulk
+	// of gather compute, so running them as pool tasks keeps native jobs
+	// inside the scheduler's shared compute budget instead of doing the
+	// heavy lifting on unbudgeted machine goroutines.
+	type gatherChunk struct {
+		drive.Task
+		recs []drive.UpdRec[U]
+	}
+	var tail *drive.Task
+	for src := range r.upd {
+		for _, data := range r.upd[src][p] {
+			gc := &gatherChunk{}
+			data := data
+			gc.Fn = func() { gc.recs = kern.DecodeUpdateChunk(kern.GrabRecs(), data) }
+			r.pool.Submit(&gc.Task)
+			r.bytesRead.Add(int64(len(data)))
+			ft := &drive.Task{Prev: tail, Fn: func() {
+				gc.Wait() // decode complete
+				for i := range gc.recs {
+					u := &gc.recs[i]
+					accums[u.Dst-lo] = r.prog.Gather(accums[u.Dst-lo], u.Val, &verts[u.Dst-lo])
+				}
+				kern.ReleaseRecs(gc.recs)
+				gc.recs = nil
+			}}
+			r.pool.Submit(ft)
+			tail = ft
+		}
+	}
+	if tail != nil {
+		tail.Wait()
+	}
+
+	// Apply (serialized across partitions; see applyMu).
+	r.applyMu.Lock()
+	var changed uint64
+	for i := range verts {
+		if r.prog.Apply(iter, lo+graph.VertexID(i), &verts[i], accums[i]) {
+			changed++
+		}
+	}
+	r.applyMu.Unlock()
+	r.changed.Add(changed)
+
+	r.storeVertices(p, verts, r.checkpointDue(iter))
+	// Delete the consumed update set (§6.1). This goroutine owns column
+	// p of the buckets for the whole gather phase.
+	for src := range r.upd {
+		r.upd[src][p] = nil
+	}
+}

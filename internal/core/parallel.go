@@ -1,9 +1,7 @@
 package core
 
 import (
-	"runtime"
-	"sync"
-
+	"chaos/internal/core/drive"
 	"chaos/internal/graph"
 	"chaos/internal/storage"
 )
@@ -14,7 +12,10 @@ import (
 // update records, applying the GAS kernel, encoding emitted updates — is
 // a side-effect-free function of the chunk bytes and the (read-only,
 // phase-stable) vertex set, so it can run on a bounded pool of OS worker
-// goroutines while the simulation advances.
+// goroutines while the simulation advances. The pool and the kernels
+// themselves live in internal/core/drive, shared with the native driver;
+// this file is the DES-side harness that dispatches them and joins their
+// results at deterministic points of the simulation's schedule.
 //
 // The determinism argument, in three invariants (see DESIGN.md):
 //
@@ -32,131 +33,27 @@ import (
 // Together these make results, metrics and simulated timestamps
 // bit-identical for any worker count, including 1.
 
-// chunkTask is one unit of off-simulation compute. fn runs on a pool
-// worker after the optional predecessor completes; done is closed when fn
-// has returned.
-type chunkTask struct {
-	prev *chunkTask
-	fn   func()
-	done chan struct{}
-}
+// chunkTask, workerPool and closedChan are the drive-package primitives
+// under their historical engine-local names.
+type chunkTask = drive.Task
 
-// wait blocks until the task has completed. Called from the simulation
-// thread; the blocking receive also establishes the happens-before edge
-// that lets the simulation read the task's results race-free.
-func (t *chunkTask) wait() { <-t.done }
+type workerPool = drive.Pool
 
-// workerPool runs chunk tasks on a fixed set of goroutines. Tasks are
-// executed FIFO per worker pull; a task's prev (if any) is always
-// submitted earlier, so the pull order guarantees the predecessor has
-// been picked up by some worker (or finished) before the successor runs —
-// chained waits cannot deadlock, for any pool size.
-//
-// With one worker (or on a single-core host) there is nothing to overlap
-// with, so the pool degenerates to inline mode: submit runs the task on
-// the spot and wait is free. Because every task is pure and ordered only
-// by its explicit dependencies, inline execution produces bit-identical
-// results to any pool size — inline mode IS the serial baseline the
-// determinism tests compare against.
-type workerPool struct {
-	inline bool
-	tasks  chan *chunkTask
-	wg     sync.WaitGroup
-}
+func newWorkerPool(workers int) *workerPool { return drive.NewPool(workers) }
 
-func newWorkerPool(workers int) *workerPool {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	// Clamp: ComputeWorkers reaches this point from the network-facing
-	// job API, and goroutines are a real host resource. Extra workers
-	// beyond the core count buy nothing for pure compute; the floor
-	// keeps a real pool testable on small hosts.
-	if limit := max(4*runtime.GOMAXPROCS(0), 16); workers > limit {
-		workers = limit
-	}
-	if workers <= 1 {
-		return &workerPool{inline: true}
-	}
-	p := &workerPool{tasks: make(chan *chunkTask, 4096)}
-	p.wg.Add(workers)
-	for i := 0; i < workers; i++ {
-		go func() {
-			defer p.wg.Done()
-			for t := range p.tasks {
-				if t.prev != nil {
-					<-t.prev.done
-					t.prev = nil
-				}
-				t.fn()
-				// Drop the closure so the captured inputs (notably a
-				// pre-read chunk's bytes) become collectable as soon as
-				// the result exists, not when the stream is released.
-				t.fn = nil
-				close(t.done)
-			}
-		}()
-	}
-	return p
-}
-
-// submit enqueues a task. Submission order is the determinism contract:
-// a task must be submitted after its prev and after any task whose done
-// channel its fn waits on — which is also why inline execution at submit
-// time is always legal.
-func (p *workerPool) submit(t *chunkTask) {
-	if p.inline {
-		t.done = closedChan
-		t.fn()
-		t.fn, t.prev = nil, nil
-		return
-	}
-	t.done = make(chan struct{})
-	p.tasks <- t
-}
-
-// close drains and stops the workers. All submitted tasks run to
-// completion first.
-func (p *workerPool) close() {
-	if p.inline {
-		return
-	}
-	close(p.tasks)
-	p.wg.Wait()
-}
-
-// updRec is one decoded update record (destination plus payload).
-type updRec[U any] struct {
-	dst graph.VertexID
-	val U
-}
-
-// scatterOut is the pure result of scattering one edge chunk: everything
-// the simulation needs to replay the chunk's side effects (buffer
-// appends, spills, CPU charges) without touching a single record itself.
-type scatterOut[U any] struct {
-	n          int      // edge records decoded
-	combineOps int      // combiner merges performed (charged 2 ops each)
-	updates    [][]byte // encoded update records per destination partition
-	// combined replaces updates when the Pregel-style combiner is active:
-	// per-destination-partition maps of pre-merged updates.
-	combined []map[graph.VertexID]U
-	// edgesNext holds the chunk's surviving rewritten edges (§6.1
-	// extended model).
-	edgesNext []byte
-}
+var closedChan = drive.ClosedChan
 
 // scatterChunk pairs a task with its typed result.
 type scatterChunk[U any] struct {
 	chunkTask
-	out scatterOut[U]
+	out drive.ScatterOut[U]
 }
 
 // gatherChunk is the decode stage of one update chunk: the records are
 // consumer-independent, so one decode serves master and stealers alike.
 type gatherChunk[U any] struct {
 	chunkTask
-	recs []updRec[U]
+	recs []drive.UpdRec[U]
 }
 
 // streamTasks indexes a stream's pre-dispatched chunk tasks by (storage
@@ -194,7 +91,7 @@ func (w *streamTasks[T]) at(s, idx int) *T {
 // holding a whole stream's scratch buffers live at once.
 func (m *machine[V, U, A]) acquireScatterStream(iter, part int, verts []V) *streamTasks[scatterChunk[U]] {
 	eng := m.eng
-	if eng.pool.inline {
+	if eng.pool.Inline() {
 		return nil
 	}
 	w := eng.scatterStreams[part]
@@ -209,9 +106,9 @@ func (m *machine[V, U, A]) acquireScatterStream(iter, part int, verts []V) *stre
 			for _, data := range chunks {
 				sc := &scatterChunk[U]{}
 				data := data
-				sc.fn = func() { eng.scatterChunkKernel(iter, part, verts, data, &sc.out) }
+				sc.Fn = func() { eng.kern.ScatterChunk(iter, part, verts, data, &sc.out) }
 				w.byID[s] = append(w.byID[s], sc)
-				eng.pool.submit(&sc.chunkTask)
+				eng.pool.Submit(&sc.chunkTask)
 			}
 		}
 		eng.scatterStreams[part] = w
@@ -236,7 +133,7 @@ func (eng *engine[V, U, A]) releaseScatterStream(part int) {
 // folded into the consuming machine's accumulators by per-machine chained
 // fold tasks (see gatherPartition), so the decode itself is shared.
 func (eng *engine[V, U, A]) acquireGatherStream(part int) *streamTasks[gatherChunk[U]] {
-	if eng.pool.inline {
+	if eng.pool.Inline() {
 		return nil // see acquireScatterStream
 	}
 	w := eng.gatherStreams[part]
@@ -251,11 +148,11 @@ func (eng *engine[V, U, A]) acquireGatherStream(part int) *streamTasks[gatherChu
 			for _, data := range chunks {
 				gc := &gatherChunk[U]{}
 				data := data
-				gc.fn = func() {
-					gc.recs = eng.decodeUpdateChunk(eng.grabRecs(), data)
+				gc.Fn = func() {
+					gc.recs = eng.kern.DecodeUpdateChunk(eng.kern.GrabRecs(), data)
 				}
 				w.byID[s] = append(w.byID[s], gc)
-				eng.pool.submit(&gc.chunkTask)
+				eng.pool.Submit(&gc.chunkTask)
 			}
 		}
 		eng.gatherStreams[part] = w
@@ -287,145 +184,17 @@ func (eng *engine[V, U, A]) hasChunkTask(kind storage.SetKind, part, s, idx int)
 	return false
 }
 
-// grabRecs returns a pooled decoded-record slice; releaseRecs recycles it
-// once a fold task has consumed it.
-func (eng *engine[V, U, A]) grabRecs() []updRec[U] {
-	if v := eng.recPool.Get(); v != nil {
-		return v.([]updRec[U])[:0]
-	}
-	return nil
-}
-
-func (eng *engine[V, U, A]) releaseRecs(recs []updRec[U]) {
-	if cap(recs) > 0 {
-		eng.recPool.Put(recs[:0])
-	}
-}
-
-// grabBuf / releaseBuf pool the per-chunk encode buffers; grabParts
-// pools the per-destination-partition buffer tables. Workers grab, the
-// simulation thread releases after merging. Scratch liveness peaks at
-// the chunks computed but not yet merged — up to a whole stream when
-// workers outpace the simulation — which stays proportional to data the
-// in-memory backend already holds resident; the DES consumes results in
-// delivery order, recycling as it goes.
-func (eng *engine[V, U, A]) grabBuf() []byte {
-	if v := eng.bufPool.Get(); v != nil {
-		return v.([]byte)[:0]
-	}
-	return nil
-}
-
-func (eng *engine[V, U, A]) releaseBuf(b []byte) {
-	if cap(b) > 0 {
-		eng.bufPool.Put(b[:0])
-	}
-}
-
-func (eng *engine[V, U, A]) grabParts() [][]byte {
-	if v := eng.partsPool.Get(); v != nil {
-		return v.([][]byte)
-	}
-	return make([][]byte, eng.layout.NumPartitions)
-}
-
-// releaseScatterOut returns a merged chunk result's scratch memory to the
-// pools.
-func (eng *engine[V, U, A]) releaseScatterOut(out *scatterOut[U]) {
-	for tp, b := range out.updates {
-		if b != nil {
-			eng.releaseBuf(b)
-			out.updates[tp] = nil
-		}
-	}
-	eng.partsPool.Put(out.updates)
-	out.updates = nil
-	if out.edgesNext != nil {
-		eng.releaseBuf(out.edgesNext)
-		out.edgesNext = nil
-	}
-	out.combined = nil
-}
-
-// appendUpdateRecord encodes one update record (destination ID field
-// plus payload, §8) onto buf. The single definition of the update wire
-// format's encode side; the kernel and the combiner flush both use it.
+// appendUpdateRecord, decodeUpdateRecord and decodeUpdateChunk are the
+// engine-local spellings of the kernel's update wire format (the kernel
+// is the single definition; see internal/core/drive).
 func (eng *engine[V, U, A]) appendUpdateRecord(buf []byte, dst graph.VertexID, val *U) []byte {
-	off := len(buf)
-	buf = append(buf, make([]byte, eng.updBytes)...)
-	eng.encodeDst(buf[off:], dst)
-	eng.updCodec.Put(buf[off+eng.idBytes:], val)
-	return buf
+	return eng.kern.AppendUpdate(buf, dst, val)
 }
 
-// decodeUpdateRecord decodes one update record, the inverse of
-// appendUpdateRecord.
-func (eng *engine[V, U, A]) decodeUpdateRecord(rec []byte) (r updRec[U]) {
-	r.dst = eng.decodeDst(rec)
-	eng.updCodec.Get(rec[eng.idBytes:], &r.val)
-	return r
+func (eng *engine[V, U, A]) decodeUpdateRecord(rec []byte) drive.UpdRec[U] {
+	return eng.kern.DecodeUpdate(rec)
 }
 
-// decodeUpdateChunk bulk-decodes one update chunk into recs.
-func (eng *engine[V, U, A]) decodeUpdateChunk(recs []updRec[U], data []byte) []updRec[U] {
-	ub := eng.updBytes
-	n := len(data) / ub
-	for i := 0; i < n; i++ {
-		recs = append(recs, eng.decodeUpdateRecord(data[i*ub:]))
-	}
-	return recs
-}
-
-// scatterChunkKernel is the pure scatter computation on one edge chunk:
-// decode each edge, consult the rewriter, apply the program's Scatter,
-// and encode emitted updates grouped by destination partition. It runs on
-// pool workers and must not touch simulation state; verts is read-only
-// and stable for the whole phase.
-func (eng *engine[V, U, A]) scatterChunkKernel(iter, part int, verts []V, data []byte, out *scatterOut[U]) {
-	lo, _ := eng.layout.Range(part)
-	edgeSize := eng.edgeFmt.EdgeSize()
-	n := len(data) / edgeSize
-	out.n = n
-	out.updates = eng.grabParts()
-	if eng.combiner != nil {
-		out.combined = make([]map[graph.VertexID]U, eng.layout.NumPartitions)
-	}
-	for i := 0; i < n; i++ {
-		e := eng.edgeFmt.Decode(data[i*edgeSize:])
-		src := &verts[e.Src-lo]
-		if eng.rewriter != nil {
-			if ne, keep := eng.rewriter.RewriteEdge(iter, e, src); keep {
-				if out.edgesNext == nil {
-					out.edgesNext = eng.grabBuf()
-				}
-				off := len(out.edgesNext)
-				out.edgesNext = append(out.edgesNext, make([]byte, edgeSize)...)
-				eng.edgeFmt.Encode(out.edgesNext[off:], ne)
-			}
-		}
-		dst, val, emit := eng.prog.Scatter(iter, e, src)
-		if !emit {
-			continue
-		}
-		tp := eng.layout.Of(dst)
-		if eng.combiner != nil {
-			mp := out.combined[tp]
-			if mp == nil {
-				mp = make(map[graph.VertexID]U)
-				out.combined[tp] = mp
-			}
-			if old, ok := mp[dst]; ok {
-				mp[dst] = eng.combiner.Combine(old, val)
-			} else {
-				mp[dst] = val
-			}
-			out.combineOps++
-			continue
-		}
-		buf := out.updates[tp]
-		if buf == nil {
-			buf = eng.grabBuf()
-		}
-		out.updates[tp] = eng.appendUpdateRecord(buf, dst, &val)
-	}
+func (eng *engine[V, U, A]) decodeUpdateChunk(recs []drive.UpdRec[U], data []byte) []drive.UpdRec[U] {
+	return eng.kern.DecodeUpdateChunk(recs, data)
 }

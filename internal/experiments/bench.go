@@ -17,6 +17,10 @@ type BenchArm struct {
 	Machines         []int     `json:"machines"`
 	SimulatedSeconds []float64 `json:"simulated_seconds"`
 	WallSeconds      float64   `json:"wall_seconds"`
+	// WallSecondsPerPoint breaks WallSeconds down per machine-axis
+	// point, for experiments whose arms are compared on wall-clock
+	// (the native-vs-DES record). Empty for the simulated figures.
+	WallSecondsPerPoint []float64 `json:"wall_seconds_per_point,omitempty"`
 }
 
 // BenchRecord is the machine-readable result of one benchmark experiment,
@@ -35,6 +39,12 @@ type BenchRecord struct {
 	WallSeconds    float64    `json:"wall_seconds"`
 	GeneratedAt    string     `json:"generated_at"`
 	Arms           []BenchArm `json:"arms"`
+	// NativeBeatsDES is set by the native-vs-DES experiment: true when
+	// the native plane's summed wall-clock was at or under the DES
+	// driver's on the same graphs (the CI bench smoke asserts it).
+	// Absent from every other record; a pointer so a losing run still
+	// serializes an explicit false instead of vanishing from the JSON.
+	NativeBeatsDES *bool `json:"native_beats_des,omitempty"`
 }
 
 // newBenchRecord starts a record for the given experiment at this scale.

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestNativeVsDESEmitsRecord runs the native-vs-DES comparison at quick
+// scale and validates the emitted BENCH_native.json: two arms over the
+// same machine axis, per-point wall-clock populated, and the native
+// plane at or under the DES driver's wall-clock (the margin is
+// structural — the DES serializes every event through one scheduler —
+// so this holds on any host).
+func TestNativeVsDESEmitsRecord(t *testing.T) {
+	s := Quick
+	s.BenchDir = t.TempDir()
+	var buf bytes.Buffer
+	if err := NativeVsDES(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(s.BenchDir, "BENCH_native.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec BenchRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Experiment != "native" || len(rec.Arms) != 2 {
+		t.Fatalf("record shape wrong: %+v", rec)
+	}
+	des, nat := rec.Arms[0], rec.Arms[1]
+	if des.Name != "des" || nat.Name != "native" {
+		t.Fatalf("arm names %q, %q", des.Name, nat.Name)
+	}
+	if len(des.Machines) != len(s.Machines) || len(nat.Machines) != len(s.Machines) {
+		t.Fatalf("machine axes truncated: %v %v", des.Machines, nat.Machines)
+	}
+	if len(des.WallSecondsPerPoint) != len(s.Machines) || len(nat.WallSecondsPerPoint) != len(s.Machines) {
+		t.Fatal("per-point wall-clock missing")
+	}
+	if nat.WallSeconds <= 0 || des.WallSeconds <= 0 {
+		t.Fatalf("wall totals not measured: des %g native %g", des.WallSeconds, nat.WallSeconds)
+	}
+	for i, ss := range nat.SimulatedSeconds {
+		if ss != 0 {
+			t.Errorf("native arm point %d claims simulated seconds %g", i, ss)
+		}
+	}
+	if rec.NativeBeatsDES == nil {
+		t.Fatal("record carries no native-vs-DES verdict")
+	}
+	if !*rec.NativeBeatsDES {
+		t.Errorf("native wall %gs did not beat DES wall %gs", nat.WallSeconds, des.WallSeconds)
+	}
+}

@@ -1,0 +1,167 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"chaos"
+)
+
+// TestNativeEngineJobEndToEnd submits a job on the native execution
+// plane through the HTTP API and checks the engine surfaces everywhere:
+// the job view, the report, /v1/stats and /metrics.
+func TestNativeEngineJobEndToEnd(t *testing.T) {
+	svc := newTestService(t, 2)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	if code, body := doJSON(t, client, http.MethodPost, ts.URL+"/v1/graphs",
+		GraphSpec{Name: "g", Type: "rmat", Scale: 7, Seed: 42}, nil); code != http.StatusCreated {
+		t.Fatalf("register graph: %d %s", code, body)
+	}
+
+	var jv JobView
+	code, body := doJSON(t, client, http.MethodPost, ts.URL+"/v1/jobs",
+		jobRequest{Graph: "g", Algorithm: "PR", Options: jobOptions{Engine: "native", Seed: 3}}, &jv)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit native job: %d %s", code, body)
+	}
+	if jv.Engine != chaos.EngineNative {
+		t.Fatalf("queued view engine = %q, want native", jv.Engine)
+	}
+	done := pollJob(t, client, ts.URL, jv.ID)
+	if done.State != JobDone {
+		t.Fatalf("native job ended %s: %s", done.State, done.Error)
+	}
+	if done.Engine != chaos.EngineNative {
+		t.Errorf("done view engine = %q, want native", done.Engine)
+	}
+	if done.Report == nil || done.Report.Engine != chaos.EngineNative {
+		t.Fatalf("report engine wrong: %+v", done.Report)
+	}
+	if done.Report.WallSeconds <= 0 || done.Report.SimulatedSeconds != 0 {
+		t.Errorf("native report times wrong: %+v", done.Report)
+	}
+	if done.Result == nil || done.Result.Summary["rank_sum"] <= 0 {
+		t.Errorf("native result not populated: %+v", done.Result)
+	}
+
+	// The identical resubmission is a cache hit — the two engines must
+	// not share an entry, so a sim-engine submission of the same job
+	// really runs (and reports virtual time).
+	var simJV JobView
+	if code, body := doJSON(t, client, http.MethodPost, ts.URL+"/v1/jobs",
+		jobRequest{Graph: "g", Algorithm: "PR", Options: jobOptions{Seed: 3}}, &simJV); code != http.StatusAccepted {
+		t.Fatalf("submit sim job: %d %s", code, body)
+	}
+	simDone := pollJob(t, client, ts.URL, simJV.ID)
+	if simDone.CacheHit {
+		t.Error("sim submission hit the native cache entry")
+	}
+	if simDone.Engine != chaos.EngineSim || simDone.Report == nil || simDone.Report.SimulatedSeconds <= 0 {
+		t.Errorf("sim job shape wrong: engine %q report %+v", simDone.Engine, simDone.Report)
+	}
+
+	// And the native resubmission IS a hit.
+	var hitJV JobView
+	if code, _ := doJSON(t, client, http.MethodPost, ts.URL+"/v1/jobs",
+		jobRequest{Graph: "g", Algorithm: "PR", Options: jobOptions{Engine: "native", Seed: 3}}, &hitJV); code != http.StatusAccepted {
+		t.Fatal("native resubmission rejected")
+	}
+	if hit := pollJob(t, client, ts.URL, hitJV.ID); !hit.CacheHit || hit.Engine != chaos.EngineNative {
+		t.Errorf("native resubmission: cacheHit=%v engine=%q", hit.CacheHit, hit.Engine)
+	}
+
+	// Stats and metrics carry the per-engine counters.
+	var st Stats
+	if code, body := doJSON(t, client, http.MethodGet, ts.URL+"/v1/stats", nil, &st); code != http.StatusOK {
+		t.Fatalf("stats: %d %s", code, body)
+	}
+	if st.PerEngine[chaos.EngineNative] != 2 || st.PerEngine[chaos.EngineSim] != 1 {
+		t.Errorf("perEngine = %v, want native:2 sim:1", st.PerEngine)
+	}
+	if st.NativeWallSeconds <= 0 {
+		t.Errorf("nativeWallSeconds = %g, want > 0", st.NativeWallSeconds)
+	}
+
+	resp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	if _, err := io.Copy(&sb, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`chaos_jobs_by_engine{engine="native"} 2`,
+		`chaos_jobs_by_engine{engine="sim"} 1`,
+		"chaos_native_wall_seconds_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics lacks %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestBadEngineRejectedAtSubmit checks a typo'd engine name fails the
+// submission with 400 and the shared ParseEngine message.
+func TestBadEngineRejectedAtSubmit(t *testing.T) {
+	svc := newTestService(t, 1)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	if code, _ := doJSON(t, client, http.MethodPost, ts.URL+"/v1/graphs",
+		GraphSpec{Name: "g", Type: "rmat", Scale: 5, Seed: 1}, nil); code != http.StatusCreated {
+		t.Fatal("register failed")
+	}
+	code, body := doJSON(t, client, http.MethodPost, ts.URL+"/v1/jobs",
+		jobRequest{Graph: "g", Algorithm: "PR", Options: jobOptions{Engine: "turbo"}}, nil)
+	if code != http.StatusBadRequest || !strings.Contains(body, "unknown engine") {
+		t.Fatalf("bad engine: %d %s", code, body)
+	}
+}
+
+// TestOldJournalRecordDefaultsEngineToSim replays a job record written
+// before the engine option existed (its options JSON has no Engine key)
+// and checks it restores reporting the only engine there was.
+func TestOldJournalRecordDefaultsEngineToSim(t *testing.T) {
+	// A verbatim pre-PR-5 jobRecord: chaos.Options marshals with Go
+	// field names, and old records simply lack "Engine".
+	raw := []byte(`{
+		"id": "j9",
+		"graph": "g1",
+		"algorithm": "PR",
+		"options": {"Machines": 2, "ChunkBytes": 1024, "Seed": 7},
+		"state": "done",
+		"enqueuedAt": "2026-01-02T03:04:05Z",
+		"finishedAt": "2026-01-02T03:05:06Z"
+	}`)
+	var jr jobRecord
+	if err := json.Unmarshal(raw, &jr); err != nil {
+		t.Fatal(err)
+	}
+	if jr.Options.Engine != "" {
+		t.Fatalf("decoded engine %q, want empty", jr.Options.Engine)
+	}
+
+	svc := newTestService(t, 1)
+	svc.restoreJobs([]jobRecord{jr}, 0)
+	v, ok := svc.scheduler.Get("j9")
+	if !ok {
+		t.Fatal("restored job not found")
+	}
+	if v.Engine != chaos.EngineSim {
+		t.Errorf("restored engine = %q, want sim", v.Engine)
+	}
+	if v.State != JobDone {
+		t.Errorf("restored state = %s, want done", v.State)
+	}
+}

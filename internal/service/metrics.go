@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+
+	"chaos"
 )
 
 // promWriter accumulates Prometheus text exposition format (the 0.0.4
@@ -78,6 +80,15 @@ func (s *Service) metricsText() string {
 	for _, alg := range algs {
 		p.sample("chaos_jobs_submitted_total", [][2]string{{"algorithm", alg}}, float64(st.PerAlgorithm[alg]))
 	}
+
+	// Per-engine series are pre-seeded for both planes so a scrape sees
+	// chaos_jobs_by_engine{engine="native"} 0 before the first native
+	// job, not an absent series (absent-vs-zero matters to alerting).
+	p.family("chaos_jobs_by_engine", "Job submissions by execution engine.", "counter")
+	for _, eng := range []string{chaos.EngineSim, chaos.EngineNative} {
+		p.sample("chaos_jobs_by_engine", [][2]string{{"engine", eng}}, float64(st.PerEngine[eng]))
+	}
+	p.scalar("chaos_native_wall_seconds_total", "Summed measured wall-clock of completed native runs.", "counter", st.NativeWallSeconds)
 
 	p.scalar("chaos_result_cache_entries", "Entries in the in-memory result cache.", "gauge", float64(st.Cache.Entries))
 	p.scalar("chaos_result_cache_hits_total", "Result-cache hits (memory or disk).", "counter", float64(st.Cache.Hits))

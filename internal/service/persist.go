@@ -383,6 +383,7 @@ func (s *Service) restoreJobs(recs []jobRecord, nextID int) {
 		sc.jobs[j.ID] = j
 		sc.order = append(sc.order, j.ID)
 		sc.counts[j.Algorithm]++
+		sc.engines[j.engine()]++ // pre-engine records fold to "sim"
 		if seq, ok := jobSeq(j.ID); ok && seq > maxSeq {
 			maxSeq = seq
 		}

@@ -60,6 +60,12 @@ type Job struct {
 	// restarts counts how many times crash recovery re-enqueued this
 	// job (diagnostics; also journaled).
 	restarts int
+	// answeredFromCache marks a run the executor satisfied from the
+	// result cache instead of computing (the restart-path lookup in
+	// Service.execute); atomic because the executor sets it on the run
+	// goroutine while metrics accounting reads it under s.mu. Such a
+	// "run" must not count toward nativeWallSeconds — nothing ran.
+	answeredFromCache atomic.Bool
 
 	// progress is the engine's latest iteration-boundary snapshot,
 	// written by the run goroutine at every tick and read by view();
@@ -72,9 +78,13 @@ type Job struct {
 
 // JobView is an immutable snapshot of a Job, safe to serialize.
 type JobView struct {
-	ID         string        `json:"id"`
-	Graph      string        `json:"graph"`
-	Algorithm  string        `json:"algorithm"`
+	ID        string   `json:"id"`
+	Graph     string   `json:"graph"`
+	Algorithm string   `json:"algorithm"`
+	// Engine is the execution plane that runs (or ran) the job: "sim"
+	// or "native". Jobs journaled before the engine option existed
+	// report "sim", the only engine there was.
+	Engine     string        `json:"engine"`
 	State      JobState      `json:"state"`
 	CacheHit   bool          `json:"cacheHit,omitempty"`
 	Canceling  bool          `json:"canceling,omitempty"`
@@ -100,25 +110,46 @@ func (v JobView) stripped() JobView {
 	return v
 }
 
-// view snapshots the job; callers hold s.mu.
-func (j *Job) view() JobView {
+// engine is the job's canonical execution-engine name ("" and aliases
+// fold to "sim"); derived from the submitted options so journal-restored
+// pre-engine jobs report "sim".
+func (j *Job) engine() string {
+	if eng, err := chaos.ParseEngine(j.Options.Engine); err == nil {
+		return eng
+	}
+	return j.Options.Engine // unknown names never pass Submit; be honest
+}
+
+// identView builds the JobView fields that are stable while a job runs
+// (identity, engine, enqueue/start times, restart count) — the one
+// construction site shared by the locked view() and the lock-free
+// NoteProgress tick, so a new JobView field cannot be added to one and
+// silently stay zero in the other.
+func (j *Job) identView() JobView {
 	v := JobView{
 		ID:         j.ID,
 		Graph:      j.Graph,
 		Algorithm:  j.Algorithm,
-		State:      j.state,
-		CacheHit:   j.cacheHit,
-		Canceling:  j.canceling.Load() && j.state == JobRunning,
+		Engine:     j.engine(),
 		Restarts:   j.restarts,
-		Error:      j.err,
 		EnqueuedAt: j.enqueuedAt,
-		Result:     j.result,
-		Report:     j.report,
 	}
 	if !j.startedAt.IsZero() {
 		t := j.startedAt
 		v.StartedAt = &t
 	}
+	return v
+}
+
+// view snapshots the job; callers hold s.mu.
+func (j *Job) view() JobView {
+	v := j.identView()
+	v.State = j.state
+	v.CacheHit = j.cacheHit
+	v.Canceling = j.canceling.Load() && j.state == JobRunning
+	v.Error = j.err
+	v.Result = j.result
+	v.Report = j.report
 	if !j.finishedAt.IsZero() {
 		t := j.finishedAt
 		v.FinishedAt = &t
@@ -164,7 +195,13 @@ type Scheduler struct {
 	running int
 	closed  bool
 	counts  map[string]int // submissions per algorithm
-	wg      sync.WaitGroup
+	engines map[string]int // submissions per execution engine
+	// nativeWallSeconds accumulates the measured wall-clock of
+	// completed native runs (the /metrics
+	// chaos_native_wall_seconds_total counter); cache hits never ran,
+	// so they add nothing.
+	nativeWallSeconds float64
+	wg                sync.WaitGroup
 
 	// events fans state transitions and progress ticks out to SSE
 	// subscribers; it has its own lock and never blocks publishers.
@@ -198,23 +235,13 @@ func (s *Scheduler) noteLocked(j *Job) {
 func (s *Scheduler) NoteProgress(j *Job, p chaos.Progress) {
 	j.progress.Store(&p)
 	// The view is assembled lock-free from fields that cannot change
-	// while the job runs (identity, enqueue time, restart count), the
-	// atomic canceling flag (so an accepted cancel never "un-happens"
-	// in a later tick), and the tick itself.
-	v := JobView{
-		ID:         j.ID,
-		Graph:      j.Graph,
-		Algorithm:  j.Algorithm,
-		State:      JobRunning,
-		Canceling:  j.canceling.Load(),
-		Restarts:   j.restarts,
-		EnqueuedAt: j.enqueuedAt,
-		Progress:   &p,
-	}
-	if !j.startedAt.IsZero() { // set before the run began, stable since
-		t := j.startedAt
-		v.StartedAt = &t
-	}
+	// while the job runs (identView: identity, engine, enqueue/start
+	// times, restart count), the atomic canceling flag (so an accepted
+	// cancel never "un-happens" in a later tick), and the tick itself.
+	v := j.identView()
+	v.State = JobRunning
+	v.Canceling = j.canceling.Load()
+	v.Progress = &p
 	s.events.publish(j.ID, EventProgress, v)
 }
 
@@ -263,6 +290,7 @@ func NewScheduler(cfg SchedulerConfig, run runFunc) *Scheduler {
 		computeBudget: cfg.ComputeBudget,
 		jobs:          make(map[string]*Job),
 		counts:        make(map[string]int),
+		engines:       make(map[string]int),
 		events:        newEventHub(),
 	}
 	s.cond = sync.NewCond(&s.mu)
@@ -342,6 +370,7 @@ func (s *Scheduler) newJobLocked(graphID, alg string, opt chaos.Options) *Job {
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
 	s.counts[alg]++
+	s.engines[j.engine()]++
 	s.pruneLocked() // the new job is not yet terminal, so never evicted
 	return j
 }
@@ -632,6 +661,12 @@ func (s *Scheduler) worker() {
 			j.state = JobDone
 			j.result = res
 			j.report = rep
+			if rep != nil && rep.Engine == chaos.EngineNative && !j.answeredFromCache.Load() {
+				// The cached report's WallSeconds belongs to the run
+				// that produced the blob (already counted when it
+				// completed), not to this process.
+				s.nativeWallSeconds += rep.WallSeconds
+			}
 		case errors.Is(err, context.Canceled) && j.canceling.Load():
 			j.state = JobCanceled
 			j.err = "canceled while running; stopped at an iteration boundary"
@@ -685,26 +720,33 @@ func (s *Scheduler) Shutdown(ctx context.Context) error {
 
 // schedStats is the scheduler's contribution to /v1/stats.
 type schedStats struct {
-	queueDepth   int
-	running      int
-	jobs         map[string]int
-	perAlgorithm map[string]int
+	queueDepth        int
+	running           int
+	jobs              map[string]int
+	perAlgorithm      map[string]int
+	perEngine         map[string]int
+	nativeWallSeconds float64
 }
 
 func (s *Scheduler) stats() schedStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := schedStats{
-		running:      s.running,
-		queueDepth:   s.queued,
-		jobs:         make(map[string]int),
-		perAlgorithm: make(map[string]int),
+		running:           s.running,
+		queueDepth:        s.queued,
+		jobs:              make(map[string]int),
+		perAlgorithm:      make(map[string]int),
+		perEngine:         make(map[string]int),
+		nativeWallSeconds: s.nativeWallSeconds,
 	}
 	for _, j := range s.jobs {
 		st.jobs[string(j.state)]++
 	}
 	for alg, n := range s.counts {
 		st.perAlgorithm[alg] = n
+	}
+	for eng, n := range s.engines {
+		st.perEngine[eng] = n
 	}
 	return st
 }

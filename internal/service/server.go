@@ -73,7 +73,11 @@ type jobOptions struct {
 	MaxIterations     int     `json:"maxIterations,omitempty"`
 	LatencyScale      float64 `json:"latencyScale,omitempty"`
 	ComputeWorkers    int     `json:"computeWorkers,omitempty"`
-	Seed              int64   `json:"seed,omitempty"`
+	// Engine selects the execution plane: "sim" (default) or "native".
+	// Absent in pre-PR-5 journal records, which decode to "" and
+	// canonicalize to "sim" — the only engine that existed then.
+	Engine string `json:"engine,omitempty"`
+	Seed   int64  `json:"seed,omitempty"`
 }
 
 // jobRequest is the POST /v1/jobs payload.
@@ -108,6 +112,18 @@ func (r jobRequest) resolve() (string, chaos.Options, error) {
 		LatencyScale:      r.Options.LatencyScale,
 		ComputeWorkers:    r.Options.ComputeWorkers,
 		Seed:              r.Options.Seed,
+	}
+	// The engine name is validated here so a typo fails the submission
+	// with 400 (and the same message as the CLIs) instead of failing the
+	// job later; the canonical spelling is what gets journaled. An
+	// omitted engine stays empty so mergeOptions can apply the server's
+	// BaseOptions default (chaos-serve -engine).
+	if r.Options.Engine != "" {
+		engine, err := chaos.ParseEngine(r.Options.Engine)
+		if err != nil {
+			return "", base, err
+		}
+		base.Engine = engine
 	}
 	return chaos.ParseOptions(r.Algorithm, r.Options.Storage, r.Options.Network, base)
 }

@@ -60,6 +60,7 @@ func TestJobOptionsRoundTrip(t *testing.T) {
 			MaxIterations:     42,
 			LatencyScale:      0.25,
 			ComputeWorkers:    4,
+			Engine:            "native",
 			Seed:              99,
 		},
 	}
@@ -92,6 +93,7 @@ func TestJobOptionsRoundTrip(t *testing.T) {
 		MaxIterations:     42,
 		LatencyScale:      0.25,
 		ComputeWorkers:    4,
+		Engine:            chaos.EngineNative,
 		Seed:              99,
 	}
 	if !reflect.DeepEqual(got, want) {

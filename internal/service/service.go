@@ -174,6 +174,7 @@ func (s *Service) execute(ctx context.Context, job *Job) (*chaos.Result, *chaos.
 		// re-simulating. Fresh submissions were already cache-checked
 		// in Submit, so only restarted jobs pay this lookup.
 		if res, rep, ok := s.cache.lookup(key); ok {
+			job.answeredFromCache.Store(true)
 			return res, rep, nil
 		}
 	}
@@ -300,6 +301,11 @@ func mergeOptions(base, opt chaos.Options) chaos.Options {
 	if opt.Seed == 0 {
 		opt.Seed = base.Seed
 	}
+	// The execution engine is a deployment default too (chaos-serve
+	// -engine); a job that names one explicitly keeps it.
+	if opt.Engine == "" {
+		opt.Engine = base.Engine
+	}
 	return opt
 }
 
@@ -325,7 +331,12 @@ type Stats struct {
 	Running      int            `json:"running"`
 	Jobs         map[string]int `json:"jobs"`
 	PerAlgorithm map[string]int `json:"perAlgorithm"`
-	Cache        CacheStats     `json:"cache"`
+	// PerEngine counts submissions by execution plane ("sim"/"native").
+	PerEngine map[string]int `json:"perEngine"`
+	// NativeWallSeconds is the summed measured wall-clock of completed
+	// native runs (cache hits excluded — they never ran).
+	NativeWallSeconds float64    `json:"nativeWallSeconds"`
+	Cache             CacheStats `json:"cache"`
 	// Durable reports the persistence layer; nil without a data dir.
 	Durable *DurableStats `json:"durable,omitempty"`
 }
@@ -349,13 +360,15 @@ type DurableStats struct {
 func (s *Service) Stats() Stats {
 	st := s.scheduler.stats()
 	out := Stats{
-		Graphs:       len(s.catalog.List()),
-		Workers:      s.cfg.Workers,
-		QueueDepth:   st.queueDepth,
-		Running:      st.running,
-		Jobs:         st.jobs,
-		PerAlgorithm: st.perAlgorithm,
-		Cache:        s.cache.stats(),
+		Graphs:            len(s.catalog.List()),
+		Workers:           s.cfg.Workers,
+		QueueDepth:        st.queueDepth,
+		Running:           st.running,
+		Jobs:              st.jobs,
+		PerAlgorithm:      st.perAlgorithm,
+		PerEngine:         st.perEngine,
+		NativeWallSeconds: st.nativeWallSeconds,
+		Cache:             s.cache.stats(),
 	}
 	if s.persist != nil {
 		out.Durable = &DurableStats{

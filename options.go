@@ -65,6 +65,20 @@ func ParseNetwork(name string) (Network, error) {
 	return Net40GigE, fmt.Errorf("chaos: unknown network %q (want 40g or 1g)", name)
 }
 
+// ParseEngine resolves an execution-engine name; the empty string and
+// "des" mean the default discrete-event-simulation driver. Every front
+// end (-engine flags, the job API's "engine" option) routes through it
+// so the names and error messages match everywhere.
+func ParseEngine(name string) (string, error) {
+	switch strings.ToLower(name) {
+	case "", "sim", "des":
+		return EngineSim, nil
+	case "native":
+		return EngineNative, nil
+	}
+	return "", fmt.Errorf("chaos: unknown engine %q (want sim or native)", name)
+}
+
 // ParseOptions validates the string-typed knobs shared by the CLIs and
 // the job service — algorithm, storage and network names — and returns
 // the canonical algorithm name plus base with the parsed hardware
@@ -162,6 +176,13 @@ func (o Options) Canonical() Options {
 	// (see internal/core/parallel.go), so all values canonicalize to the
 	// default and share one cache entry.
 	c.ComputeWorkers = 0
+	// Engine aliases fold to their canonical spelling; an unknown name
+	// is left as-is (Canonical cannot fail) and rejected when the run
+	// starts. The two engines never share a cache entry: their reports
+	// differ (virtual vs wall time) and float folds may differ too.
+	if eng, err := ParseEngine(c.Engine); err == nil {
+		c.Engine = eng
+	}
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
@@ -179,7 +200,7 @@ var fingerprintFields = []string{
 	"Alpha", "DisableStealing", "AlwaysSteal", "CheckpointEvery",
 	"FailAtIteration", "CentralDirectory", "CombineUpdates",
 	"RewriteEdges", "ReplicateVertices", "MaxIterations", "LatencyScale",
-	"ComputeWorkers", "Seed",
+	"ComputeWorkers", "Engine", "Seed",
 }
 
 // Fingerprint returns a deterministic string identifying the effective
@@ -224,6 +245,7 @@ func (o Options) Fingerprint() string {
 	app("maxIterations", itoa(c.MaxIterations))
 	app("latencyScale", ftoa(c.LatencyScale))
 	app("computeWorkers", itoa(c.ComputeWorkers))
+	app("engine", c.Engine)
 	app("seed", strconv.FormatInt(c.Seed, 10))
 	return b.String()
 }

@@ -16,8 +16,13 @@ import (
 type Progress struct {
 	// Iterations counts completed iterations (1 at the first boundary).
 	Iterations int `json:"iterations"`
-	// SimulatedSeconds is the virtual clock at the boundary.
+	// SimulatedSeconds is the virtual clock at the boundary. Zero under
+	// the native engine, which has no virtual clock (see WallSeconds).
 	SimulatedSeconds float64 `json:"simulatedSeconds"`
+	// WallSeconds is the host wall-clock since the run started,
+	// reported by the native engine only (zero under the DES engine,
+	// whose progress stream stays bit-reproducible).
+	WallSeconds float64 `json:"wallSeconds,omitempty"`
 	// BytesRead / BytesWritten are device-level totals so far.
 	BytesRead    int64 `json:"bytesRead"`
 	BytesWritten int64 `json:"bytesWritten"`
@@ -60,5 +65,17 @@ func coreProgress(p core.Progress) Progress {
 		BytesRead:        p.BytesRead,
 		BytesWritten:     p.BytesWritten,
 		StealsAccepted:   p.StealsAccepted,
+	}
+}
+
+// nativeProgress adapts a native-driver snapshot, whose Now is host
+// wall-clock, not virtual time.
+func nativeProgress(p core.Progress) Progress {
+	return Progress{
+		Iterations:     p.Iterations,
+		WallSeconds:    p.Now.Seconds(),
+		BytesRead:      p.BytesRead,
+		BytesWritten:   p.BytesWritten,
+		StealsAccepted: p.StealsAccepted,
 	}
 }

@@ -9,14 +9,22 @@ import (
 
 	"chaos/internal/algorithms"
 	"chaos/internal/core"
+	"chaos/internal/core/native"
 	"chaos/internal/gas"
+	"chaos/internal/metrics"
 )
 
-// runProgram executes a GAS program through the Chaos engine and wraps the
-// statistics. A cancelable ctx is observed at iteration boundaries: the
-// engine finishes the current iteration, unwinds cleanly and the error
-// is ctx.Err() (so callers can errors.Is against context.Canceled).
+// runProgram executes a GAS program through the configured driver —
+// the DES engine by default, the native execution plane for
+// Options.Engine = "native" — and wraps the statistics. A cancelable ctx
+// is observed at iteration boundaries under both drivers: the run
+// finishes the current iteration, unwinds cleanly and the error is
+// ctx.Err() (so callers can errors.Is against context.Canceled).
 func runProgram[V, U, A any](ctx context.Context, opt Options, prog gas.Program[V, U, A], edges []Edge, n uint64) ([]V, *Report, error) {
+	engine, err := ParseEngine(opt.Engine)
+	if err != nil {
+		return nil, nil, err
+	}
 	cfg := opt.config()
 	if ctx == nil {
 		ctx = context.Background()
@@ -32,14 +40,30 @@ func runProgram[V, U, A any](ctx context.Context, opt Options, prog gas.Program[
 		}
 	}
 	if fn := progressFrom(ctx); fn != nil {
-		cfg.Progress = func(p core.Progress) { fn(coreProgress(p)) }
+		if engine == EngineNative {
+			// The native driver has no virtual clock: its Now is host
+			// wall-clock, surfaced as WallSeconds so SimulatedSeconds
+			// never carries a non-simulated figure.
+			cfg.Progress = func(p core.Progress) { fn(nativeProgress(p)) }
+		} else {
+			cfg.Progress = func(p core.Progress) { fn(coreProgress(p)) }
+		}
 	}
-	values, run, err := core.Run(cfg, prog, edges, n)
+	var values []V
+	var run *metrics.Run
+	if engine == EngineNative {
+		values, run, err = native.Run(cfg, prog, edges, n)
+	} else {
+		values, run, err = core.Run(cfg, prog, edges, n)
+	}
 	if err != nil {
 		if errors.Is(err, core.ErrInterrupted) && ctx.Err() != nil {
 			return nil, nil, ctx.Err()
 		}
 		return nil, nil, err
+	}
+	if engine == EngineNative {
+		return values, nativeReportFrom(run, cfg.Spec.Machines), nil
 	}
 	return values, reportFrom(run, cfg.Spec.Machines), nil
 }
