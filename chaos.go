@@ -231,10 +231,10 @@ type Report struct {
 	PreprocessSeconds float64
 	// WallSeconds is the host wall-clock of a native run (zero under
 	// the DES driver, whose reports must stay bit-reproducible).
-	WallSeconds float64
-	Iterations  int
-	BytesRead         int64
-	BytesWritten      int64
+	WallSeconds  float64
+	Iterations   int
+	BytesRead    int64
+	BytesWritten int64
 	// AggregateBandwidth is device bytes moved per simulated second
 	// (Figure 14).
 	AggregateBandwidth float64

@@ -14,11 +14,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"os"
 	"strings"
 
 	"chaos"
+	"chaos/internal/cli"
 	"chaos/internal/experiments"
 )
 
@@ -51,8 +51,7 @@ var all = []struct {
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("chaos-bench: ")
+	logger := cli.NewLogger("chaos-bench")
 	var (
 		which     = flag.String("experiment", "all", "experiment id (all, table1, fig5..fig20, capacity)")
 		quick     = flag.Bool("quick", false, "use the reduced smoke scale")
@@ -69,11 +68,11 @@ func main() {
 	// chaos-serve, so a typo fails with the identical message everywhere.
 	_, hw, err := chaos.ParseOptions("", *storage, *network, chaos.Options{})
 	if err != nil {
-		log.Fatal(err)
+		cli.Fatal(logger, "parsing options", err)
 	}
 	engine, err := chaos.ParseEngine(*engineFl)
 	if err != nil {
-		log.Fatal(err)
+		cli.Fatal(logger, "parsing engine", err)
 	}
 	if engine == chaos.EngineNative {
 		// The evaluation figures are produced by the DES driver and only
@@ -84,7 +83,8 @@ func main() {
 			*which = "native"
 		case "native":
 		default:
-			log.Fatalf("-engine native only applies to the native-vs-DES comparison; the figures are DES-only (run -experiment %s without -engine, or -experiment native)", *which)
+			cli.Fatal(logger, "bad flag combination", fmt.Errorf(
+				"-engine native only applies to the native-vs-DES comparison; the figures are DES-only (run -experiment %s without -engine, or -experiment native)", *which))
 		}
 	}
 
@@ -100,7 +100,7 @@ func main() {
 			continue
 		}
 		if err := e.run(os.Stdout, scale); err != nil {
-			log.Fatalf("%s: %v", e.name, err)
+			cli.Fatal(logger, e.name, err)
 		}
 		ran++
 	}
@@ -109,7 +109,8 @@ func main() {
 		for i, e := range all {
 			names[i] = e.name
 		}
-		log.Fatalf("unknown experiment %q (want all or one of %s)", *which, strings.Join(names, " "))
+		cli.Fatal(logger, "unknown experiment", fmt.Errorf(
+			"%q is not an experiment (want all or one of %s)", *which, strings.Join(names, " ")))
 	}
 	fmt.Println()
 }

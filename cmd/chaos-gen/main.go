@@ -11,17 +11,16 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
+	"chaos/internal/cli"
 	"chaos/internal/graph"
 	"chaos/internal/rmat"
 	"chaos/internal/webgraph"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("chaos-gen: ")
+	logger := cli.NewLogger("chaos-gen")
 	var (
 		typ      = flag.String("type", "rmat", "graph type: rmat or web")
 		scale    = flag.Int("scale", 14, "R-MAT scale (2^scale vertices, 2^(scale+4) edges)")
@@ -48,18 +47,18 @@ func main() {
 		each = g.Each
 		nv = g.NumVertices()
 	default:
-		log.Fatalf("unknown graph type %q (want rmat or web)", *typ)
+		cli.Fatal(logger, "unknown graph type", fmt.Errorf("%q is not a graph type (want rmat or web)", *typ))
 	}
 
 	w := os.Stdout
 	if *out != "" {
 		file, err := os.Create(*out)
 		if err != nil {
-			log.Fatal(err)
+			cli.Fatal(logger, "creating output", err)
 		}
 		defer func() {
 			if err := file.Close(); err != nil {
-				log.Fatal(err)
+				cli.Fatal(logger, "closing output", err)
 			}
 		}()
 		w = file
@@ -67,11 +66,11 @@ func main() {
 	ew := graph.NewWriter(w, f)
 	each(func(e graph.Edge) {
 		if err := ew.WriteEdge(e); err != nil {
-			log.Fatal(err)
+			cli.Fatal(logger, "writing edge", err)
 		}
 	})
 	if err := ew.Flush(); err != nil {
-		log.Fatal(err)
+		cli.Fatal(logger, "flushing output", err)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %d edges (%d vertices declared, format %v)\n", ew.Count(), nv, f)
+	logger.Info("wrote graph", "edges", ew.Count(), "vertices", nv, "format", fmt.Sprint(f))
 }

@@ -12,26 +12,32 @@
 //	chaos-run -alg PR -scale 14 -machines 8
 //	chaos-run -alg SSSP -input graph.bin -weighted -vertices 65536 -machines 4 -storage hdd
 //	chaos-run -alg PR -scale 14 -machines 8 -engine native   # host-speed plane, wall-clock
+//	chaos-run -alg PR -scale 14 -machines 4 -trace out.json  # flight-recorder timeline
 //
 // -engine native runs the same protocol on the native execution plane
 // (goroutine groups, no virtual clock): identical results, host
 // wall-clock instead of simulated seconds, no device-model figures.
+//
+// -trace attaches the flight recorder and writes the run's per-phase
+// span timeline as Chrome trace_event JSON, loadable in about:tracing
+// or Perfetto. Recording is observational-only: the run's results and
+// report are bit-identical with and without it.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"sort"
 
 	"chaos"
+	"chaos/internal/cli"
 	"chaos/internal/graph"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("chaos-run: ")
+	logger := cli.NewLogger("chaos-run")
 	var (
 		algName  = flag.String("alg", "PR", "algorithm: BFS WCC MCST MIS SSSP PR SCC Cond SpMV BP")
 		input    = flag.String("input", "", "binary edge-list file (default: generate R-MAT)")
@@ -48,6 +54,10 @@ func main() {
 		seed     = flag.Int64("seed", 1, "randomization seed")
 		engine   = flag.String("engine", "sim",
 			"execution engine: sim (discrete-event simulation, virtual time) or native (host-speed goroutine plane, wall-clock)")
+		traceOut = flag.String("trace", "",
+			"write the run's flight-recorder timeline to this file as Chrome trace_event JSON (empty = no recording)")
+		traceSpans = flag.Int("trace-spans", 1<<16,
+			"flight-recorder capacity in spans; the oldest are dropped past it (with -trace)")
 	)
 	flag.Parse()
 
@@ -56,11 +66,11 @@ func main() {
 	// ends.
 	alg, hw, err := chaos.ParseOptions(*algName, *storage, *network, chaos.Options{})
 	if err != nil {
-		log.Fatal(err)
+		cli.Fatal(logger, "parsing options", err)
 	}
 	eng, err := chaos.ParseEngine(*engine)
 	if err != nil {
-		log.Fatal(err)
+		cli.Fatal(logger, "parsing engine", err)
 	}
 
 	var edges []chaos.Edge
@@ -69,7 +79,7 @@ func main() {
 		needW := *weighted || chaos.NeedsWeights(alg)
 		f, err := os.Open(*input)
 		if err != nil {
-			log.Fatal(err)
+			cli.Fatal(logger, "opening input", err)
 		}
 		defer f.Close()
 		// Without an explicit vertex count, assume the compact format
@@ -81,7 +91,7 @@ func main() {
 		}
 		edges, err = graph.NewReader(f, format).ReadAll()
 		if err != nil {
-			log.Fatal(err)
+			cli.Fatal(logger, "reading edge list", err)
 		}
 		if n == 0 {
 			n = chaos.NumVertices(edges)
@@ -104,9 +114,39 @@ func main() {
 		Engine:          eng,
 	}
 
-	rep, err := chaos.RunByName(alg, edges, n, opt)
+	// Convert to the algorithm's edge view explicitly (instead of
+	// through RunByName) so the run can go through RunPreparedContext,
+	// the entry point that observes a context-attached flight recorder.
+	view, err := chaos.ViewFor(alg)
 	if err != nil {
-		log.Fatal(err)
+		cli.Fatal(logger, "resolving edge view", err)
+	}
+	ctx := context.Background()
+	var rec *chaos.TraceRecorder
+	if *traceOut != "" {
+		rec = chaos.NewTraceRecorder(*traceSpans)
+		ctx = chaos.WithTrace(ctx, rec.Record)
+	}
+	_, rep, err := chaos.RunPreparedContext(ctx, alg, view.Apply(edges), n, opt)
+	if err != nil {
+		cli.Fatal(logger, "running algorithm", err)
+	}
+	if rec != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			cli.Fatal(logger, "creating trace file", err)
+		}
+		if err := rec.WriteChromeTrace(f); err != nil {
+			cli.Fatal(logger, "writing trace", err)
+		}
+		if err := f.Close(); err != nil {
+			cli.Fatal(logger, "closing trace file", err)
+		}
+		spans, dropped := rec.Spans()
+		logger.Info("trace written", "path", *traceOut, "spans", len(spans), "dropped", dropped)
+		if dropped > 0 {
+			logger.Warn("trace ring overflowed; raise -trace-spans for a complete timeline", "dropped", dropped)
+		}
 	}
 
 	fmt.Printf("algorithm          %s\n", rep.Algorithm)

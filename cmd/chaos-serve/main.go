@@ -14,12 +14,17 @@
 //
 // Operability: GET /v1/jobs/{id} shows live iteration-boundary progress
 // of a running job, GET /v1/jobs/{id}/events streams transitions and
-// progress ticks as Server-Sent Events, and GET /metrics serves the
-// service counters in Prometheus text exposition format. The queue is
-// bounded by -max-queue: overflow answers 429 with Retry-After. The
-// host compute budget (-compute-budget, default GOMAXPROCS) is divided
-// across concurrently running simulations so N jobs do not oversubscribe
-// the machine N×.
+// progress ticks as Server-Sent Events, GET /v1/jobs/{id}/trace serves
+// the flight-recorder timeline of an executed run, and GET /metrics
+// serves the service counters plus latency histograms in Prometheus
+// text exposition format. Every request is logged as one structured
+// line (log/slog) with a request id, method, path, matched route,
+// status and duration. -debug-addr starts a second, operator-only
+// listener with net/http/pprof (keep it off the public address). The
+// queue is bounded by -max-queue: overflow answers 429 with
+// Retry-After. The host compute budget (-compute-budget, default
+// GOMAXPROCS) is divided across concurrently running simulations so N
+// jobs do not oversubscribe the machine N×.
 //
 // With -data-dir, graph registrations, job history and memoized results
 // survive restarts: state is journaled to a write-ahead log with
@@ -38,20 +43,20 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"chaos"
+	"chaos/internal/cli"
 	"chaos/internal/service"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("chaos-serve: ")
+	logger := cli.NewLogger("chaos-serve")
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
 		workers  = flag.Int("workers", 4, "concurrently running simulations")
@@ -70,12 +75,16 @@ func main() {
 		maxUploadMB = flag.Int("max-upload-mb", 64, "POST /v1/graphs body cap in MiB")
 		engine      = flag.String("engine", "sim",
 			"default execution engine for jobs that set none: sim (discrete-event simulation, virtual time) or native (host-speed goroutine plane)")
+		debugAddr = flag.String("debug-addr", "",
+			"operator-only listener with net/http/pprof under /debug/pprof/ (empty = off; never expose publicly)")
+		traceSpans = flag.Int("trace-spans", 8192,
+			"per-job flight-recorder capacity in spans for GET /v1/jobs/{id}/trace; the oldest are dropped past it")
 	)
 	flag.Parse()
 
 	defaultEngine, err := chaos.ParseEngine(*engine)
 	if err != nil {
-		log.Fatal(err)
+		cli.Fatal(logger, "parsing engine", err)
 	}
 	svc, err := service.Open(service.Config{
 		Workers: *workers,
@@ -90,14 +99,35 @@ func main() {
 		DataDir:             *dataDir,
 		SnapshotEvery:       *snapshotEvery,
 		ResultStoreMaxBytes: int64(*resultCacheMB) << 20,
+		Logger:              logger,
+		TraceSpanCap:        *traceSpans,
 	})
 	if err != nil {
-		log.Fatal(err)
+		cli.Fatal(logger, "opening service", err)
 	}
 	if *dataDir != "" {
 		st := svc.Stats()
-		log.Printf("durable state in %s: recovered %d graphs, %d jobs (queue depth %d)",
-			*dataDir, st.Graphs, sum(st.Jobs), st.QueueDepth)
+		logger.Info("durable state recovered",
+			"dataDir", *dataDir, "graphs", st.Graphs, "jobs", sum(st.Jobs), "queueDepth", st.QueueDepth)
+	}
+
+	if *debugAddr != "" {
+		// pprof on its own mux and listener: registering the handlers
+		// explicitly (instead of the package's DefaultServeMux side
+		// effect) keeps them off the public API address entirely.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logger.Info("debug listener up", "addr", *debugAddr)
+			dsrv := &http.Server{Addr: *debugAddr, Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
+			if err := dsrv.ListenAndServe(); err != nil {
+				logger.Error("debug listener failed", "err", err)
+			}
+		}()
 	}
 
 	srv := &http.Server{
@@ -111,7 +141,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s (%d workers)", *addr, *workers)
+		logger.Info("listening", "addr", *addr, "workers", *workers)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -120,22 +150,22 @@ func main() {
 	select {
 	case err := <-errc:
 		svc.Close() // keep the journal consistent even on listen failure
-		log.Fatal(err)
+		cli.Fatal(logger, "serving", err)
 	case sig := <-sigc:
-		log.Printf("caught %v, draining", sig)
+		logger.Info("draining", "signal", sig.String())
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), time.Duration(*drainSec)*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("http shutdown: %v", err)
+		logger.Error("http shutdown", "err", err)
 	}
 	// Shutdown drains the pool and, with -data-dir, writes the final
 	// compacting snapshot before closing the journal.
 	if err := svc.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("drain: %v", err)
+		logger.Error("drain", "err", err)
 	}
-	log.Print("bye")
+	logger.Info("bye")
 }
 
 func sum(m map[string]int) int {

@@ -1,0 +1,24 @@
+// Package cli holds the front-end conventions every chaos binary
+// shares: one structured (log/slog) text logger to stderr, tagged with
+// the program name so interleaved output in scripts and CI stays
+// attributable. Result output (reports, tables, generated data) still
+// goes to stdout untouched — only diagnostics flow through the logger.
+package cli
+
+import (
+	"log/slog"
+	"os"
+)
+
+// NewLogger returns the standard front-end logger: text lines on
+// stderr carrying the program name.
+func NewLogger(program string) *slog.Logger {
+	return slog.New(slog.NewTextHandler(os.Stderr, nil)).With(slog.String("program", program))
+}
+
+// Fatal logs msg with the error and exits non-zero — the slog
+// counterpart of log.Fatal for the binaries' unrecoverable paths.
+func Fatal(l *slog.Logger, msg string, err error) {
+	l.Error(msg, slog.Any("err", err))
+	os.Exit(1)
+}

@@ -59,6 +59,13 @@ type machine[V, U, A any] struct {
 	// Central-directory continuations by request tag.
 	dirTag     uint64
 	dirPending map[uint64]func(dirResp)
+
+	// Flight-recorder tallies (trace.go): monotone counters snapshotted
+	// by markSpan so emitSpan reports per-span deltas. Plain Go state,
+	// never simulation state.
+	trChunks                 int
+	trBytesIn, trBytesOut    int64
+	trStealsAcc, trStealsRej int
 }
 
 func newMachine[V, U, A any](eng *engine[V, U, A], id int) *machine[V, U, A] {
@@ -239,6 +246,7 @@ func (m *machine[V, U, A]) resetEdgeCursors() {
 
 func (m *machine[V, U, A]) preprocess(p *sim.Proc) {
 	eng := m.eng
+	mk := m.markSpan(p)
 	myEdges := eng.inputEdges[m.id]
 	edgeSize := eng.edgeFmt.EdgeSize()
 	perChunk := eng.cfg.ChunkBytes / edgeSize
@@ -258,6 +266,8 @@ func (m *machine[V, U, A]) preprocess(p *sim.Proc) {
 		batch := myEdges[i:hi]
 		dev.Use(p, int64(len(batch)*edgeSize)) // read the raw input
 		eng.run.BytesRead += int64(len(batch) * edgeSize)
+		m.trBytesIn += int64(len(batch) * edgeSize)
+		m.trChunks++
 		m.cpu(p, len(batch))
 		for _, e := range batch {
 			part := eng.layout.Of(e.Src)
@@ -326,6 +336,7 @@ func (m *machine[V, U, A]) preprocess(p *sim.Proc) {
 		m.writeVertices(part, verts, false)
 	}
 	m.drainWrites(p)
+	m.emitSpan(p, mk, -1, -1, drive.PhasePreprocess, false)
 	eng.barrier.Wait(p)
 	if m.id == 0 {
 		eng.run.Preprocess = p.Now()
@@ -341,6 +352,7 @@ func (m *machine[V, U, A]) preprocess(p *sim.Proc) {
 func (m *machine[V, U, A]) writeDataChunk(kind storage.SetKind, part int, data []byte) {
 	eng := m.eng
 	m.pendingWrites++
+	m.trBytesOut += int64(len(data))
 	if eng.dir != nil {
 		m.dirRequest(dirPlace, kind, part, func(r dirResp) {
 			m.send(r.machine, int64(len(data))+controlMsgBytes, eng.storeIn[r.machine],
@@ -484,6 +496,7 @@ func (m *machine[V, U, A]) loadVertices(p *sim.Proc, part int) []V {
 			panic(fmt.Sprintf("core: machine %d: got %T while loading vertices of partition %d", m.id, msg, part))
 		}
 		codec.DecodeSliceInto(verts[r.idx*per:], r.data)
+		m.trBytesIn += int64(len(r.data))
 		done++
 	}
 	return verts
@@ -508,6 +521,7 @@ func (m *machine[V, U, A]) writeVertices(part int, verts []V, checkpoint bool) {
 			hi = len(verts)
 		}
 		data := codec.EncodeSlice(verts[lo:hi])
+		m.trBytesOut += int64(len(data))
 		home := storage.VertexChunkHome(part, idx, eng.layout.NumMachines)
 		m.pendingWrites++
 		m.send(home, int64(len(data))+controlMsgBytes, eng.storeIn[home],
@@ -570,8 +584,10 @@ func (m *machine[V, U, A]) scatterRun(p *sim.Proc, iter int) {
 	for _, part := range eng.layout.PartitionsOf(m.id) {
 		m.workers[part]++
 		t0 := p.Now()
+		mk := m.markSpan(p)
 		verts := m.loadVertices(p, part)
 		m.scatterPartition(p, iter, part, verts)
+		m.emitSpan(p, mk, iter, part, drive.PhaseScatter, false)
 		m.stats.Add(metrics.GPMasterMe, p.Now()-t0)
 	}
 	m.stealSweep(p, scatterPhase, iter)
@@ -594,6 +610,8 @@ func (m *machine[V, U, A]) scatterPartition(p *sim.Proc, iter, part int, verts [
 	eng := m.eng
 	w := m.acquireScatterStream(iter, part, verts)
 	m.streamChunks(p, storage.EdgeSet, part, func(r chunkReply) {
+		m.trChunks++
+		m.trBytesIn += int64(r.length)
 		sc := w.at(r.from, r.idx)
 		if sc == nil {
 			// Inline mode (and, defensively, any chunk predating the
@@ -745,11 +763,15 @@ func (m *machine[V, U, A]) gatherRun(p *sim.Proc, iter int) {
 	for _, part := range eng.layout.PartitionsOf(m.id) {
 		m.workers[part]++
 		t0 := p.Now()
+		mk := m.markSpan(p)
 		verts := m.loadVertices(p, part)
 		accums := m.newAccums(len(verts))
 		m.gatherPartition(p, part, verts, accums)
+		m.emitSpan(p, mk, iter, part, drive.PhaseGather, false)
 		m.stats.Add(metrics.GPMasterMe, p.Now()-t0)
+		mk = m.markSpan(p)
 		m.applyPartition(p, iter, part, verts, accums)
+		m.emitSpan(p, mk, iter, part, drive.PhaseApply, false)
 	}
 	m.stealSweep(p, gatherPhase, iter)
 	m.drainWrites(p)
@@ -780,6 +802,8 @@ func (m *machine[V, U, A]) gatherPartition(p *sim.Proc, part int, verts []V, acc
 	w := eng.acquireGatherStream(part)
 	var tail *chunkTask
 	m.streamChunks(p, storage.UpdateSet, part, func(r chunkReply) {
+		m.trChunks++
+		m.trBytesIn += int64(r.length)
 		m.cpu(p, r.length/eng.updBytes)
 		gc := w.at(r.from, r.idx)
 		if gc == nil {
@@ -872,6 +896,8 @@ func (m *machine[V, U, A]) stealSweep(p *sim.Proc, ph phase, iter int) {
 			others = append(others, part)
 		}
 	}
+	mk := m.markSpan(p)
+	defer m.emitSpan(p, mk, iter, -1, drive.PhaseSteal, false)
 	for {
 		helped := false
 		rng := eng.env.Rand()
@@ -884,7 +910,7 @@ func (m *machine[V, U, A]) stealSweep(p *sim.Proc, ph phase, iter int) {
 			if ph == scatterPhase {
 				m.scatterSteal(p, iter, part)
 			} else {
-				m.gatherSteal(p, part)
+				m.gatherSteal(p, iter, part)
 			}
 		}
 		if !helped {
@@ -903,19 +929,26 @@ func (m *machine[V, U, A]) propose(p *sim.Proc, ph phase, part int) bool {
 		r, ok := msg.(stealResp)
 		return ok && r.part == part
 	})
-	return msg.(stealResp).accepted
+	if msg.(stealResp).accepted {
+		m.trStealsAcc++
+		return true
+	}
+	m.trStealsRej++
+	return false
 }
 
 // scatterSteal processes part of another machine's partition during
 // scatter: read the vertex set (the cost of stealing), then stream and
 // scatter edges exactly as the master does.
 func (m *machine[V, U, A]) scatterSteal(p *sim.Proc, iter, part int) {
+	mk := m.markSpan(p)
 	t0 := p.Now()
 	verts := m.loadVertices(p, part)
 	m.stats.Add(metrics.Copy, p.Now()-t0)
 	t0 = p.Now()
 	m.scatterPartition(p, iter, part, verts)
 	m.stats.Add(metrics.GPMasterOther, p.Now()-t0)
+	m.emitSpan(p, mk, iter, part, drive.PhaseScatter, true)
 }
 
 // gatherSteal processes part of another machine's partition during gather,
@@ -923,8 +956,9 @@ func (m *machine[V, U, A]) scatterSteal(p *sim.Proc, iter, part int) {
 // finished its own part (§5.3). Per the paper, the stealer waits for the
 // master's request before doing anything else; the wait is very short
 // because everyone drains the same chunk pool.
-func (m *machine[V, U, A]) gatherSteal(p *sim.Proc, part int) {
+func (m *machine[V, U, A]) gatherSteal(p *sim.Proc, iter, part int) {
 	eng := m.eng
+	mk := m.markSpan(p)
 	t0 := p.Now()
 	verts := m.loadVertices(p, part)
 	m.stats.Add(metrics.Copy, p.Now()-t0)
@@ -932,6 +966,7 @@ func (m *machine[V, U, A]) gatherSteal(p *sim.Proc, part int) {
 	accums := m.newAccums(len(verts))
 	m.gatherPartition(p, part, verts, accums)
 	m.stats.Add(metrics.GPMasterOther, p.Now()-t0)
+	m.emitSpan(p, mk, iter, part, drive.PhaseGather, true)
 
 	t0 = p.Now()
 	if m.requestedAccums[part] {

@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"chaos/internal/cluster"
+	"chaos/internal/core/drive"
 	"chaos/internal/sim"
 	"chaos/internal/storage"
 )
@@ -100,6 +101,17 @@ type Config struct {
 	// goroutine: a slow callback stalls host wall-clock, never
 	// simulated time.
 	Progress func(Progress)
+	// Trace, when non-nil, receives one drive.Span per unit of
+	// per-machine work (preprocess, scatter/gather/apply per partition,
+	// steal sweeps) the moment the engine settles it. Like Progress the
+	// hook is observational-only: it is handed already-settled tallies
+	// and cannot reach the run's RNG, clock or mailboxes, so attaching
+	// a recorder leaves results, reports and the virtual clock
+	// bit-identical (TestTraceDoesNotPerturbRun). Under this driver the
+	// callback always runs on the simulation goroutine; the native
+	// driver invokes it concurrently from machine goroutines, so shared
+	// recorders must be safe for concurrent use (obs.Ring is).
+	Trace drive.TraceFn
 }
 
 // Progress is the point-in-time counter snapshot handed to

@@ -193,8 +193,8 @@ func (r *run[V, U, A]) execute(edges []graph.Edge) (interrupted bool, err error)
 	r.rmet.Preprocess = r.elapsed()
 
 	for iter := 0; ; {
-		r.runPhase(func(p int) { r.scatterPartition(iter, p) }, scatterPhase)
-		r.runPhase(func(p int) { r.gatherPartition(iter, p) }, gatherPhase)
+		r.runPhase(iter, func(m, p int, stolen bool) { r.scatterPartition(iter, m, p, stolen) }, scatterPhase)
+		r.runPhase(iter, func(m, p int, stolen bool) { r.gatherPartition(iter, m, p, stolen) }, gatherPhase)
 
 		// Decision point (machine 0's role under the DES driver).
 		changed := r.changed.Swap(0)
@@ -260,8 +260,9 @@ func (r *run[V, U, A]) checkpointDue(iter int) bool {
 // work nobody stole, so every partition is processed even when the
 // criterion rejects stealing it), then sweep the rest in seeded-random
 // order, stealing any still-unclaimed partition the §5.4 criterion
-// accepts.
-func (r *run[V, U, A]) runPhase(process func(p int), ph phaseKind) {
+// accepts. process is handed the claiming machine and whether the claim
+// was a steal, so the flight recorder can attribute the span.
+func (r *run[V, U, A]) runPhase(iter int, process func(m, p int, stolen bool), ph phaseKind) {
 	for i := range r.claimed {
 		r.claimed[i].Store(false)
 	}
@@ -285,7 +286,7 @@ func (r *run[V, U, A]) runPhase(process func(p int), ph phaseKind) {
 			// Own partitions first, in order.
 			for _, p := range r.layout.PartitionsOf(m) {
 				if r.claimed[p].CompareAndSwap(false, true) {
-					process(p)
+					process(m, p, false)
 				}
 			}
 			if !stealing {
@@ -293,6 +294,8 @@ func (r *run[V, U, A]) runPhase(process func(p int), ph phaseKind) {
 			}
 			// Steal sweep over everyone else's partitions, in this
 			// machine's seeded-random order (§5.3).
+			sweepT0 := r.elapsed()
+			var acc, rej int
 			rng := r.rngs[m]
 			others := make([]int, 0, r.layout.NumPartitions)
 			for p := 0; p < r.layout.NumPartitions; p++ {
@@ -307,12 +310,21 @@ func (r *run[V, U, A]) runPhase(process func(p int), ph phaseKind) {
 				}
 				if !drive.StealCriterion(r.vertexSetBytes(p), rem[p], 1, r.cfg.Alpha) {
 					r.stealsRej.Add(1)
+					rej++
 					continue
 				}
 				if r.claimed[p].CompareAndSwap(false, true) {
 					r.stealsAcc.Add(1)
-					process(p)
+					acc++
+					process(m, p, true)
 				}
+			}
+			if r.cfg.Trace != nil {
+				r.cfg.Trace(drive.Span{
+					Iter: iter, Machine: m, Part: -1, Phase: drive.PhaseSteal,
+					Start: int64(sweepT0), Dur: int64(r.elapsed() - sweepT0),
+					StealsAccepted: acc, StealsRejected: rej,
+				})
 			}
 		}(m)
 	}

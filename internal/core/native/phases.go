@@ -33,6 +33,7 @@ func (r *run[V, U, A]) preprocess(edges []graph.Edge) {
 	for m := 0; m < r.nm; m++ {
 		go func(m int) {
 			defer wg.Done()
+			t0 := r.elapsed()
 			b := &bins[m]
 			b.chunks = make([][][]byte, np)
 			if needDeg {
@@ -64,6 +65,20 @@ func (r *run[V, U, A]) preprocess(edges []graph.Edge) {
 				if len(buf) > 0 {
 					b.chunks[p] = append(b.chunks[p], buf)
 				}
+			}
+			if r.cfg.Trace != nil {
+				var nchunks int
+				var binnedBytes int64
+				for _, chunks := range b.chunks {
+					nchunks += len(chunks)
+					binnedBytes += storedBytes(chunks)
+				}
+				r.cfg.Trace(drive.Span{
+					Iter: -1, Machine: m, Part: -1, Phase: drive.PhasePreprocess,
+					Start: int64(t0), Dur: int64(r.elapsed() - t0),
+					Chunks:  nchunks,
+					BytesIn: int64(len(perMachine[m]) * edgeSize), BytesOut: binnedBytes,
+				})
 			}
 		}(m)
 	}
@@ -149,16 +164,20 @@ func (r *run[V, U, A]) loadVertices(p int) []V {
 }
 
 // storeVertices encodes a partition's vertex set into fixed-position
-// chunks, optionally staging a checkpoint shadow copy (phase 1 of §6.6).
-func (r *run[V, U, A]) storeVertices(p int, verts []V, checkpoint bool) {
+// chunks, optionally staging a checkpoint shadow copy (phase 1 of
+// §6.6). It returns the encoded bytes (checkpoint copy excluded) for
+// the flight recorder's apply-span tally.
+func (r *run[V, U, A]) storeVertices(p int, verts []V, checkpoint bool) int64 {
 	per := r.verticesPerChunk()
 	n := (len(verts) + per - 1) / per
 	chunks := make([][]byte, 0, n)
+	var encoded int64
 	for idx := 0; idx < n; idx++ {
 		lo := idx * per
 		hi := min(lo+per, len(verts))
 		data := r.kern.VCodec.EncodeSlice(verts[lo:hi])
 		chunks = append(chunks, data)
+		encoded += int64(len(data))
 		r.bytesWritten.Add(int64(len(data)))
 		if checkpoint {
 			r.bytesWritten.Add(int64(len(data)))
@@ -171,6 +190,17 @@ func (r *run[V, U, A]) storeVertices(p int, verts []V, checkpoint bool) {
 		// replaces, never mutates), so the shadow copy shares them.
 		r.ckptPending[p] = chunks
 	}
+	return encoded
+}
+
+// storedBytes sums a chunk list's encoded lengths (flight-recorder
+// tallies).
+func storedBytes(chunks [][]byte) int64 {
+	var n int64
+	for _, c := range chunks {
+		n += int64(len(c))
+	}
+	return n
 }
 
 // ---------------------------------------------------------------------------
@@ -179,8 +209,11 @@ func (r *run[V, U, A]) storeVertices(p int, verts []V, checkpoint bool) {
 // result — in the deterministic chunk order — into per-destination spill
 // buffers that land in the update buckets.
 
-func (r *run[V, U, A]) scatterPartition(iter, p int) {
+func (r *run[V, U, A]) scatterPartition(iter, mach, p int, stolen bool) {
 	kern := r.kern
+	t0 := r.elapsed()
+	bytesIn := storedBytes(r.verts[p]) // the vertex set about to be loaded
+	var bytesOut int64
 	verts := r.loadVertices(p)
 	chunks := r.edges[p]
 
@@ -199,6 +232,7 @@ func (r *run[V, U, A]) scatterPartition(iter, p int) {
 		tasks[i] = sc
 		r.pool.Submit(&sc.Task)
 		r.bytesRead.Add(int64(len(data)))
+		bytesIn += int64(len(data))
 	}
 
 	np := r.layout.NumPartitions
@@ -217,6 +251,7 @@ func (r *run[V, U, A]) scatterPartition(iter, p int) {
 		sc.Wait()
 		out := &sc.out
 		if kern.Rewriter != nil && len(out.EdgesNext) > 0 {
+			bytesOut += int64(len(out.EdgesNext))
 			nextTail = r.appendSpill(&r.edgesNext[p], nextTail, out.EdgesNext, edgeLimit)
 		}
 		if kern.Combiner != nil {
@@ -237,7 +272,7 @@ func (r *run[V, U, A]) scatterPartition(iter, p int) {
 					}
 				}
 				if len(mp) >= combinedPer {
-					r.flushCombined(p, tp, mp)
+					bytesOut += r.flushCombined(p, tp, mp)
 				}
 			}
 		}
@@ -245,6 +280,7 @@ func (r *run[V, U, A]) scatterPartition(iter, p int) {
 			if len(b) == 0 {
 				continue
 			}
+			bytesOut += int64(len(b))
 			tails[tp] = r.appendSpill(&r.upd[p][tp], tails[tp], b, updLimit)
 		}
 		kern.ReleaseScatterOut(out)
@@ -259,12 +295,19 @@ func (r *run[V, U, A]) scatterPartition(iter, p int) {
 	if kern.Combiner != nil {
 		for tp, mp := range combined {
 			if len(mp) > 0 {
-				r.flushCombined(p, tp, mp)
+				bytesOut += r.flushCombined(p, tp, mp)
 			}
 		}
 	}
 	if len(nextTail) > 0 {
 		r.putEdgeNextChunk(p, nextTail)
+	}
+	if r.cfg.Trace != nil {
+		r.cfg.Trace(drive.Span{
+			Iter: iter, Machine: mach, Part: p, Phase: drive.PhaseScatter, Stolen: stolen,
+			Start: int64(t0), Dur: int64(r.elapsed() - t0),
+			Chunks: len(chunks), BytesIn: bytesIn, BytesOut: bytesOut,
+		})
 	}
 }
 
@@ -297,12 +340,13 @@ func (r *run[V, U, A]) putEdgeNextChunk(p int, data []byte) {
 }
 
 // flushCombined encodes and spills one destination partition's combined
-// update buffer. Keys are sorted so the encoded byte order — and with it
-// downstream gather order and any float folds — is deterministic
-// (identical discipline to the DES driver).
-func (r *run[V, U, A]) flushCombined(src, dst int, mp map[graph.VertexID]U) {
+// update buffer, returning the encoded bytes. Keys are sorted so the
+// encoded byte order — and with it downstream gather order and any
+// float folds — is deterministic (identical discipline to the DES
+// driver).
+func (r *run[V, U, A]) flushCombined(src, dst int, mp map[graph.VertexID]U) int64 {
 	if len(mp) == 0 {
-		return
+		return 0
 	}
 	dsts := make([]graph.VertexID, 0, len(mp))
 	for d := range mp {
@@ -316,6 +360,7 @@ func (r *run[V, U, A]) flushCombined(src, dst int, mp map[graph.VertexID]U) {
 	}
 	clear(mp)
 	r.putUpdateChunk(src, dst, buf)
+	return int64(len(buf))
 }
 
 // ---------------------------------------------------------------------------
@@ -324,8 +369,11 @@ func (r *run[V, U, A]) flushCombined(src, dst int, mp map[graph.VertexID]U) {
 // order — decode them on the compute pool, fold into accumulators, then
 // apply and write the vertex set back.
 
-func (r *run[V, U, A]) gatherPartition(iter, p int) {
+func (r *run[V, U, A]) gatherPartition(iter, mach, p int, stolen bool) {
 	kern := r.kern
+	t0 := r.elapsed()
+	bytesIn := storedBytes(r.verts[p]) // the vertex set about to be loaded
+	var nchunks int
 	verts := r.loadVertices(p)
 	accums := make([]A, len(verts))
 	for i := range accums {
@@ -351,6 +399,8 @@ func (r *run[V, U, A]) gatherPartition(iter, p int) {
 			gc.Fn = func() { gc.recs = kern.DecodeUpdateChunk(kern.GrabRecs(), data) }
 			r.pool.Submit(&gc.Task)
 			r.bytesRead.Add(int64(len(data)))
+			nchunks++
+			bytesIn += int64(len(data))
 			ft := &drive.Task{Prev: tail, Fn: func() {
 				gc.Wait() // decode complete
 				for i := range gc.recs {
@@ -367,6 +417,14 @@ func (r *run[V, U, A]) gatherPartition(iter, p int) {
 	if tail != nil {
 		tail.Wait()
 	}
+	if r.cfg.Trace != nil {
+		r.cfg.Trace(drive.Span{
+			Iter: iter, Machine: mach, Part: p, Phase: drive.PhaseGather, Stolen: stolen,
+			Start: int64(t0), Dur: int64(r.elapsed() - t0),
+			Chunks: nchunks, BytesIn: bytesIn,
+		})
+	}
+	applyT0 := r.elapsed()
 
 	// Apply (serialized across partitions; see applyMu).
 	r.applyMu.Lock()
@@ -379,7 +437,14 @@ func (r *run[V, U, A]) gatherPartition(iter, p int) {
 	r.applyMu.Unlock()
 	r.changed.Add(changed)
 
-	r.storeVertices(p, verts, r.checkpointDue(iter))
+	stored := r.storeVertices(p, verts, r.checkpointDue(iter))
+	if r.cfg.Trace != nil {
+		r.cfg.Trace(drive.Span{
+			Iter: iter, Machine: mach, Part: p, Phase: drive.PhaseApply, Stolen: stolen,
+			Start: int64(applyT0), Dur: int64(r.elapsed() - applyT0),
+			BytesOut: stored,
+		})
+	}
 	// Delete the consumed update set (§6.1). This goroutine owns column
 	// p of the buckets for the whole gather phase.
 	for src := range r.upd {

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"chaos/internal/core/drive"
+	"chaos/internal/sim"
+)
+
+// DES side of the flight recorder (drive/trace.go). The machine keeps
+// monotone byte/chunk/steal tallies as plain Go fields — they are not
+// simulation state, consume no virtual time and draw no randomness —
+// and each span is the delta between two tally snapshots bracketing a
+// unit of work. Every emission happens on the simulation goroutine at
+// an instant the surrounding code already reached, so attaching a
+// recorder cannot perturb event order, the virtual clock or results
+// (TestTraceDoesNotPerturbRun).
+
+// spanMark snapshots the tallies and virtual clock at span start.
+type spanMark struct {
+	start                sim.Time
+	chunks               int
+	bytesIn, bytesOut    int64
+	stealsAcc, stealsRej int
+}
+
+func (m *machine[V, U, A]) traceOn() bool { return m.eng.cfg.Trace != nil }
+
+// markSpan opens a span: the matching emitSpan reports deltas from here.
+func (m *machine[V, U, A]) markSpan(p *sim.Proc) spanMark {
+	if !m.traceOn() {
+		return spanMark{}
+	}
+	return spanMark{
+		start:     p.Now(),
+		chunks:    m.trChunks,
+		bytesIn:   m.trBytesIn,
+		bytesOut:  m.trBytesOut,
+		stealsAcc: m.trStealsAcc,
+		stealsRej: m.trStealsRej,
+	}
+}
+
+// emitSpan closes a span opened by markSpan and hands it to the hook.
+func (m *machine[V, U, A]) emitSpan(p *sim.Proc, mk spanMark, iter, part int, phase string, stolen bool) {
+	if !m.traceOn() {
+		return
+	}
+	m.eng.cfg.Trace(drive.Span{
+		Iter:           iter,
+		Machine:        m.id,
+		Part:           part,
+		Phase:          phase,
+		Stolen:         stolen,
+		Start:          int64(mk.start),
+		Dur:            int64(p.Now() - mk.start),
+		Chunks:         m.trChunks - mk.chunks,
+		BytesIn:        m.trBytesIn - mk.bytesIn,
+		BytesOut:       m.trBytesOut - mk.bytesOut,
+		StealsAccepted: m.trStealsAcc - mk.stealsAcc,
+		StealsRejected: m.trStealsRej - mk.stealsRej,
+	})
+}

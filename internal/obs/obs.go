@@ -1,0 +1,148 @@
+// Package obs is the flight-recorder collection side: a bounded,
+// drop-oldest ring of drive.Span records and export views over it
+// (JSON timeline, Chrome trace_event). The ring is the standard trace
+// sink for both drivers — the DES driver feeds it from the simulation
+// goroutine, the native driver concurrently from every machine
+// goroutine — so Record is mutex-protected and never blocks beyond the
+// copy of one span: when the ring is full the oldest span is dropped
+// and a counter advanced, keeping a slow or absent consumer from ever
+// stalling the hot path.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"chaos/internal/core/drive"
+)
+
+// Ring is a fixed-capacity span buffer with drop-oldest overflow.
+type Ring struct {
+	mu      sync.Mutex
+	spans   []drive.Span // circular storage, len == cap
+	head    int          // index of the oldest span
+	size    int          // live spans, ≤ len(spans)
+	dropped uint64       // spans overwritten since creation
+}
+
+// NewRing returns a ring holding at most capacity spans; a
+// non-positive capacity is bumped to 1 so Record always has a slot.
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{spans: make([]drive.Span, capacity)}
+}
+
+// Record appends s, evicting the oldest span when full. Safe for
+// concurrent use; the critical section is one span copy.
+func (r *Ring) Record(s drive.Span) {
+	r.mu.Lock()
+	if r.size == len(r.spans) {
+		r.spans[r.head] = s
+		r.head = (r.head + 1) % len(r.spans)
+		r.dropped++
+	} else {
+		r.spans[(r.head+r.size)%len(r.spans)] = s
+		r.size++
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained spans oldest-first plus the number
+// dropped to overflow. The slice is a copy; the ring keeps recording.
+func (r *Ring) Snapshot() ([]drive.Span, uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]drive.Span, r.size)
+	for i := 0; i < r.size; i++ {
+		out[i] = r.spans[(r.head+i)%len(r.spans)]
+	}
+	return out, r.dropped
+}
+
+// Dropped returns the overflow count alone.
+func (r *Ring) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// chromeEvent is one trace_event record in the Chrome/Perfetto JSON
+// format (ph "X" = complete event with ts+dur, "M" = metadata). ts and
+// dur are microseconds by spec.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Cat  string         `json:"cat,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace emits spans as a Chrome trace_event JSON object
+// ({"traceEvents": [...]}) loadable in about:tracing or Perfetto. Each
+// machine becomes a thread (tid) under pid 0, named via "M" metadata
+// events; each span a complete ("X") event whose args carry the
+// iteration, partition and byte/chunk/steal tallies.
+func WriteChromeTrace(w io.Writer, spans []drive.Span) error {
+	machines := map[int]bool{}
+	for _, s := range spans {
+		machines[s.Machine] = true
+	}
+	events := make([]chromeEvent, 0, len(spans)+len(machines))
+	for m := range machines {
+		events = append(events, chromeEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			Pid:  0,
+			Tid:  m,
+			Args: map[string]any{"name": fmt.Sprintf("machine %d", m)},
+		})
+	}
+	for _, s := range spans {
+		name := s.Phase
+		if s.Part >= 0 {
+			name = fmt.Sprintf("%s p%d", s.Phase, s.Part)
+		}
+		if s.Stolen {
+			name += " (stolen)"
+		}
+		args := map[string]any{"iter": s.Iter}
+		if s.Part >= 0 {
+			args["part"] = s.Part
+		}
+		if s.Chunks != 0 {
+			args["chunks"] = s.Chunks
+		}
+		if s.BytesIn != 0 {
+			args["bytesIn"] = s.BytesIn
+		}
+		if s.BytesOut != 0 {
+			args["bytesOut"] = s.BytesOut
+		}
+		if s.Stolen {
+			args["stolen"] = true
+		}
+		if s.Phase == drive.PhaseSteal {
+			args["stealsAccepted"] = s.StealsAccepted
+			args["stealsRejected"] = s.StealsRejected
+		}
+		events = append(events, chromeEvent{
+			Name: name,
+			Ph:   "X",
+			Ts:   float64(s.Start) / 1e3,
+			Dur:  float64(s.Dur) / 1e3,
+			Pid:  0,
+			Tid:  s.Machine,
+			Cat:  s.Phase,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": events})
+}

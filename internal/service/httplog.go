@@ -1,0 +1,88 @@
+package service
+
+import (
+	"log/slog"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// statusWriter captures the status code and body size a handler
+// produced, so the logging/metrics layer can report them after the
+// fact. It must keep streaming working: handleJobEvents type-asserts
+// http.Flusher on the writer it receives, so Flush exists
+// unconditionally and forwards when the underlying writer streams.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK // implicit WriteHeader on first Write
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK // handler wrote nothing at all
+	}
+	return w.code
+}
+
+// reqID numbers requests process-wide so log lines from one request
+// correlate (and interleaved concurrent requests stay tellable apart).
+var reqID atomic.Uint64
+
+// instrument wraps the API mux with the observability layer: every
+// request is timed into the per-route duration histogram, and — when
+// the service has a logger — logged as one structured line after it
+// completes. Metrics always run; logging is opt-in via Config.Logger
+// so library users and tests stay quiet by default.
+func (s *Service) instrument(next http.Handler) http.Handler {
+	logger := s.cfg.Logger
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := reqID.Add(1)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		// ServeMux stamps the matched pattern onto the request it
+		// dispatched, so the route label is readable here — after the
+		// handler — without re-matching. Empty means nothing matched.
+		route := r.Pattern
+		if route == "" {
+			route = routeUnmatched
+		}
+		s.metrics.observeHTTP(route, elapsed.Seconds())
+		if logger != nil {
+			logger.Info("http_request",
+				slog.Uint64("req", id),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.String("route", route),
+				slog.Int("status", sw.status()),
+				slog.Int64("bytes", sw.bytes),
+				slog.Duration("dur", elapsed),
+				slog.String("remote", r.RemoteAddr),
+			)
+		}
+	})
+}

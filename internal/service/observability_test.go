@@ -1,0 +1,271 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"chaos"
+)
+
+// TestRetryAfterSecondsNeverZero pins the admission-control contract
+// the HTTP layer relies on: Retry-After is never 0 (a zero tells
+// clients to retry immediately, defeating the backoff) and never
+// unbounded.
+func TestRetryAfterSecondsNeverZero(t *testing.T) {
+	cases := []struct {
+		depth, workers, want int
+	}{
+		{0, 4, 1},     // empty backlog still asks for a beat of patience
+		{3, 4, 1},     // sub-worker backlog rounds up to the floor
+		{8, 4, 2},     // coarse backlog-per-worker estimate
+		{1000, 4, 60}, // capped so clients never park for minutes
+		{5, 0, 5},     // worker count defensively floored at 1
+	}
+	for _, c := range cases {
+		e := &QueueFullError{Depth: c.depth, Max: c.depth, Workers: c.workers}
+		got := e.RetryAfterSeconds()
+		if got != c.want {
+			t.Errorf("RetryAfterSeconds(depth=%d, workers=%d) = %d, want %d", c.depth, c.workers, got, c.want)
+		}
+		if got < 1 {
+			t.Errorf("RetryAfterSeconds(depth=%d, workers=%d) = %d < 1", c.depth, c.workers, got)
+		}
+	}
+}
+
+// TestPromLabelEscaping: label values escape exactly the three
+// metacharacters the exposition format defines — backslash, double
+// quote, newline — and pass everything else through verbatim (where %q
+// would have mangled tabs and non-ASCII runes into Go escapes).
+func TestPromLabelEscaping(t *testing.T) {
+	var p promWriter
+	p.sample("m", [][2]string{{"l", "a\"b\\c\nd\te"}}, 1)
+	want := "m{l=\"a\\\"b\\\\c\\nd\te\"} 1\n"
+	if got := p.b.String(); got != want {
+		t.Errorf("escaped sample:\n got %q\nwant %q", got, want)
+	}
+}
+
+// TestHistogramExposition checks the histogram render against the
+// Prometheus histogram contract: cumulative nondecreasing buckets, the
+// +Inf bucket equal to _count, and a faithful _sum.
+func TestHistogramExposition(t *testing.T) {
+	h := newHistogram(latencyBuckets)
+	h.observe(0.003) // le=0.005 bucket
+	h.observe(0.003)
+	h.observe(100) // past every bound: +Inf only
+	var p promWriter
+	p.histogram("x", [][2]string{{"k", "v"}}, h)
+	out := p.b.String()
+
+	get := func(line string) float64 {
+		t.Helper()
+		for _, l := range strings.Split(out, "\n") {
+			if strings.HasPrefix(l, line+" ") {
+				v, err := strconv.ParseFloat(strings.TrimPrefix(l, line+" "), 64)
+				if err != nil {
+					t.Fatalf("parsing %q: %v", l, err)
+				}
+				return v
+			}
+		}
+		t.Fatalf("no sample %q in:\n%s", line, out)
+		return 0
+	}
+	if v := get(`x_bucket{k="v",le="0.005"}`); v != 2 {
+		t.Errorf("le=0.005 bucket = %g, want 2", v)
+	}
+	if v := get(`x_bucket{k="v",le="60"}`); v != 2 {
+		t.Errorf("le=60 bucket = %g, want 2 (the 100s observation is +Inf-only)", v)
+	}
+	if v := get(`x_bucket{k="v",le="+Inf"}`); v != 3 {
+		t.Errorf("+Inf bucket = %g, want 3", v)
+	}
+	if v := get(`x_count{k="v"}`); v != 3 {
+		t.Errorf("_count = %g, want 3", v)
+	}
+	if v := get(`x_sum{k="v"}`); v < 100 || v > 100.1 {
+		t.Errorf("_sum = %g, want ~100.006", v)
+	}
+	// Cumulative buckets never decrease.
+	prev := -1.0
+	for _, l := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(l, "x_bucket{") {
+			continue
+		}
+		v, err := strconv.ParseFloat(l[strings.LastIndex(l, " ")+1:], 64)
+		if err != nil {
+			t.Fatalf("parsing %q: %v", l, err)
+		}
+		if v < prev {
+			t.Fatalf("bucket series decreases at %q:\n%s", l, out)
+		}
+		prev = v
+	}
+}
+
+// TestMetricsHistogramsPreSeededAndFed scrapes /metrics on a fresh
+// service (every route and engine series must exist at zero before any
+// traffic) and again after one sim job (queue-wait and sim wall-time
+// histograms must have counted it; the HTTP histogram must have
+// counted the scrape).
+func TestMetricsHistogramsPreSeededAndFed(t *testing.T) {
+	svc := newTestService(t, 1)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	scrape := func() string {
+		t.Helper()
+		resp, err := client.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return b.String()
+	}
+
+	first := scrape()
+	for _, want := range []string{
+		// One series per registered route, alive from the first scrape.
+		`chaos_http_request_duration_seconds_count{route="POST /v1/jobs"} 0`,
+		`chaos_http_request_duration_seconds_count{route="GET /v1/jobs/{id}/trace"} 0`,
+		`chaos_http_request_duration_seconds_count{route="unmatched"} 0`,
+		`chaos_job_queue_wait_seconds_count 0`,
+		`chaos_job_wall_seconds_count{engine="sim"} 0`,
+		`chaos_job_wall_seconds_count{engine="native"} 0`,
+	} {
+		if !strings.Contains(first, want) {
+			t.Errorf("fresh scrape lacks %q", want)
+		}
+	}
+
+	if code, body := doJSON(t, client, http.MethodPost, ts.URL+"/v1/graphs",
+		GraphSpec{Name: "g", Type: "rmat", Scale: 7, Seed: 42}, nil); code != http.StatusCreated {
+		t.Fatalf("register graph: %d %s", code, body)
+	}
+	var jv JobView
+	if code, body := doJSON(t, client, http.MethodPost, ts.URL+"/v1/jobs",
+		jobRequest{Graph: "g", Algorithm: "PR", Options: jobOptions{}}, &jv); code != http.StatusAccepted {
+		t.Fatalf("submit job: %d %s", code, body)
+	}
+	if done := pollJob(t, client, ts.URL, jv.ID); done.State != JobDone {
+		t.Fatalf("job ended %s: %s", done.State, done.Error)
+	}
+
+	second := scrape()
+	for _, want := range []string{
+		`chaos_job_queue_wait_seconds_count 1`,
+		`chaos_job_wall_seconds_count{engine="sim"} 1`,
+		`chaos_job_wall_seconds_count{engine="native"} 0`,
+	} {
+		if !strings.Contains(second, want) {
+			t.Errorf("post-job scrape lacks %q", want)
+		}
+	}
+	// The first scrape itself was counted by the time of the second.
+	if !strings.Contains(second, `chaos_http_request_duration_seconds_count{route="GET /metrics"} 1`) {
+		t.Errorf("scrape did not count the previous /metrics request:\n%s", second)
+	}
+}
+
+// TestJobTraceEndpoint runs a native job and reads its flight recording
+// back through the API: the JSON timeline carries per-machine scatter
+// and gather spans, the chrome format is valid trace_event JSON, and
+// jobs that never executed (cache hits) answer 404.
+func TestJobTraceEndpoint(t *testing.T) {
+	svc := newTestService(t, 1)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	if code, body := doJSON(t, client, http.MethodPost, ts.URL+"/v1/graphs",
+		GraphSpec{Name: "g", Type: "rmat", Scale: 7, Seed: 42}, nil); code != http.StatusCreated {
+		t.Fatalf("register graph: %d %s", code, body)
+	}
+	// Stealing disabled so span attribution is deterministic: on a
+	// graph this small the first machine scheduled can otherwise steal
+	// every partition before the other goroutine even starts, and the
+	// per-machine assertions below would flake.
+	req := jobRequest{Graph: "g", Algorithm: "PR",
+		Options: jobOptions{Engine: "native", Machines: 2, DisableStealing: true, Seed: 3}}
+	var jv JobView
+	if code, body := doJSON(t, client, http.MethodPost, ts.URL+"/v1/jobs", req, &jv); code != http.StatusAccepted {
+		t.Fatalf("submit job: %d %s", code, body)
+	}
+	if done := pollJob(t, client, ts.URL, jv.ID); done.State != JobDone {
+		t.Fatalf("job ended %s: %s", done.State, done.Error)
+	}
+
+	var tr traceResponse
+	if code, body := doJSON(t, client, http.MethodGet, ts.URL+"/v1/jobs/"+jv.ID+"/trace", nil, &tr); code != http.StatusOK {
+		t.Fatalf("GET trace: %d %s", code, body)
+	}
+	if tr.ID != jv.ID || tr.Engine != chaos.EngineNative || tr.State != JobDone {
+		t.Fatalf("trace header wrong: %+v", tr)
+	}
+	if len(tr.Spans) == 0 {
+		t.Fatal("trace holds no spans")
+	}
+	scatter, gather := map[int]bool{}, map[int]bool{}
+	for _, s := range tr.Spans {
+		switch s.Phase {
+		case chaos.PhaseScatter:
+			scatter[s.Machine] = true
+		case chaos.PhaseGather:
+			gather[s.Machine] = true
+		}
+	}
+	if len(scatter) != 2 || len(gather) != 2 {
+		t.Errorf("scatter spans from %d machines, gather from %d, want 2 each", len(scatter), len(gather))
+	}
+
+	// Chrome format: valid trace_event JSON with at least one event per
+	// retained span.
+	resp, err := client.Get(ts.URL + "/v1/jobs/" + jv.ID + "/trace?format=chrome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("chrome trace: %d", resp.StatusCode)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) < len(tr.Spans) {
+		t.Errorf("chrome trace holds %d events for %d spans", len(doc.TraceEvents), len(tr.Spans))
+	}
+
+	// The identical resubmission is answered from the result cache:
+	// nothing ran, so there is no recording to serve.
+	var hit JobView
+	if code, body := doJSON(t, client, http.MethodPost, ts.URL+"/v1/jobs", req, &hit); code != http.StatusAccepted {
+		t.Fatalf("resubmit: %d %s", code, body)
+	}
+	if !hit.CacheHit {
+		t.Fatalf("resubmission was not a cache hit: %+v", hit)
+	}
+	if code, body := doJSON(t, client, http.MethodGet, ts.URL+"/v1/jobs/"+hit.ID+"/trace", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("cache-hit trace: %d %s, want 404", code, body)
+	}
+	if code, _ := doJSON(t, client, http.MethodGet, ts.URL+"/v1/jobs/j999/trace", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown-job trace: %d, want 404", code)
+	}
+}

@@ -469,7 +469,16 @@ func checkPromText(t *testing.T, text string) {
 		if i := strings.IndexAny(line, "{ "); i >= 0 {
 			name = line[:i]
 		}
-		if !typed[name] {
+		// Histogram samples carry the family name plus a fixed suffix
+		// (x_bucket/x_sum/x_count under "# TYPE x histogram").
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if s, ok := strings.CutSuffix(name, suf); ok && typed[s] {
+				base = s
+				break
+			}
+		}
+		if !typed[base] {
 			t.Errorf("sample %q precedes its TYPE declaration", line)
 		}
 		n++

@@ -71,6 +71,13 @@ type Job struct {
 	// written by the run goroutine at every tick and read by view();
 	// atomic so ticks never contend on the scheduler mutex.
 	progress atomic.Pointer[chaos.Progress]
+	// trace is the flight recorder the executor attached before running
+	// (nil for cache hits and journal-restored jobs — nothing ran, so
+	// nothing was recorded); atomic because the run goroutine stores it
+	// while GET /v1/jobs/{id}/trace loads it. The recorder itself is
+	// safe for concurrent use, so reading it mid-run is fine: the trace
+	// of a running job is simply a prefix.
+	trace atomic.Pointer[chaos.TraceRecorder]
 	// computeShare is this job's slice of the scheduler's shared
 	// compute-worker budget, fixed when the job starts (0 = unmanaged).
 	computeShare int
@@ -78,9 +85,9 @@ type Job struct {
 
 // JobView is an immutable snapshot of a Job, safe to serialize.
 type JobView struct {
-	ID        string   `json:"id"`
-	Graph     string   `json:"graph"`
-	Algorithm string   `json:"algorithm"`
+	ID        string `json:"id"`
+	Graph     string `json:"graph"`
+	Algorithm string `json:"algorithm"`
 	// Engine is the execution plane that runs (or ran) the job: "sim"
 	// or "native". Jobs journaled before the engine option existed
 	// report "sim", the only engine there was.
@@ -215,6 +222,12 @@ type Scheduler struct {
 	// job whose payload did not survive in memory (a job restored from
 	// the journal); it may read the disk result store.
 	hydrate func(graph, algorithm string, opt chaos.Options) (*chaos.Result, *chaos.Report, bool)
+	// onJobStart and onJobDone, when set (before any submission), feed
+	// the /metrics latency histograms: queue wait as a worker dequeues a
+	// job, and wall time by engine when a run completes successfully.
+	// Both are called with s.mu held, so they must stay cheap.
+	onJobStart func(queueWait time.Duration)
+	onJobDone  func(engine string, wall time.Duration)
 }
 
 // noteLocked reports a state transition to the service and to event
@@ -473,6 +486,22 @@ func (s *Scheduler) Peek(id string) (JobView, uint64, bool) {
 	return j.view().stripped(), s.events.lastSeq(), true
 }
 
+// Trace returns a job's flight recorder together with a
+// payload-stripped view. The recorder is nil when the job never ran
+// with one attached: still queued, answered from the result cache, or
+// restored from the journal (spans are process-local and are not
+// persisted). A running job's recorder is live — snapshotting it
+// yields the spans emitted so far.
+func (s *Scheduler) Trace(id string) (*chaos.TraceRecorder, JobView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, JobView{}, false
+	}
+	return j.trace.Load(), j.view().stripped(), true
+}
+
 // JobFilter selects and pages a job listing.
 type JobFilter struct {
 	// State keeps only jobs in this state ("" = all).
@@ -615,6 +644,9 @@ func (s *Scheduler) worker() {
 		}
 		j.state = JobRunning
 		j.startedAt = time.Now().UTC()
+		if s.onJobStart != nil {
+			s.onJobStart(j.startedAt.Sub(j.enqueuedAt))
+		}
 		ctx, cancel := context.WithCancel(context.Background())
 		j.cancel = cancel
 		s.running++
@@ -666,6 +698,11 @@ func (s *Scheduler) worker() {
 				// that produced the blob (already counted when it
 				// completed), not to this process.
 				s.nativeWallSeconds += rep.WallSeconds
+			}
+			if s.onJobDone != nil && !j.answeredFromCache.Load() {
+				// Cache-answered restarts excluded for the same reason
+				// as nativeWallSeconds: nothing ran.
+				s.onJobDone(j.engine(), j.finishedAt.Sub(j.startedAt))
 			}
 		case errors.Is(err, context.Canceled) && j.canceling.Load():
 			j.state = JobCanceled

@@ -24,25 +24,55 @@ import (
 //	                      Report and Result when done
 //	GET    /v1/jobs/{id}/events  SSE stream of state transitions and
 //	                      iteration-boundary progress ticks
+//	GET    /v1/jobs/{id}/trace  flight-recorder span timeline of an
+//	                      executed run (?format=chrome for trace_event
+//	                      JSON loadable in about:tracing / Perfetto)
 //	DELETE /v1/jobs/{id}  cancel a job (running ones stop at the next
 //	                      iteration boundary; poll until "canceled")
 //	GET    /healthz       liveness
 //	GET    /v1/stats      queue depth, cache hit rate, per-algorithm counts
 //	GET    /metrics       Prometheus text exposition of the same counters
+//
+// The handler is wrapped in the observability layer (see instrument):
+// per-route latency histograms always, structured request logs when
+// Config.Logger is set.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/graphs", s.handleRegisterGraph)
-	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
-	mux.HandleFunc("GET /v1/graphs/{id}", s.handleGetGraph)
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
-	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
-	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	for pattern, h := range s.routes() {
+		mux.HandleFunc(pattern, h)
+	}
+	return s.instrument(mux)
+}
+
+// routes is the API surface as one table, so Handler registration and
+// the pre-seeded per-route metric series (see routePatterns) cannot
+// drift apart: a new endpoint added here gets its histogram for free.
+func (s *Service) routes() map[string]http.HandlerFunc {
+	return map[string]http.HandlerFunc{
+		"POST /v1/graphs":          s.handleRegisterGraph,
+		"GET /v1/graphs":           s.handleListGraphs,
+		"GET /v1/graphs/{id}":      s.handleGetGraph,
+		"POST /v1/jobs":            s.handleSubmitJob,
+		"GET /v1/jobs":             s.handleListJobs,
+		"GET /v1/jobs/{id}":        s.handleGetJob,
+		"GET /v1/jobs/{id}/events": s.handleJobEvents,
+		"GET /v1/jobs/{id}/trace":  s.handleJobTrace,
+		"DELETE /v1/jobs/{id}":     s.handleCancelJob,
+		"GET /healthz":             s.handleHealth,
+		"GET /v1/stats":            s.handleStats,
+		"GET /metrics":             s.handleMetrics,
+	}
+}
+
+// routePatterns lists the mux patterns of routes(); Open pre-seeds one
+// duration-histogram series per pattern from it.
+func (s *Service) routePatterns() []string {
+	routes := s.routes()
+	pats := make([]string, 0, len(routes))
+	for p := range routes {
+		pats = append(pats, p)
+	}
+	return pats
 }
 
 // jobOptions is the wire form of chaos.Options: hardware names as
@@ -296,6 +326,51 @@ func (s *Service) handleGetJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, job)
+}
+
+// traceResponse is the GET /v1/jobs/{id}/trace payload: the job's
+// identity plus its flight-recorder span timeline. Dropped counts
+// spans lost to the bounded ring (raise -trace-spans if nonzero).
+type traceResponse struct {
+	ID      string            `json:"id"`
+	Engine  string            `json:"engine"`
+	State   JobState          `json:"state"`
+	Spans   []chaos.TraceSpan `json:"spans"`
+	Dropped uint64            `json:"dropped,omitempty"`
+}
+
+// handleJobTrace serves a job's flight-recorder timeline. Plain JSON
+// by default; ?format=chrome emits Chrome trace_event JSON loadable in
+// about:tracing or Perfetto. A running job's trace is the spans
+// emitted so far. Jobs that never executed in this process — still
+// queued, answered from the result cache, restored from the journal —
+// have no recording, reported as 404 with the reason.
+func (s *Service) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, jv, ok := s.scheduler.Trace(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, &notFoundError{what: "job", id: id})
+		return
+	}
+	if rec == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf(
+			"service: job %s has no trace: only jobs executed by this process record one (not queued jobs, cache hits, or journal-restored history)", id))
+		return
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		rec.WriteChromeTrace(w)
+		return
+	}
+	spans, dropped := rec.Spans()
+	writeJSON(w, http.StatusOK, traceResponse{
+		ID:      jv.ID,
+		Engine:  jv.Engine,
+		State:   jv.State,
+		Spans:   spans,
+		Dropped: dropped,
+	})
 }
 
 func (s *Service) handleCancelJob(w http.ResponseWriter, r *http.Request) {

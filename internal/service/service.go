@@ -22,8 +22,10 @@ package service
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
+	"time"
 
 	"chaos"
 	"chaos/internal/durable"
@@ -74,6 +76,15 @@ type Config struct {
 	// recently used blobs are evicted past it (0 = unbounded; needs
 	// DataDir).
 	ResultStoreMaxBytes int64
+	// Logger, when set, makes the HTTP layer emit one structured line
+	// per request (request id, method, path, matched route, status,
+	// bytes, duration, remote). Nil keeps the handler silent — latency
+	// histograms are recorded either way.
+	Logger *slog.Logger
+	// TraceSpanCap bounds the per-job flight recorder: each run keeps
+	// at most this many spans, dropping the oldest past it (default
+	// 8192). The recorder is observational-only — see chaos.WithTrace.
+	TraceSpanCap int
 }
 
 // Service is the graph-analytics job service.
@@ -82,6 +93,8 @@ type Service struct {
 	catalog   *Catalog
 	scheduler *Scheduler
 	cache     *resultCache
+
+	metrics *serviceMetrics
 
 	persist   *persistence // nil without Config.DataDir
 	closeOnce sync.Once
@@ -116,6 +129,9 @@ func Open(cfg Config) (*Service, error) {
 	if cfg.SnapshotEvery <= 0 {
 		cfg.SnapshotEvery = 1024
 	}
+	if cfg.TraceSpanCap <= 0 {
+		cfg.TraceSpanCap = 8192
+	}
 	switch {
 	case cfg.ComputeBudget == 0:
 		cfg.ComputeBudget = runtime.GOMAXPROCS(0)
@@ -144,6 +160,12 @@ func Open(cfg Config) (*Service, error) {
 		MaxQueue:      cfg.MaxQueue,
 		ComputeBudget: cfg.ComputeBudget,
 	}, s.execute)
+	// Latency histograms, pre-seeded with every route and engine so the
+	// first scrape sees zeros; the scheduler hooks feed the queue-wait
+	// and job-wall families. Set before recovery can start any job.
+	s.metrics = newServiceMetrics(s.routePatterns())
+	s.scheduler.onJobStart = func(wait time.Duration) { s.metrics.queueWait.observe(wait.Seconds()) }
+	s.scheduler.onJobDone = func(engine string, wall time.Duration) { s.metrics.observeJobWall(engine, wall.Seconds()) }
 	if s.persist != nil {
 		// Hooks before recovery: requeue/failure transitions during
 		// recovery must hit the journal too. The lazy result hydrator
@@ -196,6 +218,14 @@ func (s *Service) execute(ctx context.Context, job *Job) (*chaos.Result, *chaos.
 	ctx = chaos.WithProgress(ctx, func(p chaos.Progress) {
 		s.scheduler.NoteProgress(job, p)
 	})
+	// Flight recorder: every executed job records its per-phase span
+	// stream into a bounded ring served by GET /v1/jobs/{id}/trace.
+	// Like progress, attaching it cannot change the run (see
+	// chaos.WithTrace); cache-answered jobs above never reach here and
+	// stay recorder-less.
+	rec := chaos.NewTraceRecorder(s.cfg.TraceSpanCap)
+	job.trace.Store(rec)
+	ctx = chaos.WithTrace(ctx, rec.Record)
 	opt := job.Options
 	if opt.ComputeWorkers == 0 && job.computeShare > 0 {
 		// The job did not pin its host parallelism: run it on its share

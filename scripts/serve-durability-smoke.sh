@@ -1,12 +1,41 @@
 #!/usr/bin/env bash
 # chaos-serve durability smoke: start -> register -> job (with /metrics
 # scrape + /events SSE stream) -> kill -> restart -> cache hit, with
-# /metrics re-scraped on the recovered process.
+# /metrics re-scraped on the recovered process. Both sides of the
+# restart also check the latency histograms and the pprof debug
+# listener, so the observability surface is exercised on a recovered
+# process too, not just a fresh one.
 set -euo pipefail
 BIN=${1:-./chaos-serve}
 DIR=$(mktemp -d)
 ADDR=127.0.0.1:18080
 BASE=http://$ADDR
+DEBUG_ADDR=127.0.0.1:18081
+DEBUG=http://$DEBUG_ADDR
+
+# check_observability: the latency-histogram families are present and
+# internally consistent (queue-wait count matches at least one executed
+# job when $1 jobs have run), and the operator listener answers a heap
+# profile.
+check_observability() {
+  local min_jobs=$1 m
+  m=$(curl -sf $BASE/metrics)
+  for fam in chaos_http_request_duration_seconds chaos_job_queue_wait_seconds chaos_job_wall_seconds; do
+    echo "$m" | grep -q "^# TYPE $fam histogram" || { echo "metrics missing histogram $fam" >&2; exit 1; }
+    echo "$m" | grep -q "^${fam}_bucket.*le=\"+Inf\"" || { echo "$fam has no +Inf bucket" >&2; exit 1; }
+  done
+  # POST /v1/jobs was hit on this process by the time we scrape.
+  echo "$m" | grep -q "^chaos_http_request_duration_seconds_count{route=\"POST /v1/jobs\"} [1-9]" \
+    || { echo "no request-duration samples for POST /v1/jobs" >&2; exit 1; }
+  echo "$m" | grep -q "^chaos_job_queue_wait_seconds_count [$min_jobs-9]" \
+    || { echo "queue-wait histogram missing executed jobs" >&2; exit 1; }
+  # Capture, then grep: piping straight into grep -q would close the
+  # pipe on the first match and fail curl under pipefail.
+  local heap
+  heap=$(curl -sf "$DEBUG/debug/pprof/heap?debug=1" || true)
+  echo "$heap" | grep -q '^heap profile' \
+    || { echo "pprof heap profile not served on $DEBUG_ADDR" >&2; exit 1; }
+}
 
 wait_up() {
   for i in $(seq 1 100); do
@@ -22,7 +51,7 @@ cleanup() {
   rm -rf "$DIR"
 }
 
-"$BIN" -addr $ADDR -workers 2 -chunk-kb 1 -data-dir "$DIR/state" &
+"$BIN" -addr $ADDR -debug-addr $DEBUG_ADDR -workers 2 -chunk-kb 1 -data-dir "$DIR/state" &
 PID=$!
 # Installed before the first request: a failure anywhere must not leak
 # the server (holding the port for the next run) or the temp dir.
@@ -54,11 +83,13 @@ echo "$METRICS" | grep -q '^# TYPE chaos_jobs gauge' || { echo "metrics missing 
 echo "$METRICS" | grep -q '^chaos_jobs{state="done"} [1-9]' || { echo "metrics missing done-job count" >&2; echo "$METRICS" >&2; exit 1; }
 echo "$METRICS" | grep -q '^chaos_wal_records_total [1-9]' || { echo "metrics missing WAL records" >&2; exit 1; }
 echo "$METRICS" | grep -q '^chaos_persist_healthy 1' || { echo "persistence not healthy" >&2; exit 1; }
+# One job has executed here: histograms fed, pprof answering.
+check_observability 1
 
 # SIGTERM: graceful shutdown snapshots before exit.
 kill -TERM $PID; wait $PID || true
 
-"$BIN" -addr $ADDR -workers 2 -chunk-kb 1 -data-dir "$DIR/state" &
+"$BIN" -addr $ADDR -debug-addr $DEBUG_ADDR -workers 2 -chunk-kb 1 -data-dir "$DIR/state" &
 PID=$!
 wait_up
 
@@ -76,4 +107,9 @@ curl -sf $BASE/metrics | grep -q '^chaos_jobs{state="done"} [2-9]' || { echo "re
 # The SSE stream of a job finished before the crash replays as a single
 # terminal snapshot on the recovered process.
 curl -sN -m 10 $BASE/v1/jobs/$JOB/events | grep -q '"state":"done"' || { echo "no terminal snapshot for recovered job" >&2; exit 1; }
+# Observability after recovery: the histogram families come back
+# pre-seeded (0 is a real value — the cache-hit resubmission never
+# executed, so queue-wait legitimately has no new samples) and the
+# debug listener serves profiles on the recovered process too.
+check_observability 0
 echo "SMOKE OK"

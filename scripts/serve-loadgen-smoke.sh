@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# chaos-loadgen smoke: start chaos-serve, drive it with 50 concurrent
+# jobs through the load generator, and sanity-check the BENCH_serve.json
+# record it emits (zero failures, every job measured, positive
+# throughput and latency percentiles). Usage:
+#
+#   serve-loadgen-smoke.sh [chaos-serve-binary] [chaos-loadgen-binary]
+set -euo pipefail
+SERVE=${1:-./chaos-serve}
+LOADGEN=${2:-./chaos-loadgen}
+DIR=$(mktemp -d)
+ADDR=127.0.0.1:18084
+BASE=http://$ADDR
+JOBS=50
+
+cleanup() {
+  kill -TERM "${PID:-}" 2>/dev/null || true
+  wait "${PID:-}" 2>/dev/null || true
+  rm -rf "$DIR"
+}
+
+"$SERVE" -addr $ADDR -workers 4 -chunk-kb 1 &
+PID=$!
+trap cleanup EXIT
+for i in $(seq 1 100); do
+  curl -sf $BASE/healthz >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -sf $BASE/healthz >/dev/null || { echo "server did not come up" >&2; exit 1; }
+
+REC="$DIR/BENCH_serve.json"
+# The loadgen itself exits non-zero when any job fails; set -e stops us.
+"$LOADGEN" -addr $ADDR -jobs $JOBS -concurrency 8 -scale 7 -out "$REC"
+
+test -s "$REC" || { echo "no BENCH_serve.json written" >&2; exit 1; }
+grep -q '"failed": 0' "$REC" || { echo "record reports failed jobs" >&2; cat "$REC" >&2; exit 1; }
+grep -q '"rejected_429": 0' "$REC" || { echo "unexpected 429s with an unbounded queue" >&2; cat "$REC" >&2; exit 1; }
+# Every job contributed an end-to-end latency sample...
+grep -A6 '"e2e_seconds"' "$REC" | grep -q "\"count\": $JOBS" \
+  || { echo "e2e sample count != $JOBS" >&2; cat "$REC" >&2; exit 1; }
+# ...and the throughput and percentile fields hold real measurements
+# (0.000... would mean the clock never advanced or nothing ran).
+grep -q '"jobs_per_second": [1-9]' "$REC" || { echo "no throughput measured" >&2; cat "$REC" >&2; exit 1; }
+grep -A6 '"e2e_seconds"' "$REC" | grep -q '"p99": 0\.0*[1-9]' \
+  || { echo "e2e p99 is zero" >&2; cat "$REC" >&2; exit 1; }
+echo "LOADGEN SMOKE OK"

@@ -1,0 +1,138 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestTraceDeterminism is the flight recorder's bit-identity guarantee
+// on the DES engine: for every algorithm, a run with a trace recorder
+// attached produces a bit-identical Result, Report and virtual clock to
+// one without, and the recorded spans cover both machines' scatter and
+// gather work.
+func TestTraceDeterminism(t *testing.T) {
+	opt := Options{
+		Machines: 2, ChunkBytes: 1 << 10, LatencyScale: 1.0 / 4096,
+		MemBudgetBytes: 1 << 12, Seed: 1,
+	}
+	edges := GenerateRMAT(6, true, 42)
+	for _, alg := range Algorithms() {
+		t.Run(alg, func(t *testing.T) {
+			view, err := ViewFor(alg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prepared := view.Apply(edges)
+			want, wantRep, err := RunPrepared(alg, prepared, 1<<6, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := NewTraceRecorder(1 << 14)
+			ctx := WithTrace(context.Background(), rec.Record)
+			got, gotRep, err := RunPreparedContext(ctx, alg, prepared, 1<<6, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("result drifted under a trace recorder:\n%+v\nvs\n%+v", got, want)
+			}
+			if !reflect.DeepEqual(gotRep, wantRep) {
+				t.Errorf("report drifted under a trace recorder:\n%+v\nvs\n%+v", gotRep, wantRep)
+			}
+			// Bit-level virtual-clock check, not just DeepEqual of the
+			// float: the clock is the acceptance criterion.
+			if math.Float64bits(gotRep.SimulatedSeconds) != math.Float64bits(wantRep.SimulatedSeconds) {
+				t.Errorf("virtual clock drifted: %v vs %v", gotRep.SimulatedSeconds, wantRep.SimulatedSeconds)
+			}
+			assertSpanCoverage(t, rec, opt.Machines)
+		})
+	}
+}
+
+// TestTraceDeterminismNative is the same guarantee on the native
+// engine, scoped to what native runs keep deterministic for a fixed
+// seed: the Result and the report's Iterations and byte totals
+// (wall-clock and steal verdicts are scheduling-dependent by design;
+// see the package comment of internal/core/native).
+func TestTraceDeterminismNative(t *testing.T) {
+	opt := Options{
+		Machines: 2, ChunkBytes: 1 << 10,
+		MemBudgetBytes: 1 << 12, Seed: 1, Engine: "native",
+	}
+	edges := GenerateRMAT(6, true, 42)
+	for _, alg := range Algorithms() {
+		t.Run(alg, func(t *testing.T) {
+			view, err := ViewFor(alg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prepared := view.Apply(edges)
+			want, wantRep, err := RunPrepared(alg, prepared, 1<<6, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := NewTraceRecorder(1 << 14)
+			ctx := WithTrace(context.Background(), rec.Record)
+			got, gotRep, err := RunPreparedContext(ctx, alg, prepared, 1<<6, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("result drifted under a trace recorder:\n%+v\nvs\n%+v", got, want)
+			}
+			if gotRep.Iterations != wantRep.Iterations {
+				t.Errorf("iterations drifted: %d vs %d", gotRep.Iterations, wantRep.Iterations)
+			}
+			if gotRep.BytesRead != wantRep.BytesRead || gotRep.BytesWritten != wantRep.BytesWritten {
+				t.Errorf("byte totals drifted: %d/%d vs %d/%d",
+					gotRep.BytesRead, gotRep.BytesWritten, wantRep.BytesRead, wantRep.BytesWritten)
+			}
+			assertSpanCoverage(t, rec, opt.Machines)
+		})
+	}
+}
+
+// assertSpanCoverage checks the recorder saw per-machine preprocess
+// work and scatter plus gather spans, and that the Chrome view of the
+// recording is valid trace-event JSON.
+func assertSpanCoverage(t *testing.T, rec *TraceRecorder, machines int) {
+	t.Helper()
+	spans, dropped := rec.Spans()
+	if dropped != 0 {
+		t.Fatalf("recorder overflowed (%d dropped); raise the test capacity", dropped)
+	}
+	if len(spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	pre := map[int]bool{}
+	perPhase := map[string]int{}
+	for _, s := range spans {
+		perPhase[s.Phase]++
+		if s.Phase == PhasePreprocess {
+			pre[s.Machine] = true
+		}
+	}
+	if len(pre) != machines {
+		t.Errorf("preprocess spans from %d machines, want %d", len(pre), machines)
+	}
+	if perPhase[PhaseScatter] == 0 || perPhase[PhaseGather] == 0 || perPhase[PhaseApply] == 0 {
+		t.Errorf("missing phase coverage: %v", perPhase)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome view is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) < len(spans) {
+		t.Errorf("chrome view holds %d events for %d spans", len(doc.TraceEvents), len(spans))
+	}
+}
