@@ -8,6 +8,8 @@
 //	chaos-bench -experiment fig16   # just the batch-factor sweep
 //	chaos-bench -experiment native  # native plane vs DES wall-clock (BENCH_native.json)
 //	chaos-bench -quick              # reduced smoke scale
+//
+//chaos:sorted-maps
 package main
 
 import (

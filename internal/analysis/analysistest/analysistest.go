@@ -1,0 +1,140 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against // want comments, mirroring the
+// golang.org/x/tools/go/analysis/analysistest contract on the stdlib
+// only.
+//
+// Fixtures live under the analyzer package's testdata/ directory, one
+// directory per fixture package (testdata/a, testdata/b, ...). They are
+// real, compiling Go packages inside this module — the loader builds
+// them with `go list -export`, so a fixture that does not compile fails
+// loudly. The testdata/ location keeps them out of ./... patterns:
+// deliberate violations never trip the tree-wide chaos-vet gate.
+//
+// Expectations are end-of-line comments:
+//
+//	for k := range m { // want `nondeterministic order`
+//
+// Each quoted string is a regexp that must match exactly one
+// diagnostic reported on that line; diagnostics with no matching want
+// (and wants with no matching diagnostic) fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"chaos/internal/analysis/framework"
+)
+
+// Run loads each fixture package (a path relative to the calling test's
+// testdata/ directory), applies the analyzer, and reports mismatches
+// through t. It returns the diagnostics so tests can make additional
+// assertions (e.g. on suggested fixes).
+func Run(t *testing.T, a *framework.Analyzer, fixtures ...string) []framework.Diagnostic {
+	t.Helper()
+	var all []framework.Diagnostic
+	for _, fx := range fixtures {
+		pkgs, err := framework.Load(".", "./testdata/"+fx)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", fx, err)
+		}
+		diags, err := framework.Run(pkgs, []*framework.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on fixture %s: %v", a.Name, fx, err)
+		}
+		for _, pkg := range pkgs {
+			check(t, pkg, diags)
+		}
+		all = append(all, diags...)
+	}
+	return all
+}
+
+type key struct {
+	file string
+	line int
+}
+
+var wantRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// check compares diagnostics against want comments for one package.
+func check(t *testing.T, pkg *framework.Package, diags []framework.Diagnostic) {
+	t.Helper()
+	wants := map[key][]string{}
+	for _, f := range pkg.Files {
+		fileName := pkg.Fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := strings.Index(text, "// want ")
+				if i < 0 {
+					continue
+				}
+				line := pkg.Fset.Position(c.Pos()).Line
+				for _, m := range wantRE.FindAllStringSubmatch(text[i+len("// want "):], -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					wants[key{fileName, line}] = append(wants[key{fileName, line}], pat)
+				}
+			}
+		}
+	}
+
+	got := map[key][]string{}
+	for _, d := range diags {
+		p := pkg.Fset.Position(d.Pos)
+		if _, mine := pkg.Sources[p.Filename]; !mine {
+			continue
+		}
+		got[key{p.Filename, p.Line}] = append(got[key{p.Filename, p.Line}], d.Message)
+	}
+
+	for k, pats := range wants {
+		msgs := got[k]
+		for _, pat := range pats {
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				t.Errorf("%s:%d: bad want regexp %q: %v", k.file, k.line, pat, err)
+				continue
+			}
+			matched := -1
+			for i, msg := range msgs {
+				if msg != "" && re.MatchString(msg) {
+					matched = i
+					break
+				}
+			}
+			if matched < 0 {
+				t.Errorf("%s:%d: no diagnostic matching %q (got %s)", k.file, k.line, pat, quoteAll(msgs))
+				continue
+			}
+			msgs[matched] = "" // consumed
+		}
+		for _, msg := range msgs {
+			if msg != "" {
+				t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, msg)
+			}
+		}
+		delete(got, k)
+	}
+	for k, msgs := range got {
+		for _, msg := range msgs {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, msg)
+		}
+	}
+}
+
+func quoteAll(msgs []string) string {
+	if len(msgs) == 0 {
+		return "none"
+	}
+	q := make([]string, len(msgs))
+	for i, m := range msgs {
+		q[i] = fmt.Sprintf("%q", m)
+	}
+	return strings.Join(q, ", ")
+}

@@ -1,0 +1,61 @@
+package chaosvet_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chaos/internal/analysis/chaosvet"
+)
+
+// TestEveryAnalyzerHasFixtures enforces the suite's own contract: an
+// analyzer registered in chaos-vet ships analysistest fixtures. An
+// analyzer without fixtures is an analyzer whose diagnostics nobody has
+// pinned down — it gets added here, it gets testdata.
+func TestEveryAnalyzerHasFixtures(t *testing.T) {
+	for _, a := range chaosvet.All() {
+		dir := filepath.Join("..", a.Name, "testdata")
+		var goFiles int
+		err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".go") {
+				goFiles++
+			}
+			return nil
+		})
+		if err != nil {
+			t.Errorf("%s: no testdata directory (%v)", a.Name, err)
+			continue
+		}
+		if goFiles == 0 {
+			t.Errorf("%s: testdata directory has no Go fixtures", a.Name)
+		}
+	}
+}
+
+// TestAnalyzerMetadata keeps the registry presentable: names are
+// non-empty and unique (they become the [name] tag on every
+// diagnostic and the -analyzers flag vocabulary), docs begin with a
+// one-line summary.
+func TestAnalyzerMetadata(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range chaosvet.All() {
+		if a.Name == "" {
+			t.Error("analyzer with empty name")
+			continue
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if strings.TrimSpace(a.Doc) == "" {
+			t.Errorf("%s: empty Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("%s: nil Run", a.Name)
+		}
+	}
+}

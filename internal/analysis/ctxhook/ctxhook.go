@@ -1,0 +1,225 @@
+// Package ctxhook enforces "observability rides the context": trace and
+// progress hooks must never be storable — or stored — where the result
+// cache's fingerprint can see them.
+//
+// Two rules:
+//
+//  1. A struct that has a Fingerprint() string method must not declare
+//     a function-typed field (directly or inside a composite). A hook
+//     living on a fingerprinted struct either poisons the cache key or
+//     is silently dropped from it — both were near-misses in this
+//     repo's history; chaos.WithProgress / chaos.WithTrace exist so
+//     hooks travel on the context instead.
+//
+//  2. The engine's own hook fields (core.Config.Progress, .Trace,
+//     .Interrupt) may only be assigned inside the sanctioned plumbing:
+//     the chaos package (which unwraps them from the context) and the
+//     engine drivers themselves. Any other package writing them is
+//     bypassing the context path and the "observation cannot perturb
+//     the run" tests that guard it.
+//
+// //chaos:ctxhook-ok on the offending line suppresses either rule.
+package ctxhook
+
+import (
+	"go/ast"
+	"go/types"
+
+	"chaos/internal/analysis/framework"
+)
+
+// Analyzer is the ctxhook analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "ctxhook",
+	Doc: "keeps trace/progress hooks out of fingerprinted structs and off unsanctioned Config writes\n\n" +
+		"Hooks ride the context (chaos.WithProgress, chaos.WithTrace), never\n" +
+		"Options: a func-typed field on a struct with a Fingerprint method is\n" +
+		"flagged at its declaration, and assignments to core.Config's\n" +
+		"Progress/Trace/Interrupt fields are only allowed in the chaos root\n" +
+		"package and the engine drivers. Suppress with //chaos:ctxhook-ok.",
+	Run: run,
+}
+
+// Directive is the per-site suppression annotation.
+const Directive = "ctxhook-ok"
+
+// configPkg is the package owning the hook-carrying engine Config.
+const configPkg = "chaos/internal/core"
+
+// hookFields are core.Config's context-plumbed fields.
+var hookFields = map[string]bool{"Progress": true, "Trace": true, "Interrupt": true}
+
+// sanctioned are the packages allowed to write core.Config hook
+// fields: the context-unwrapping bridge and the engine drivers.
+var sanctioned = map[string]bool{
+	"chaos":                      true,
+	"chaos/internal/core":        true,
+	"chaos/internal/core/native": true,
+	"chaos/internal/core/drive":  true,
+}
+
+func run(pass *framework.Pass) (interface{}, error) {
+	checkFingerprintedFields(pass)
+	if !sanctioned[pass.Pkg.Path()] {
+		checkConfigWrites(pass)
+	}
+	return nil, nil
+}
+
+// checkFingerprintedFields applies rule 1 to every struct declared in
+// this package.
+func checkFingerprintedFields(pass *framework.Pass) {
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok || !hasFingerprint(named) {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !containsFunc(f.Type(), map[types.Type]bool{}) {
+				continue
+			}
+			if pass.Suppressed(Directive, f.Pos()) {
+				continue
+			}
+			pass.Reportf(f.Pos(),
+				"%s.%s is function-typed on a fingerprinted struct: hooks must ride the context "+
+					"(chaos.WithProgress/WithTrace), not the options that feed the cache key",
+				name, f.Name())
+		}
+	}
+}
+
+// checkConfigWrites applies rule 2: assignments and composite-literal
+// keys targeting core.Config hook fields outside the sanctioned
+// packages.
+func checkConfigWrites(pass *framework.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					sel, ok := lhs.(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if field, ok := configHookField(pass, sel); ok {
+						if pass.Suppressed(Directive, sel.Pos()) {
+							continue
+						}
+						pass.Reportf(sel.Pos(),
+							"assignment to core.Config.%s outside the engine: wire the hook through the context "+
+								"(chaos.WithProgress/WithTrace, ctx cancellation) so observation cannot perturb the run",
+							field)
+					}
+				}
+			case *ast.CompositeLit:
+				t := pass.TypesInfo.TypeOf(n)
+				if t == nil || !isConfigType(t) {
+					return true
+				}
+				for _, elt := range n.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					id, ok := kv.Key.(*ast.Ident)
+					if !ok || !hookFields[id.Name] {
+						continue
+					}
+					if pass.Suppressed(Directive, kv.Pos()) {
+						continue
+					}
+					pass.Reportf(kv.Pos(),
+						"core.Config{%s: ...} outside the engine: wire the hook through the context "+
+							"(chaos.WithProgress/WithTrace, ctx cancellation) so observation cannot perturb the run",
+						id.Name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func configHookField(pass *framework.Pass, sel *ast.SelectorExpr) (string, bool) {
+	if !hookFields[sel.Sel.Name] {
+		return "", false
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return "", false
+	}
+	if !isConfigType(s.Recv()) {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+func isConfigType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Config" && obj.Pkg() != nil && obj.Pkg().Path() == configPkg
+}
+
+func hasFingerprint(named *types.Named) bool {
+	for i := 0; i < named.NumMethods(); i++ {
+		m := named.Method(i)
+		if m.Name() != "Fingerprint" {
+			continue
+		}
+		sig := m.Type().(*types.Signature)
+		if sig.Params().Len() == 0 && sig.Results().Len() == 1 {
+			if b, ok := sig.Results().At(0).Type().(*types.Basic); ok && b.Kind() == types.String {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// containsFunc reports whether t contains a function type anywhere a
+// value of t could carry one (fields, elements, pointers). Interfaces
+// are not traversed: an interface-typed option is a different design
+// smell with different fixes.
+func containsFunc(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch t := t.Underlying().(type) {
+	case *types.Signature:
+		return true
+	case *types.Pointer:
+		return containsFunc(t.Elem(), seen)
+	case *types.Slice:
+		return containsFunc(t.Elem(), seen)
+	case *types.Array:
+		return containsFunc(t.Elem(), seen)
+	case *types.Map:
+		return containsFunc(t.Key(), seen) || containsFunc(t.Elem(), seen)
+	case *types.Chan:
+		return containsFunc(t.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if containsFunc(t.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package ctxhook_test
+
+import (
+	"testing"
+
+	"chaos/internal/analysis/analysistest"
+	"chaos/internal/analysis/ctxhook"
+)
+
+func TestCtxhook(t *testing.T) {
+	analysistest.Run(t, ctxhook.Analyzer, "a", "b")
+}

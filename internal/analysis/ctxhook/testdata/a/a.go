@@ -1,0 +1,31 @@
+// Package a exercises ctxhook rule 1: function-typed fields on
+// fingerprinted structs.
+package a
+
+// Opts is fingerprinted, so hook-shaped fields are forbidden on it.
+type Opts struct {
+	Partitions int
+	OnStep     func(int)   // want `Opts.OnStep is function-typed on a fingerprinted struct`
+	Tracers    []func(int) // want `Opts.Tracers is function-typed on a fingerprinted struct`
+	Legacy     func()      //chaos:ctxhook-ok grandfathered fixture hook
+}
+
+func (o Opts) Fingerprint() string { return "x" }
+
+// Plain has no Fingerprint method: callbacks are its own business.
+type Plain struct {
+	OnStep func(int)
+}
+
+// nested types are traversed: a struct-valued field smuggling a func in
+// is still a hook on the cache-keyed surface.
+type hooks struct {
+	Emit func(string)
+}
+
+// Wrapped is fingerprinted and embeds the func through a struct value.
+type Wrapped struct {
+	Inner hooks // want `Wrapped.Inner is function-typed on a fingerprinted struct`
+}
+
+func (w Wrapped) Fingerprint() string { return "y" }

@@ -1,0 +1,22 @@
+// Package b exercises ctxhook rule 2: it is not a sanctioned package,
+// so writing core.Config's hook fields directly bypasses the context
+// plumbing.
+package b
+
+import "chaos/internal/core"
+
+func assignHooks(cfg *core.Config) {
+	cfg.Progress = func(core.Progress) {}        // want `assignment to core.Config.Progress outside the engine`
+	cfg.Interrupt = func() bool { return false } // want `assignment to core.Config.Interrupt outside the engine`
+	cfg.MaxIterations = 3                        // not a hook field: fine
+}
+
+func literalHooks() core.Config {
+	return core.Config{
+		Trace: nil, // want `core.Config\{Trace: ...\} outside the engine`
+	}
+}
+
+func suppressed(cfg *core.Config) {
+	cfg.Progress = func(core.Progress) {} //chaos:ctxhook-ok fixture stands in for the context bridge
+}

@@ -1,0 +1,574 @@
+// Package detrange flags map iteration with observable order inside
+// the repo's deterministic code.
+//
+// Invariant: packages under the determinism contract must produce
+// bit-identical output for equal seeds, and Go randomizes map iteration
+// order per run. A `range` over a map is therefore only admissible when
+// the loop body is provably order-independent (commutative writes,
+// collect-then-sort, idempotent deletes) or when a human has signed off
+// with //chaos:nondeterministic-ok <reason>.
+//
+// The classifier is deliberately conservative: a body it cannot prove
+// commutative is reported even if it happens to be safe — the escape
+// hatch exists exactly for that case, and the annotation documents the
+// argument where the next reader needs it.
+package detrange
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"chaos/internal/analysis/detscope"
+	"chaos/internal/analysis/framework"
+)
+
+// Analyzer is the detrange analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "detrange",
+	Doc: "flags map iteration with observable order in deterministic code\n\n" +
+		"Map iteration order is randomized per run; inside the deterministic\n" +
+		"engine packages (and files marked //chaos:deterministic or\n" +
+		"//chaos:sorted-maps) a range over a map must either have a provably\n" +
+		"order-independent body, sort before use, or carry a\n" +
+		"//chaos:nondeterministic-ok annotation explaining why order cannot leak.",
+	Run: run,
+}
+
+// Directive is the per-site suppression annotation.
+const Directive = "nondeterministic-ok"
+
+func run(pass *framework.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		if !detscope.FileInDetRangeScope(pass, f) {
+			continue
+		}
+		// Walk function by function so the collect-then-sort rule can
+		// look for the sort call in the enclosing body.
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			checkFunc(pass, body)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *framework.Pass, fnBody *ast.BlockStmt) {
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if _, isFn := n.(*ast.FuncLit); isFn {
+			return false // nested functions are walked on their own
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if pass.Suppressed(Directive, rs.Pos()) {
+			return true
+		}
+		c := newClassifier(pass, rs, fnBody)
+		if c.safe() {
+			return true
+		}
+		d := framework.Diagnostic{
+			Pos: rs.Pos(),
+			End: rs.End(),
+			Message: fmt.Sprintf(
+				"range over map %s has nondeterministic order in deterministic code; "+
+					"iterate sorted keys, or annotate //chaos:%s <reason> if order provably cannot leak",
+				typeLabel(pass, rs.X), Directive),
+		}
+		if fix, ok := sortKeysFix(pass, rs); ok {
+			d.SuggestedFixes = []framework.SuggestedFix{fix}
+		}
+		pass.Report(d)
+		return true
+	})
+}
+
+func typeLabel(pass *framework.Pass, x ast.Expr) string {
+	t := pass.TypesInfo.TypeOf(x)
+	return types.TypeString(t, types.RelativeTo(pass.Pkg))
+}
+
+// classifier decides whether one map-range body is order-independent.
+type classifier struct {
+	pass   *framework.Pass
+	rs     *ast.RangeStmt
+	fnBody *ast.BlockStmt
+	// keys are the loop-variable objects whose values are distinct per
+	// iteration; writes indexed by them cannot collide across
+	// iterations.
+	keys map[types.Object]bool
+	// constWrites tracks idempotent constant stores per object.
+	constWrites map[types.Object]constant.Value
+	// mutated counts the sanctioned write-site occurrences of each
+	// order-mutated variable (integer-compound and constant-store
+	// targets). Any further read of such a variable inside the body
+	// observes a value that depends on iteration order, so safe()
+	// re-counts occurrences at the end and rejects extras.
+	mutated map[types.Object]int
+}
+
+func newClassifier(pass *framework.Pass, rs *ast.RangeStmt, fnBody *ast.BlockStmt) *classifier {
+	c := &classifier{
+		pass: pass, rs: rs, fnBody: fnBody,
+		keys:        map[types.Object]bool{},
+		constWrites: map[types.Object]constant.Value{},
+		mutated:     map[types.Object]int{},
+	}
+	c.addKey(rs.Key)
+	return c
+}
+
+func (c *classifier) addKey(e ast.Expr) {
+	if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+		if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+			c.keys[obj] = true
+		}
+	}
+}
+
+func (c *classifier) safe() bool {
+	// A keyless range (`for range m`) runs an identical body len(m)
+	// times; order cannot be observed through it.
+	if c.rs.Key == nil || isBlank(c.rs.Key) {
+		if c.rs.Value == nil || isBlank(c.rs.Value) {
+			return true
+		}
+	}
+	if c.collectThenSort() {
+		return true
+	}
+	if !c.safeStmts(c.rs.Body.List) {
+		return false
+	}
+	return c.noStrayReads()
+}
+
+// noStrayReads verifies that order-mutated variables (counters,
+// idempotent flags) are only touched at their sanctioned write sites:
+// a body that also *reads* such a variable observes an
+// iteration-order-dependent intermediate value.
+func (c *classifier) noStrayReads() bool {
+	if len(c.mutated) == 0 {
+		return true
+	}
+	seen := map[types.Object]int{}
+	ast.Inspect(c.rs.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := objectOf(c.pass, id); obj != nil {
+			if _, tracked := c.mutated[obj]; tracked {
+				seen[obj]++
+			}
+		}
+		return true
+	})
+	for obj, n := range seen {
+		if n > c.mutated[obj] {
+			return false
+		}
+	}
+	return true
+}
+
+// collectThenSort recognizes the canonical fix pattern: the body only
+// appends keys/values to a slice that the same function sorts after
+// the loop. A sort-free collection stays flagged — that is the exact
+// bug shape the analyzer exists for.
+func (c *classifier) collectThenSort() bool {
+	if len(c.rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := c.rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	dst, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || !isBuiltin(c.pass, call.Fun, "append") {
+		return false
+	}
+	if len(call.Args) == 0 || !sameObject(c.pass, call.Args[0], dst) {
+		return false
+	}
+	dstObj := objectOf(c.pass, dst)
+	if dstObj == nil {
+		return false
+	}
+	// Look for sort.X(dst, ...) / slices.SortX(dst, ...) after the loop.
+	sorted := false
+	ast.Inspect(c.fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < c.rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := c.pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		path := pkgName.Imported().Path()
+		if path != "sort" && path != "slices" {
+			return true
+		}
+		if len(call.Args) >= 1 {
+			if id, ok := call.Args[0].(*ast.Ident); ok && objectOf(c.pass, id) == dstObj {
+				sorted = true
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+func (c *classifier) safeStmts(stmts []ast.Stmt) bool {
+	for _, s := range stmts {
+		if !c.safeStmt(s) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *classifier) safeStmt(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		return c.safeAssign(s)
+	case *ast.IncDecStmt:
+		if !isIntegerType(c.pass, s.X) {
+			return false
+		}
+		c.trackMutated(s.X)
+		return true
+	case *ast.DeclStmt:
+		return true
+	case *ast.EmptyStmt:
+		return true
+	case *ast.ExprStmt:
+		// Only the order-free builtins: delete removes each visited key
+		// at most once, close closes each collected channel exactly
+		// once; neither observes position in the iteration.
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			return isBuiltin(c.pass, call.Fun, "delete") || isBuiltin(c.pass, call.Fun, "close")
+		}
+		return false
+	case *ast.IfStmt:
+		if s.Init != nil && !c.safeStmt(s.Init) {
+			return false
+		}
+		if !c.safeStmts(s.Body.List) {
+			return false
+		}
+		if s.Else != nil {
+			return c.safeStmt(s.Else)
+		}
+		return true
+	case *ast.BlockStmt:
+		return c.safeStmts(s.List)
+	case *ast.RangeStmt:
+		// A nested range's own loop variables are NOT distinct across
+		// iterations of the outer map range (the same inner collection
+		// may be visited every time), so they earn no spot in c.keys;
+		// the nested body is checked under the outer loop's rules. A
+		// nested map range is additionally visited by checkFunc on its
+		// own.
+		return c.safeStmts(s.Body.List)
+	case *ast.ForStmt:
+		if s.Init != nil && !c.safeStmt(s.Init) {
+			return false
+		}
+		if s.Post != nil && !c.safeStmt(s.Post) {
+			return false
+		}
+		return c.safeStmts(s.Body.List)
+	case *ast.BranchStmt:
+		// continue only filters iterations; break/return/goto make the
+		// set of executed iterations order-dependent.
+		return s.Tok == token.CONTINUE
+	default:
+		return false
+	}
+}
+
+func (c *classifier) safeAssign(as *ast.AssignStmt) bool {
+	// Compound integer updates commute regardless of target.
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
+		for _, lhs := range as.Lhs {
+			if !isIntegerType(c.pass, lhs) {
+				return false
+			}
+			c.trackMutated(lhs)
+		}
+		return true
+	case token.ASSIGN, token.DEFINE:
+		// handled below
+	default:
+		return false // %=, <<=, &^=: not order-commutative in general
+	}
+	for i, lhs := range as.Lhs {
+		if c.safeLHS(lhs) {
+			continue
+		}
+		// Idempotent constant store: every iteration that reaches this
+		// assignment writes the same constant to the same variable.
+		if id, ok := lhs.(*ast.Ident); ok && i < len(as.Rhs) {
+			tv, hasVal := c.pass.TypesInfo.Types[as.Rhs[i]]
+			obj := objectOf(c.pass, id)
+			if hasVal && tv.Value != nil && obj != nil {
+				if prev, seen := c.constWrites[obj]; !seen {
+					c.constWrites[obj] = tv.Value
+					c.mutated[obj]++
+					continue
+				} else if constant.Compare(prev, token.EQL, tv.Value) {
+					c.mutated[obj]++
+					continue
+				}
+			}
+		}
+		return false
+	}
+	// Multi-value defines (v, ok := m[k]) introduce locals; RHS reads
+	// are always fine.
+	return true
+}
+
+// safeLHS reports whether a write target cannot leak iteration order:
+// blank, a variable local to the loop body, or an element keyed by a
+// per-iteration loop variable.
+func (c *classifier) safeLHS(lhs ast.Expr) bool {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return true
+		}
+		return c.isBodyLocal(objectOf(c.pass, lhs))
+	case *ast.IndexExpr:
+		if id, ok := lhs.Index.(*ast.Ident); ok {
+			if obj := objectOf(c.pass, id); obj != nil && c.keys[obj] {
+				return true
+			}
+		}
+		return false
+	case *ast.SelectorExpr:
+		// Field of a body-local value.
+		root := lhs.X
+		for {
+			if sel, ok := root.(*ast.SelectorExpr); ok {
+				root = sel.X
+				continue
+			}
+			break
+		}
+		if id, ok := root.(*ast.Ident); ok {
+			return c.isBodyLocal(objectOf(c.pass, id))
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// trackMutated records a sanctioned write occurrence when the target
+// is a plain identifier. Element targets (m[k] += 1) are keyed or
+// rejected elsewhere and are not tracked.
+func (c *classifier) trackMutated(lhs ast.Expr) {
+	if id, ok := lhs.(*ast.Ident); ok {
+		if obj := objectOf(c.pass, id); obj != nil {
+			c.mutated[obj]++
+		}
+	}
+}
+
+func (c *classifier) isBodyLocal(obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= c.rs.Body.Pos() && obj.Pos() < c.rs.Body.End()
+}
+
+// sortKeysFix builds the mechanical rewrite
+//
+//	keys := make([]K, 0, len(m))
+//	for k := range m { keys = append(keys, k) }
+//	sort.Slice(keys, ...)
+//	for _, k := range keys { v := m[k]; ... }
+//
+// offered when the map expression is a pure ident/selector chain and
+// the key type is ordered.
+func sortKeysFix(pass *framework.Pass, rs *ast.RangeStmt) (framework.SuggestedFix, bool) {
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" || rs.Tok != token.DEFINE {
+		return framework.SuggestedFix{}, false
+	}
+	if !pureChain(rs.X) {
+		return framework.SuggestedFix{}, false
+	}
+	mt, ok := pass.TypesInfo.TypeOf(rs.X).Underlying().(*types.Map)
+	if !ok || !isOrdered(mt.Key()) {
+		return framework.SuggestedFix{}, false
+	}
+	src := pass.Source(rs.Pos())
+	if src == nil {
+		return framework.SuggestedFix{}, false
+	}
+	file := pass.Fset.File(rs.Pos())
+	off := func(p token.Pos) int { return file.Offset(p) }
+	// Indentation of the `for` line.
+	lineStart := file.LineStart(pass.Fset.Position(rs.Pos()).Line)
+	indent := string(src[off(lineStart):off(rs.Pos())])
+	if strings.TrimSpace(indent) != "" {
+		return framework.SuggestedFix{}, false // `for` not first on its line
+	}
+	mapText := string(src[off(rs.X.Pos()):off(rs.X.End())])
+	keyType := types.TypeString(mt.Key(), types.RelativeTo(pass.Pkg))
+	keysName := key.Name + "s"
+	bodyText := string(src[off(rs.Body.Lbrace)+1 : off(rs.Body.Rbrace)])
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s := make([]%s, 0, len(%s))\n", keysName, keyType, mapText)
+	fmt.Fprintf(&b, "%sfor %s := range %s {\n", indent, key.Name, mapText)
+	fmt.Fprintf(&b, "%s\t%s = append(%s, %s)\n", indent, keysName, keysName, key.Name)
+	fmt.Fprintf(&b, "%s}\n", indent)
+	fmt.Fprintf(&b, "%ssort.Slice(%s, func(i, j int) bool { return %s[i] < %s[j] })\n",
+		indent, keysName, keysName, keysName)
+	fmt.Fprintf(&b, "%sfor _, %s := range %s {", indent, key.Name, keysName)
+	if v, ok := rs.Value.(*ast.Ident); ok && v.Name != "_" {
+		fmt.Fprintf(&b, "\n%s\t%s := %s[%s]", indent, v.Name, mapText, key.Name)
+	}
+	b.WriteString(bodyText)
+	b.WriteString("}")
+
+	edits := []framework.TextEdit{{Pos: rs.Pos(), End: rs.End(), NewText: []byte(b.String())}}
+	if e, ok := importEdit(pass, rs.Pos(), "sort"); ok {
+		edits = append(edits, e)
+	}
+	return framework.SuggestedFix{
+		Message:   "iterate over sorted keys",
+		TextEdits: edits,
+	}, true
+}
+
+// importEdit returns an edit adding path to the file's import block if
+// missing. ok is false when the import already exists (no edit needed)
+// or when there is no parenthesized block to extend.
+func importEdit(pass *framework.Pass, at token.Pos, path string) (framework.TextEdit, bool) {
+	filename := pass.Fset.Position(at).Filename
+	for _, f := range pass.Files {
+		if pass.Fset.Position(f.Pos()).Filename != filename {
+			continue
+		}
+		for _, imp := range f.Imports {
+			if strings.Trim(imp.Path.Value, `"`) == path {
+				return framework.TextEdit{}, false
+			}
+		}
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.IMPORT || !gd.Lparen.IsValid() {
+				continue
+			}
+			return framework.TextEdit{
+				Pos:     gd.Lparen + 1,
+				End:     gd.Lparen + 1,
+				NewText: []byte("\n\t\"" + path + "\""),
+			}, true
+		}
+	}
+	return framework.TextEdit{}, false
+}
+
+func pureChain(e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return true
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+func isOrdered(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsOrdered != 0
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func isIntegerType(pass *framework.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isBuiltin(pass *framework.Pass, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+func objectOf(pass *framework.Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Defs[id]
+}
+
+func sameObject(pass *framework.Pass, a ast.Expr, b *ast.Ident) bool {
+	ida, ok := a.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	oa, ob := objectOf(pass, ida), objectOf(pass, b)
+	return oa != nil && oa == ob
+}

@@ -1,0 +1,28 @@
+package detrange_test
+
+import (
+	"strings"
+	"testing"
+
+	"chaos/internal/analysis/analysistest"
+	"chaos/internal/analysis/detrange"
+)
+
+func TestDetrange(t *testing.T) {
+	diags := analysistest.Run(t, detrange.Analyzer, "a", "b")
+	// The collect-without-sort case is the mechanical one: it must
+	// carry the sort-the-keys rewrite.
+	var sawFix bool
+	for _, d := range diags {
+		for _, fix := range d.SuggestedFixes {
+			for _, e := range fix.TextEdits {
+				if strings.Contains(string(e.NewText), "sort.Slice(") {
+					sawFix = true
+				}
+			}
+		}
+	}
+	if !sawFix {
+		t.Errorf("no diagnostic carried the sort-the-keys suggested fix")
+	}
+}

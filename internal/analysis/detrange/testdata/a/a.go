@@ -1,0 +1,105 @@
+// Package a exercises detrange: map ranges in a deterministic file.
+//
+//chaos:deterministic
+package a
+
+import "sort"
+
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `nondeterministic order`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func keyedMerge(dst, src map[string]float64, combine func(a, b float64) float64) {
+	for k, v := range src {
+		if old, ok := dst[k]; ok {
+			dst[k] = combine(old, v)
+		} else {
+			dst[k] = v
+		}
+	}
+}
+
+func intCount(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func floatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `nondeterministic order`
+		sum += v
+	}
+	return sum
+}
+
+func strayRead(m map[string]int, out map[string]int) {
+	n := 0
+	for k := range m { // want `nondeterministic order`
+		n++
+		out[k] = n // keyed write, but reads the counter mid-loop: order observable
+	}
+}
+
+func earlyExit(m map[string]int) (string, bool) {
+	for k := range m { // want `nondeterministic order`
+		if k != "" {
+			return k, true
+		}
+	}
+	return "", false
+}
+
+func clearAll(subs map[string]chan int) {
+	for id, ch := range subs {
+		close(ch)
+		delete(subs, id)
+	}
+}
+
+func annotated(m map[string]int, f func(string)) {
+	//chaos:nondeterministic-ok fixture: order provably cannot leak
+	for k := range m {
+		f(k)
+	}
+}
+
+func idempotentFlag(m map[string]bool) bool {
+	found := false
+	for _, v := range m {
+		if v {
+			found = true
+		}
+	}
+	return found
+}
+
+func conflictingConst(m map[string]bool) int {
+	mode := 0
+	for _, v := range m { // want `nondeterministic order`
+		if v {
+			mode = 1
+		} else {
+			mode = 2
+		}
+	}
+	return mode
+}

@@ -1,0 +1,11 @@
+// Package b has no determinism directive and is outside the engine
+// package list: detrange must stay silent even on flagrant map ranges.
+package b
+
+func Order(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,207 @@
+// Package fingerprint verifies that every exported field of a
+// fingerprinted options struct participates in both Fingerprint and
+// Canonical.
+//
+// Invariant: the job service content-addresses cached results by
+// Options.Fingerprint, and two Options must share a fingerprint exactly
+// when their canonical forms are equal. A field added to the struct but
+// not to Fingerprint silently falls out of the cache key — distinct
+// configurations start sharing results — and a field Canonical neither
+// folds nor explicitly passes through leaves the equivalence argument
+// implicit. The reflection test (TestFingerprintCoversAllFields) keeps
+// enforcing this at run time; this analyzer moves the failure to vet
+// time and names the missing field at its declaration.
+//
+// A field that intentionally passes through Canonical unchanged is
+// named there with a blank assignment (`_ = c.Field`), turning the
+// implicit copy into a checked declaration of intent.
+package fingerprint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"chaos/internal/analysis/framework"
+)
+
+// Analyzer is the fingerprint analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "fingerprint",
+	Doc: "checks every exported field of a fingerprinted struct is used by Fingerprint and Canonical\n\n" +
+		"Applies to any struct type with both a Fingerprint() string and a\n" +
+		"Canonical() method returning its own type. Each exported field must be\n" +
+		"referenced in both method bodies; //chaos:fingerprint-ok on the field\n" +
+		"declaration exempts a field that genuinely must not enter the cache key.",
+	Run: run,
+}
+
+// Directive exempts a field, written on its declaration line.
+const Directive = "fingerprint-ok"
+
+func run(pass *framework.Pass) (interface{}, error) {
+	for _, target := range fingerprintedStructs(pass) {
+		checkStruct(pass, target)
+	}
+	return nil, nil
+}
+
+// target is one struct type carrying Fingerprint+Canonical.
+type target struct {
+	name        *types.TypeName
+	st          *types.Struct
+	fingerprint *ast.FuncDecl
+	canonical   *ast.FuncDecl
+	structDecl  *ast.StructType
+}
+
+func fingerprintedStructs(pass *framework.Pass) []*target {
+	var out []*target
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		if !hasFingerprintShape(named) {
+			continue
+		}
+		t := &target{name: tn, st: st}
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Recv == nil || len(d.Recv.List) != 1 {
+						continue
+					}
+					if receiverType(pass, d) != tn {
+						continue
+					}
+					switch d.Name.Name {
+					case "Fingerprint":
+						t.fingerprint = d
+					case "Canonical":
+						t.canonical = d
+					}
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						ts, ok := spec.(*ast.TypeSpec)
+						if !ok || ts.Name.Name != name {
+							continue
+						}
+						if s, ok := ts.Type.(*ast.StructType); ok {
+							t.structDecl = s
+						}
+					}
+				}
+			}
+		}
+		if t.fingerprint != nil && t.canonical != nil && t.structDecl != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// hasFingerprintShape reports whether named has Fingerprint() string
+// and Canonical() returning the type itself.
+func hasFingerprintShape(named *types.Named) bool {
+	var haveFP, haveCanon bool
+	for i := 0; i < named.NumMethods(); i++ {
+		m := named.Method(i)
+		sig := m.Type().(*types.Signature)
+		switch m.Name() {
+		case "Fingerprint":
+			if sig.Params().Len() == 0 && sig.Results().Len() == 1 {
+				if b, ok := sig.Results().At(0).Type().(*types.Basic); ok && b.Kind() == types.String {
+					haveFP = true
+				}
+			}
+		case "Canonical":
+			if sig.Params().Len() == 0 && sig.Results().Len() == 1 {
+				res := sig.Results().At(0).Type()
+				if p, ok := res.(*types.Pointer); ok {
+					res = p.Elem()
+				}
+				if res == named.Obj().Type() {
+					haveCanon = true
+				}
+			}
+		}
+	}
+	return haveFP && haveCanon
+}
+
+func receiverType(pass *framework.Pass, d *ast.FuncDecl) *types.TypeName {
+	t := pass.TypesInfo.TypeOf(d.Recv.List[0].Type)
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return named.Obj()
+}
+
+func checkStruct(pass *framework.Pass, t *target) {
+	fpRefs := fieldRefs(pass, t.fingerprint)
+	canonRefs := fieldRefs(pass, t.canonical)
+	for i := 0; i < t.st.NumFields(); i++ {
+		field := t.st.Field(i)
+		if !field.Exported() {
+			continue
+		}
+		if pass.Suppressed(Directive, field.Pos()) {
+			continue
+		}
+		if !fpRefs[field] {
+			pass.Reportf(field.Pos(),
+				"%s.%s is not referenced in (%s).Fingerprint: the field would silently fall out of the result-cache key",
+				t.name.Name(), field.Name(), t.name.Name())
+		}
+		if !canonRefs[field] {
+			pass.Reportf(field.Pos(),
+				"%s.%s is not referenced in (%s).Canonical: fold its default or declare the pass-through explicitly (_ = c.%s)",
+				t.name.Name(), field.Name(), t.name.Name(), field.Name())
+		}
+	}
+}
+
+// fieldRefs collects every struct field object referenced in the
+// method body, through selectors (o.Field, c.Field) and composite
+// literal keys (T{Field: v}).
+func fieldRefs(pass *framework.Pass, fn *ast.FuncDecl) map[*types.Var]bool {
+	refs := map[*types.Var]bool{}
+	if fn.Body == nil {
+		return refs
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := pass.TypesInfo.Selections[n]; ok && sel.Kind() == types.FieldVal {
+				if v, ok := sel.Obj().(*types.Var); ok {
+					refs[v] = true
+				}
+			}
+		case *ast.KeyValueExpr:
+			if id, ok := n.Key.(*ast.Ident); ok {
+				if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok && v.IsField() {
+					refs[v] = true
+				}
+			}
+		}
+		return true
+	})
+	return refs
+}

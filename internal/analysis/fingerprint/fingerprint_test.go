@@ -1,0 +1,12 @@
+package fingerprint_test
+
+import (
+	"testing"
+
+	"chaos/internal/analysis/analysistest"
+	"chaos/internal/analysis/fingerprint"
+)
+
+func TestFingerprint(t *testing.T) {
+	analysistest.Run(t, fingerprint.Analyzer, "a")
+}

@@ -1,0 +1,45 @@
+// Package a exercises fingerprint: an options struct whose exported
+// fields must all be referenced in Fingerprint and Canonical.
+package a
+
+import "fmt"
+
+// Options carries the Fingerprint+Canonical shape, so every exported
+// field is checked against both method bodies.
+type Options struct {
+	Partitions int    // in both: ok
+	Threads    int    // want `Options.Threads is not referenced in \(Options\).Fingerprint`
+	Label      string // want `Options.Label is not referenced in \(Options\).Canonical: fold its default or declare the pass-through explicitly`
+	Seed       int64  // want `Options.Seed is not referenced in \(Options\).Fingerprint` `Options.Seed is not referenced in \(Options\).Canonical`
+	Debug      bool   //chaos:fingerprint-ok debug output never enters the cache key
+	scratch    []byte // unexported: not part of the contract
+}
+
+func (o Options) Canonical() Options {
+	c := o
+	if c.Partitions <= 0 {
+		c.Partitions = 1
+	}
+	if c.Threads <= 0 {
+		c.Threads = 1
+	}
+	return c
+}
+
+func (o Options) Fingerprint() string {
+	c := o.Canonical()
+	return fmt.Sprintf("p=%d label=%s", c.Partitions, c.Label)
+}
+
+// Plain has no Fingerprint/Canonical pair: never checked.
+type Plain struct {
+	Anything string
+}
+
+// HalfShape has Fingerprint but no Canonical, so it lacks the shape and
+// is ignored too.
+type HalfShape struct {
+	Ignored int
+}
+
+func (h HalfShape) Fingerprint() string { return "static" }

@@ -1,0 +1,84 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// DirectivePrefix introduces every chaos-vet annotation. Like go:build
+// directives, annotations are machine-readable comments with no space
+// after the slashes: //chaos:nondeterministic-ok <reason>.
+const DirectivePrefix = "//chaos:"
+
+// DirectiveIndex records where //chaos: directives appear in one file.
+type DirectiveIndex struct {
+	byLine    map[int][]string
+	fileLevel map[string]bool
+}
+
+// IndexDirectives scans a parsed file's comments for //chaos:
+// directives. A directive whose comment starts at or before the end of
+// the package clause (i.e. lives in the file's doc region) is
+// file-level; all others attach to their line.
+func IndexDirectives(fset *token.FileSet, f *ast.File) *DirectiveIndex {
+	idx := &DirectiveIndex{byLine: map[int][]string{}, fileLevel: map[string]bool{}}
+	pkgLine := fset.Position(f.Name.End()).Line
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			name, ok := parseDirective(c.Text)
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			if pos.Line <= pkgLine {
+				idx.fileLevel[name] = true
+				continue
+			}
+			idx.byLine[pos.Line] = append(idx.byLine[pos.Line], name)
+		}
+	}
+	return idx
+}
+
+func parseDirective(text string) (name string, ok bool) {
+	if !strings.HasPrefix(text, DirectivePrefix) {
+		return "", false
+	}
+	rest := strings.TrimPrefix(text, DirectivePrefix)
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	if rest == "" {
+		return "", false
+	}
+	return rest, true
+}
+
+// SuppressedAt reports whether directive name is attached to pos's
+// line: trailing on the same line, or alone on the line directly above.
+func (d *DirectiveIndex) SuppressedAt(fset *token.FileSet, pos token.Pos, name string) bool {
+	line := fset.Position(pos).Line
+	for _, n := range d.byLine[line] {
+		if n == name {
+			return true
+		}
+	}
+	for _, n := range d.byLine[line-1] {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// FileLevel reports whether directive name appears in the file's doc
+// region (before or on the package clause), marking the whole file.
+func (d *DirectiveIndex) FileLevel(name string) bool { return d.fileLevel[name] }
+
+// FileHasDirective reports whether the given parsed file carries the
+// file-level directive — a convenience for scope decisions that are
+// made per file rather than per diagnostic site.
+func FileHasDirective(fset *token.FileSet, f *ast.File, name string) bool {
+	return IndexDirectives(fset, f).FileLevel(name)
+}

@@ -1,0 +1,54 @@
+package framework
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// ApplyFixes collects every suggested fix in diags and returns the
+// rewritten file contents, keyed by absolute path. Overlapping edits
+// are rejected rather than guessed at: the caller re-runs the suite
+// after applying one round.
+func ApplyFixes(fset *token.FileSet, sources map[string][]byte, diags []Diagnostic) (map[string][]byte, error) {
+	type edit struct {
+		start, end int
+		text       []byte
+	}
+	perFile := map[string][]edit{}
+	for _, d := range diags {
+		for _, fix := range d.SuggestedFixes {
+			for _, te := range fix.TextEdits {
+				p := fset.Position(te.Pos)
+				end := p.Offset
+				if te.End.IsValid() {
+					end = fset.Position(te.End).Offset
+				}
+				perFile[p.Filename] = append(perFile[p.Filename], edit{p.Offset, end, te.NewText})
+			}
+		}
+	}
+	out := map[string][]byte{}
+	for file, edits := range perFile {
+		src, ok := sources[file]
+		if !ok {
+			return nil, fmt.Errorf("fix: no source for %s", file)
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start < edits[j].start })
+		for i := 1; i < len(edits); i++ {
+			if edits[i].start < edits[i-1].end {
+				return nil, fmt.Errorf("fix: overlapping edits in %s; apply and re-run", file)
+			}
+		}
+		var buf []byte
+		last := 0
+		for _, e := range edits {
+			buf = append(buf, src[last:e.start]...)
+			buf = append(buf, e.text...)
+			last = e.end
+		}
+		buf = append(buf, src[last:]...)
+		out[file] = buf
+	}
+	return out, nil
+}

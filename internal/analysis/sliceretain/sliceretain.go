@@ -1,0 +1,266 @@
+// Package sliceretain flags the ring-head pop pattern that pins popped
+// elements in a long-lived slice's backing array.
+//
+// Invariant: popping from a queue or ring held in a struct field or
+// package variable with `q = q[1:]` keeps the popped element reachable
+// through the backing array for the queue's whole lifetime — the exact
+// leak fixed twice in this repo (resultCache.order pinning evicted key
+// strings, Scheduler.queue pinning every completed *Job with its result
+// payload). The slot must be zeroed before the reslice:
+//
+//	q[0] = nil // or the element type's zero value
+//	q = q[1:]
+//
+// Only pops from long-lived homes (field selectors, package-level
+// variables) with memory-retaining element types (pointers, interfaces,
+// maps, chans, funcs, slices, strings, or structs containing them) are
+// flagged; a local []int scratch slice is not a leak. Suppress with
+// //chaos:sliceretain-ok <reason>.
+package sliceretain
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"chaos/internal/analysis/framework"
+)
+
+// Analyzer is the sliceretain analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "sliceretain",
+	Doc: "flags q = q[1:] pops on long-lived slices without zeroing the popped slot\n\n" +
+		"Reslicing from the front keeps popped elements reachable through the\n" +
+		"backing array. Zero the slot first (q[0] = nil), or annotate\n" +
+		"//chaos:sliceretain-ok <reason> when retention is intended.",
+	Run: run,
+}
+
+// Directive is the per-site suppression annotation.
+const Directive = "sliceretain-ok"
+
+func run(pass *framework.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			for i, s := range block.List {
+				as, ok := s.(*ast.AssignStmt)
+				if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+					continue
+				}
+				checkPop(pass, block, i, as)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkPop(pass *framework.Pass, block *ast.BlockStmt, idx int, as *ast.AssignStmt) {
+	slice, ok := as.Rhs[0].(*ast.SliceExpr)
+	if !ok || slice.Slice3 || slice.High != nil || slice.Low == nil {
+		return
+	}
+	if isZeroLiteral(pass, slice.Low) {
+		return
+	}
+	if !exprEqual(as.Lhs[0], slice.X) {
+		return
+	}
+	if !longLived(pass, as.Lhs[0]) {
+		return
+	}
+	t := pass.TypesInfo.TypeOf(as.Lhs[0])
+	if t == nil {
+		return
+	}
+	st, ok := t.Underlying().(*types.Slice)
+	if !ok || !retainsMemory(st.Elem(), map[types.Type]bool{}) {
+		return
+	}
+	if zeroedBefore(pass, block, idx, as.Lhs[0]) {
+		return
+	}
+	if pass.Suppressed(Directive, as.Pos()) {
+		return
+	}
+	sliceText := exprText(pass, as.Lhs[0])
+	d := framework.Diagnostic{
+		Pos: as.Pos(),
+		End: as.End(),
+		Message: fmt.Sprintf(
+			"%s = %s[...:] pins the popped element in the backing array; zero %s[0] before reslicing "+
+				"(ring-head leak: see resultCache.order / Scheduler.queue), or annotate //chaos:%s <reason>",
+			sliceText, sliceText, sliceText, Directive),
+	}
+	if fix, ok := zeroSlotFix(pass, as, slice, st.Elem()); ok {
+		d.SuggestedFixes = []framework.SuggestedFix{fix}
+	}
+	pass.Report(d)
+}
+
+// zeroedBefore scans up to three statements immediately preceding the
+// pop for an assignment into an element of the same slice (q[0] = nil,
+// q[i] = zero, or a clearing loop).
+func zeroedBefore(pass *framework.Pass, block *ast.BlockStmt, idx int, sliceExpr ast.Expr) bool {
+	for back := 1; back <= 3 && idx-back >= 0; back++ {
+		s := block.List[idx-back]
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				ie, ok := lhs.(*ast.IndexExpr)
+				if ok && exprEqual(ie.X, sliceExpr) {
+					found = true
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// zeroSlotFix inserts `q[0] = <zero>` on the line before a `q = q[1:]`
+// pop. Only offered for the literal low bound 1, where slot 0 is
+// unambiguously the popped element.
+func zeroSlotFix(pass *framework.Pass, as *ast.AssignStmt, slice *ast.SliceExpr, elem types.Type) (framework.SuggestedFix, bool) {
+	if !isIntLiteral(pass, slice.Low, 1) {
+		return framework.SuggestedFix{}, false
+	}
+	zero, ok := zeroValue(pass, elem)
+	if !ok {
+		return framework.SuggestedFix{}, false
+	}
+	src := pass.Source(as.Pos())
+	if src == nil {
+		return framework.SuggestedFix{}, false
+	}
+	file := pass.Fset.File(as.Pos())
+	lineStart := file.LineStart(pass.Fset.Position(as.Pos()).Line)
+	indent := string(src[file.Offset(lineStart):file.Offset(as.Pos())])
+	if strings.TrimSpace(indent) != "" {
+		return framework.SuggestedFix{}, false
+	}
+	text := fmt.Sprintf("%s[0] = %s\n%s", exprText(pass, as.Lhs[0]), zero, indent)
+	return framework.SuggestedFix{
+		Message: "zero the popped slot before reslicing",
+		TextEdits: []framework.TextEdit{
+			{Pos: as.Pos(), End: as.Pos(), NewText: []byte(text)},
+		},
+	}, true
+}
+
+func zeroValue(pass *framework.Pass, t types.Type) (string, bool) {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Map, *types.Chan, *types.Signature, *types.Slice:
+		return "nil", true
+	case *types.Basic:
+		if u.Info()&types.IsString != 0 {
+			return `""`, true
+		}
+		return "", false
+	case *types.Struct:
+		return types.TypeString(t, types.RelativeTo(pass.Pkg)) + "{}", true
+	}
+	return "", false
+}
+
+// longLived reports whether the slice lives beyond the enclosing
+// function: a field selector (m.q, c.order) or a package-level var.
+func longLived(pass *framework.Pass, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if s, ok := pass.TypesInfo.Selections[e]; ok && s.Kind() == types.FieldVal {
+			return true
+		}
+		// Qualified package-level var (pkg.Var).
+		if id, ok := e.X.(*ast.Ident); ok {
+			if _, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+				return true
+			}
+		}
+		return false
+	case *ast.Ident:
+		obj, ok := pass.TypesInfo.Uses[e].(*types.Var)
+		if !ok {
+			return false
+		}
+		return obj.Parent() == pass.Pkg.Scope()
+	default:
+		return false
+	}
+}
+
+// retainsMemory reports whether keeping a value of t alive retains
+// heap memory beyond the value itself.
+func retainsMemory(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Map, *types.Chan, *types.Signature, *types.Slice:
+		return true
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if retainsMemory(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return retainsMemory(u.Elem(), seen)
+	}
+	return false
+}
+
+func isZeroLiteral(pass *framework.Pass, e ast.Expr) bool {
+	return isIntLiteral(pass, e, 0)
+}
+
+func isIntLiteral(pass *framework.Pass, e ast.Expr, want int64) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v, ok := constant.Int64Val(constant.ToInt(tv.Value))
+	return ok && v == want
+}
+
+// exprEqual compares two ident/selector/index chains structurally.
+func exprEqual(a, b ast.Expr) bool {
+	switch a := a.(type) {
+	case *ast.Ident:
+		bb, ok := b.(*ast.Ident)
+		return ok && a.Name == bb.Name
+	case *ast.SelectorExpr:
+		bb, ok := b.(*ast.SelectorExpr)
+		return ok && a.Sel.Name == bb.Sel.Name && exprEqual(a.X, bb.X)
+	case *ast.ParenExpr:
+		return exprEqual(a.X, b)
+	default:
+		return false
+	}
+}
+
+func exprText(pass *framework.Pass, e ast.Expr) string {
+	src := pass.Source(e.Pos())
+	if src == nil {
+		return "slice"
+	}
+	file := pass.Fset.File(e.Pos())
+	return string(src[file.Offset(e.Pos()):file.Offset(e.End())])
+}

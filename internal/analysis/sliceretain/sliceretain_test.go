@@ -1,0 +1,33 @@
+package sliceretain_test
+
+import (
+	"strings"
+	"testing"
+
+	"chaos/internal/analysis/analysistest"
+	"chaos/internal/analysis/sliceretain"
+)
+
+func TestSliceretain(t *testing.T) {
+	diags := analysistest.Run(t, sliceretain.Analyzer, "a")
+	// The q = q[1:] pops must carry the zero-the-slot fix; the
+	// variable-bound pop must not.
+	var withFix, withoutFix int
+	for _, d := range diags {
+		if len(d.SuggestedFixes) > 0 {
+			withFix++
+			edit := string(d.SuggestedFixes[0].TextEdits[0].NewText)
+			if !strings.Contains(edit, "[0] = ") {
+				t.Errorf("fix does not zero slot 0: %q", edit)
+			}
+		} else {
+			withoutFix++
+		}
+	}
+	if withFix < 3 {
+		t.Errorf("expected >=3 diagnostics with the zero-slot fix, got %d", withFix)
+	}
+	if withoutFix < 1 {
+		t.Errorf("expected the variable-bound pop to come without a fix")
+	}
+}

@@ -1,0 +1,66 @@
+// Package a exercises sliceretain: front-pops on long-lived slices.
+package a
+
+// queue is the ring-head shape that leaked twice in the engine's
+// history: a struct-field slice of pointers popped from the front.
+type queue struct {
+	jobs []*job
+	ids  []string
+	nums []int
+}
+
+type job struct{ payload []byte }
+
+func (q *queue) popLeak() *job {
+	j := q.jobs[0]
+	q.jobs = q.jobs[1:] // want `pins the popped element in the backing array`
+	return j
+}
+
+func (q *queue) popZeroed() *job {
+	j := q.jobs[0]
+	q.jobs[0] = nil
+	q.jobs = q.jobs[1:]
+	return j
+}
+
+func (q *queue) popString() string {
+	s := q.ids[0]
+	q.ids = q.ids[1:] // want `pins the popped element in the backing array`
+	return s
+}
+
+// []int elements retain nothing beyond themselves: not a leak.
+func (q *queue) popInt() int {
+	n := q.nums[0]
+	q.nums = q.nums[1:]
+	return n
+}
+
+// pending is package-level, so it outlives any one call.
+var pending []*job
+
+func drainOne() {
+	pending = pending[1:] // want `pins the popped element in the backing array`
+}
+
+// A local scratch slice dies with the call; the backing array goes
+// with it.
+func localPop(in []*job) *job {
+	work := in
+	j := work[0]
+	work = work[1:]
+	return j
+}
+
+func (q *queue) popAnnotated() *job {
+	j := q.jobs[0]
+	q.jobs = q.jobs[1:] //chaos:sliceretain-ok fixture: bounded queue, retention measured harmless
+	return j
+}
+
+// A variable low bound is still a front-pop; no mechanical fix is
+// offered because the popped range is not statically slot 0.
+func (q *queue) popN(n int) {
+	q.jobs = q.jobs[n:] // want `pins the popped element in the backing array`
+}

@@ -1,0 +1,37 @@
+// Package a exercises wallclock: clock and global-rand reads in a
+// deterministic file.
+//
+//chaos:deterministic
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clockReads() time.Duration {
+	start := time.Now()      // want `reads the host clock`
+	return time.Since(start) // want `reads the host clock`
+}
+
+var _ = func() {
+	time.Sleep(0) // want `reads the host clock`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `process-global random source`
+}
+
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10) // methods on a seeded generator are fine
+}
+
+func typeUseOK(r *rand.Rand, d time.Duration) time.Time {
+	var t time.Time
+	return t.Add(d)
+}
+
+func annotated() time.Time {
+	return time.Now() //chaos:wallclock-ok fixture: sanctioned wall-time measurement
+}

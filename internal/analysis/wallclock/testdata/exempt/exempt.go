@@ -1,0 +1,15 @@
+// Package exempt is under the determinism contract but measures wall
+// time by design, the native-plane shape: the file-level directive
+// switches wallclock off for the whole file.
+//
+//chaos:deterministic
+//chaos:wallclock-ok this fixture stands in for the native plane's clock
+package exempt
+
+import "time"
+
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+func Stamp() time.Time { return time.Now() }

@@ -1,0 +1,110 @@
+// Package wallclock forbids host wall-clock and global-randomness
+// reads inside the repo's deterministic code.
+//
+// Invariant: the DES driver runs on virtual time — sim.Time advances
+// only through simulated events — and every randomized decision draws
+// from a seeded *rand.Rand. A time.Now, time.Since or global math/rand
+// call inside the deterministic packages smuggles host state into the
+// run and breaks equal-seed reproducibility. The native plane is the
+// sanctioned exception: files that measure wall-clock by design carry a
+// file-level //chaos:wallclock-ok directive (native.go's elapsed
+// clock); individual call sites may carry the same directive inline.
+//
+// Constructing seeded generators (rand.New, rand.NewSource) is allowed
+// everywhere — only draws from the package-global source are flagged.
+package wallclock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"chaos/internal/analysis/detscope"
+	"chaos/internal/analysis/framework"
+)
+
+// Analyzer is the wallclock analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "wallclock",
+	Doc: "forbids wall-clock and global math/rand in deterministic code\n\n" +
+		"time.Now/Since/Until, timers and package-global math/rand draws make a\n" +
+		"run depend on host speed and process-global state. Deterministic\n" +
+		"packages must take time from the simulation (sim.Time) and randomness\n" +
+		"from a seeded *rand.Rand. Files that measure wall time by design (the\n" +
+		"native plane's clock) carry //chaos:wallclock-ok at file level.",
+	Run: run,
+}
+
+// Directive suppresses a finding at a call site (line level) or for a
+// whole file (in the file's doc region).
+const Directive = "wallclock-ok"
+
+// forbiddenTime are the time-package functions that read the host
+// clock or schedule against it.
+var forbiddenTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+// allowedRand are the math/rand package-level functions that merely
+// construct seeded state rather than drawing from the global source.
+var allowedRand = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+func run(pass *framework.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		if !detscope.FileInWallClockScope(pass, f) {
+			continue
+		}
+		if framework.FileHasDirective(pass.Fset, f, Directive) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgID, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			// Only package-level *functions* are clock/randomness
+			// reads; rand.Rand in a type position or method values on
+			// a seeded generator are fine.
+			if _, isFunc := pass.TypesInfo.Uses[sel.Sel].(*types.Func); !isFunc {
+				return true
+			}
+			var what string
+			switch pkgName.Imported().Path() {
+			case "time":
+				if forbiddenTime[sel.Sel.Name] {
+					what = "reads the host clock"
+				}
+			case "math/rand", "math/rand/v2":
+				// Package-level functions draw from the process-global
+				// source; methods on a seeded *rand.Rand resolve to the
+				// type, not the package, and never reach here.
+				if !allowedRand[sel.Sel.Name] {
+					what = "draws from the process-global random source"
+				}
+			}
+			if what == "" {
+				return true
+			}
+			if pass.Suppressed(Directive, sel.Pos()) {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"%s.%s %s in deterministic code; use sim.Time / a seeded *rand.Rand, "+
+					"or annotate //chaos:%s <reason> for sanctioned wall-time measurement",
+				pkgID.Name, sel.Sel.Name, what, Directive)
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"chaos/internal/analysis/analysistest"
+	"chaos/internal/analysis/wallclock"
+)
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, wallclock.Analyzer, "a", "exempt")
+}

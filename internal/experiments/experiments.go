@@ -4,6 +4,13 @@
 // rack described in DESIGN.md. Absolute numbers differ from the paper's
 // testbed; shapes, winners and crossovers are the reproduction target, and
 // EXPERIMENTS.md records both sides for every experiment.
+//
+// Record emission must be byte-stable across runs — BENCH_*.json files
+// are committed and diffed — so every file in this package that could
+// iterate a map carries //chaos:sorted-maps and is checked by
+// chaos-vet's detrange analyzer.
+//
+//chaos:sorted-maps
 package experiments
 
 import (

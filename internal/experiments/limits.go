@@ -1,3 +1,7 @@
+// Emission/listing order in this file must be byte-stable across runs:
+// chaos-vet's detrange analyzer checks every map iteration below.
+//
+//chaos:sorted-maps
 package experiments
 
 import (

@@ -162,6 +162,12 @@ func (o Options) Canonical() Options {
 	if c.CheckpointEvery < 0 {
 		c.CheckpointEvery = 0
 	}
+	// CentralDirectory, CombineUpdates, RewriteEdges and
+	// ReplicateVertices are pure feature toggles with no implied
+	// defaults: their canonical form is themselves. Named here so the
+	// fingerprint analyzer proves no field was forgotten instead of
+	// assuming the `c := o` copy was intentional.
+	_, _, _, _ = c.CentralDirectory, c.CombineUpdates, c.RewriteEdges, c.ReplicateVertices
 	if c.FailAtIteration < 0 {
 		c.FailAtIteration = 0
 	}
