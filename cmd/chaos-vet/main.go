@@ -19,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"go/token"
 	"os"
 	"strings"
 
@@ -75,16 +76,20 @@ func main() {
 		}
 	}
 
+	// One FileSet serves every load of the run: package patterns and
+	// standalone files alike. Mixing FileSets would make diagnostics
+	// from one loader resolve into files of another.
+	fset := token.NewFileSet()
 	var pkgs []*framework.Package
 	if len(pkgPatterns) > 0 {
-		loaded, err := framework.Load(".", pkgPatterns...)
+		loaded, err := framework.Load(fset, ".", pkgPatterns...)
 		if err != nil {
 			cli.Fatal(logger, "load", err)
 		}
 		pkgs = loaded
 	}
 	for _, f := range files {
-		pkg, err := framework.LoadFile(".", f)
+		pkg, err := framework.LoadFile(fset, ".", f)
 		if err != nil {
 			cli.Fatal(logger, "load file", err)
 		}
@@ -102,7 +107,6 @@ func main() {
 		return
 	}
 
-	fset := pkgs[0].Fset
 	for _, d := range diags {
 		p := fset.Position(d.Pos)
 		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s [%s]\n", p.Filename, p.Line, p.Column, d.Message, d.Analyzer)
@@ -131,7 +135,9 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "chaos-vet: rewrote %s\n", path)
 		}
-		fmt.Fprintf(os.Stderr, "chaos-vet: fixes applied; run gofmt and re-run chaos-vet\n")
+		if len(fixed) > 0 {
+			fmt.Fprintf(os.Stderr, "chaos-vet: fixes applied; run gofmt and re-run chaos-vet\n")
+		}
 	}
 	os.Exit(1)
 }

@@ -21,6 +21,7 @@ package analysistest
 
 import (
 	"fmt"
+	"go/token"
 	"regexp"
 	"strings"
 	"testing"
@@ -36,7 +37,7 @@ func Run(t *testing.T, a *framework.Analyzer, fixtures ...string) []framework.Di
 	t.Helper()
 	var all []framework.Diagnostic
 	for _, fx := range fixtures {
-		pkgs, err := framework.Load(".", "./testdata/"+fx)
+		pkgs, err := framework.Load(token.NewFileSet(), ".", "./testdata/"+fx)
 		if err != nil {
 			t.Fatalf("loading fixture %s: %v", fx, err)
 		}

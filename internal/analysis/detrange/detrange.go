@@ -99,7 +99,7 @@ func checkFunc(pass *framework.Pass, fnBody *ast.BlockStmt) {
 					"iterate sorted keys, or annotate //chaos:%s <reason> if order provably cannot leak",
 				typeLabel(pass, rs.X), Directive),
 		}
-		if fix, ok := sortKeysFix(pass, rs); ok {
+		if fix, ok := sortKeysFix(pass, rs, fnBody); ok {
 			d.SuggestedFixes = []framework.SuggestedFix{fix}
 		}
 		pass.Report(d)
@@ -430,9 +430,9 @@ func (c *classifier) isBodyLocal(obj types.Object) bool {
 //	sort.Slice(keys, ...)
 //	for _, k := range keys { v := m[k]; ... }
 //
-// offered when the map expression is a pure ident/selector chain and
-// the key type is ordered.
-func sortKeysFix(pass *framework.Pass, rs *ast.RangeStmt) (framework.SuggestedFix, bool) {
+// offered when the map expression is a pure ident/selector chain, the
+// key type is ordered, and the sort import is present or insertable.
+func sortKeysFix(pass *framework.Pass, rs *ast.RangeStmt, fnBody *ast.BlockStmt) (framework.SuggestedFix, bool) {
 	key, ok := rs.Key.(*ast.Ident)
 	if !ok || key.Name == "_" || rs.Tok != token.DEFINE {
 		return framework.SuggestedFix{}, false
@@ -442,6 +442,13 @@ func sortKeysFix(pass *framework.Pass, rs *ast.RangeStmt) (framework.SuggestedFi
 	}
 	mt, ok := pass.TypesInfo.TypeOf(rs.X).Underlying().(*types.Map)
 	if !ok || !isOrdered(mt.Key()) {
+		return framework.SuggestedFix{}, false
+	}
+	// The rewrite calls sort.Slice; if sort is not already imported and
+	// the file has no parenthesized import block to extend, the fix
+	// would not compile — withhold it rather than emit broken code.
+	impEdit, impNeeded, impOK := importEdit(pass, rs.Pos(), "sort")
+	if !impOK {
 		return framework.SuggestedFix{}, false
 	}
 	src := pass.Source(rs.Pos())
@@ -458,7 +465,7 @@ func sortKeysFix(pass *framework.Pass, rs *ast.RangeStmt) (framework.SuggestedFi
 	}
 	mapText := string(src[off(rs.X.Pos()):off(rs.X.End())])
 	keyType := types.TypeString(mt.Key(), types.RelativeTo(pass.Pkg))
-	keysName := key.Name + "s"
+	keysName := freshName(fnBody, key.Name+"s")
 	bodyText := string(src[off(rs.Body.Lbrace)+1 : off(rs.Body.Rbrace)])
 
 	var b strings.Builder
@@ -476,8 +483,8 @@ func sortKeysFix(pass *framework.Pass, rs *ast.RangeStmt) (framework.SuggestedFi
 	b.WriteString("}")
 
 	edits := []framework.TextEdit{{Pos: rs.Pos(), End: rs.End(), NewText: []byte(b.String())}}
-	if e, ok := importEdit(pass, rs.Pos(), "sort"); ok {
-		edits = append(edits, e)
+	if impNeeded {
+		edits = append(edits, impEdit)
 	}
 	return framework.SuggestedFix{
 		Message:   "iterate over sorted keys",
@@ -485,10 +492,12 @@ func sortKeysFix(pass *framework.Pass, rs *ast.RangeStmt) (framework.SuggestedFi
 	}, true
 }
 
-// importEdit returns an edit adding path to the file's import block if
-// missing. ok is false when the import already exists (no edit needed)
-// or when there is no parenthesized block to extend.
-func importEdit(pass *framework.Pass, at token.Pos, path string) (framework.TextEdit, bool) {
+// importEdit locates or builds the edit that makes path importable in
+// the file containing at. needed is false when the import already
+// exists (the rewrite compiles with no edit); ok is false when the
+// import is missing and the file has no parenthesized import block to
+// extend, so no compiling edit can be built.
+func importEdit(pass *framework.Pass, at token.Pos, path string) (edit framework.TextEdit, needed, ok bool) {
 	filename := pass.Fset.Position(at).Filename
 	for _, f := range pass.Files {
 		if pass.Fset.Position(f.Pos()).Filename != filename {
@@ -496,7 +505,7 @@ func importEdit(pass *framework.Pass, at token.Pos, path string) (framework.Text
 		}
 		for _, imp := range f.Imports {
 			if strings.Trim(imp.Path.Value, `"`) == path {
-				return framework.TextEdit{}, false
+				return framework.TextEdit{}, false, true
 			}
 		}
 		for _, d := range f.Decls {
@@ -508,10 +517,29 @@ func importEdit(pass *framework.Pass, at token.Pos, path string) (framework.Text
 				Pos:     gd.Lparen + 1,
 				End:     gd.Lparen + 1,
 				NewText: []byte("\n\t\"" + path + "\""),
-			}, true
+			}, true, true
 		}
 	}
-	return framework.TextEdit{}, false
+	return framework.TextEdit{}, false, false
+}
+
+// freshName returns base, or base with a numeric suffix, such that the
+// name is not used anywhere in the enclosing function body. Shadowing
+// an outer-scope name the body never mentions is harmless; colliding
+// with one it does mention would silently rebind the body's reads.
+func freshName(fnBody *ast.BlockStmt, base string) string {
+	used := map[string]bool{}
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			used[id.Name] = true
+		}
+		return true
+	})
+	name := base
+	for i := 2; used[name]; i++ {
+		name = fmt.Sprintf("%s%d", base, i)
+	}
+	return name
 }
 
 func pureChain(e ast.Expr) bool {

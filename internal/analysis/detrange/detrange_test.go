@@ -9,20 +9,33 @@ import (
 )
 
 func TestDetrange(t *testing.T) {
-	diags := analysistest.Run(t, detrange.Analyzer, "a", "b")
+	diags := analysistest.Run(t, detrange.Analyzer, "a", "b", "c")
 	// The collect-without-sort case is the mechanical one: it must
-	// carry the sort-the-keys rewrite.
-	var sawFix bool
+	// carry the sort-the-keys rewrite. The collide fixture's fix must
+	// rename its keys slice away from the `ks` the body already uses,
+	// and fixture c (no import block to add sort to) must report its
+	// range with no fix at all — a fix there would not compile.
+	var sawFix, sawFresh bool
 	for _, d := range diags {
 		for _, fix := range d.SuggestedFixes {
 			for _, e := range fix.TextEdits {
-				if strings.Contains(string(e.NewText), "sort.Slice(") {
+				text := string(e.NewText)
+				if strings.Contains(text, "sort.Slice(") {
 					sawFix = true
+				}
+				if strings.Contains(text, "ks2 := make(") {
+					sawFresh = true
+				}
+				if strings.Contains(text, "len(mm)") {
+					t.Errorf("fixture c got a fix despite having no import block to extend: %q", text)
 				}
 			}
 		}
 	}
 	if !sawFix {
 		t.Errorf("no diagnostic carried the sort-the-keys suggested fix")
+	}
+	if !sawFresh {
+		t.Errorf("collide fixture's fix did not rename the keys slice to ks2")
 	}
 }

@@ -103,3 +103,14 @@ func conflictingConst(m map[string]bool) int {
 	}
 	return mode
 }
+
+// The function already uses `ks`, the name the fix would derive from
+// the key variable `k`; the generated keys slice must pick a fresh
+// name (ks2) or the rewritten body's appends would target it.
+func collide(m map[string]int) []string {
+	var ks []string
+	for k := range m { // want `nondeterministic order`
+		ks = append(ks, k)
+	}
+	return ks
+}

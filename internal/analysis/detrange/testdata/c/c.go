@@ -1,0 +1,18 @@
+// Package c exercises the sort-the-keys fix's import handling: this
+// file has only a single-line import and no parenthesized block to
+// extend, so the rewrite's sort.Slice call cannot be made to compile —
+// the diagnostic must still fire, but without a suggested fix.
+//
+//chaos:deterministic
+package c
+
+import "fmt"
+
+func Collect(mm map[string]int) []string {
+	var out []string
+	for key := range mm { // want `nondeterministic order`
+		out = append(out, key)
+	}
+	_ = fmt.Sprint(len(out))
+	return out
+}

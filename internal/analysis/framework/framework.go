@@ -100,8 +100,18 @@ type TextEdit struct {
 }
 
 // Run applies each analyzer to each package and returns all
-// diagnostics in file/position order.
+// diagnostics in file/position order. Every package must have been
+// loaded into the same FileSet: a Pos is an offset into one FileSet,
+// and resolving it against another silently yields positions in the
+// wrong file (and, under -fix, rewrites of the wrong file).
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	for i := 1; i < len(pkgs); i++ {
+		if pkgs[i].Fset != pkgs[0].Fset {
+			return nil, fmt.Errorf(
+				"packages %s and %s were loaded into different FileSets; pass one shared FileSet to every Load/LoadFile call of a run",
+				pkgs[0].PkgPath, pkgs[i].PkgPath)
+		}
+	}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {

@@ -66,7 +66,13 @@ type listPackage struct {
 // invariants constrain production code, and test files routinely (and
 // legitimately) use maps, wall clocks and hooks in ways the analyzers
 // would have to special-case.
-func Load(dir string, patterns ...string) ([]*Package, error) {
+//
+// The caller supplies the FileSet. Every package analyzed in one run —
+// across any number of Load and LoadFile calls — must share a single
+// FileSet, because diagnostic positions are resolved against one
+// FileSet when printing, sorting and applying fixes; Run rejects
+// packages loaded into different FileSets.
+func Load(fset *token.FileSet, dir string, patterns ...string) ([]*Package, error) {
 	args := append([]string{
 		"list", "-export", "-deps",
 		"-json=ImportPath,Dir,Export,Standard,DepOnly,GoFiles,Error",
@@ -103,7 +109,6 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		}
 	}
 
-	fset := token.NewFileSet()
 	imp := exportImporter(fset, exports)
 	var pkgs []*Package
 	for _, t := range targets {
@@ -120,7 +125,11 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 // sources the go command will not list, such as scripts carrying a
 // //go:build ignore tag. Imports still resolve through export data, so
 // the file is type-checked exactly as `go run` would compile it.
-func LoadFile(dir, file string) (*Package, error) {
+//
+// As with Load, the caller supplies the FileSet, and it must be the
+// same one used for every other package of the run: positions only
+// mean anything relative to the FileSet that minted them.
+func LoadFile(fset *token.FileSet, dir, file string) (*Package, error) {
 	abs := file
 	if !filepath.IsAbs(abs) {
 		abs = filepath.Join(dir, file)
@@ -129,7 +138,6 @@ func LoadFile(dir, file string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	fset := token.NewFileSet()
 	f, err := parser.ParseFile(fset, abs, src, parser.ParseComments|parser.SkipObjectResolution)
 	if err != nil {
 		return nil, err

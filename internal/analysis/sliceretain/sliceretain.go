@@ -106,20 +106,36 @@ func checkPop(pass *framework.Pass, block *ast.BlockStmt, idx int, as *ast.Assig
 }
 
 // zeroedBefore scans up to three statements immediately preceding the
-// pop for an assignment into an element of the same slice (q[0] = nil,
-// q[i] = zero, or a clearing loop).
+// pop for a store that actually releases the popped slot: the element
+// zero value written to slot 0 (q[0] = nil), or to a loop-computed slot
+// when the store sits inside a for/range clearing loop (the q[n:] pop
+// shape). An arbitrary element write — q[i] = v at top level, or a
+// non-zero store into slot 0 — replaces a slot without releasing the
+// popped one and must not silence the diagnostic; this mirrors the
+// strictness zeroSlotFix applies when generating the fix.
 func zeroedBefore(pass *framework.Pass, block *ast.BlockStmt, idx int, sliceExpr ast.Expr) bool {
 	for back := 1; back <= 3 && idx-back >= 0; back++ {
 		s := block.List[idx-back]
+		inLoop := false
+		switch s.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			inLoop = true
+		}
 		found := false
 		ast.Inspect(s, func(n ast.Node) bool {
 			as, ok := n.(*ast.AssignStmt)
-			if !ok {
+			if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != len(as.Rhs) {
 				return true
 			}
-			for _, lhs := range as.Lhs {
+			for i, lhs := range as.Lhs {
 				ie, ok := lhs.(*ast.IndexExpr)
-				if ok && exprEqual(ie.X, sliceExpr) {
+				if !ok || !exprEqual(ie.X, sliceExpr) {
+					continue
+				}
+				if !isZeroExpr(pass, as.Rhs[i]) {
+					continue
+				}
+				if isZeroLiteral(pass, ie.Index) || inLoop {
 					found = true
 				}
 			}
@@ -130,6 +146,36 @@ func zeroedBefore(pass *framework.Pass, block *ast.BlockStmt, idx int, sliceExpr
 		}
 	}
 	return false
+}
+
+// isZeroExpr reports whether e is syntactically the zero value of its
+// type: nil, a zero/false/empty-string constant, or an empty composite
+// literal.
+func isZeroExpr(pass *framework.Pass, e ast.Expr) bool {
+	if p, ok := e.(*ast.ParenExpr); ok {
+		return isZeroExpr(pass, p.X)
+	}
+	if tv, ok := pass.TypesInfo.Types[e]; ok {
+		if tv.IsNil() {
+			return true
+		}
+		if tv.Value != nil {
+			switch tv.Value.Kind() {
+			case constant.Bool:
+				return !constant.BoolVal(tv.Value)
+			case constant.String:
+				return constant.StringVal(tv.Value) == ""
+			case constant.Int, constant.Float:
+				return constant.Sign(tv.Value) == 0
+			case constant.Complex:
+				return constant.Sign(constant.Real(tv.Value)) == 0 &&
+					constant.Sign(constant.Imag(tv.Value)) == 0
+			}
+			return false
+		}
+	}
+	cl, ok := e.(*ast.CompositeLit)
+	return ok && len(cl.Elts) == 0
 }
 
 // zeroSlotFix inserts `q[0] = <zero>` on the line before a `q = q[1:]`

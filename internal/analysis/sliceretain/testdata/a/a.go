@@ -64,3 +64,37 @@ func (q *queue) popAnnotated() *job {
 func (q *queue) popN(n int) {
 	q.jobs = q.jobs[n:] // want `pins the popped element in the backing array`
 }
+
+// Writing an arbitrary element just before the pop does not release
+// slot 0: the popped job stays pinned.
+func (q *queue) popWriteOther(j *job, i int) *job {
+	out := q.jobs[0]
+	q.jobs[i] = j
+	q.jobs = q.jobs[1:] // want `pins the popped element in the backing array`
+	return out
+}
+
+// A non-zero store into slot 0 replaces the slot, it does not release
+// the value the reslice is about to strand.
+func (q *queue) popOverwrite(j *job) *job {
+	out := q.jobs[0]
+	q.jobs[0] = j
+	q.jobs = q.jobs[1:] // want `pins the popped element in the backing array`
+	return out
+}
+
+// A clearing loop releases every slot the multi-element pop strands.
+func (q *queue) dropN(n int) {
+	for i := 0; i < n; i++ {
+		q.jobs[i] = nil
+	}
+	q.jobs = q.jobs[n:]
+}
+
+// Zeroing a string slot with "" counts like nil for pointers.
+func (q *queue) popStringZeroed() string {
+	s := q.ids[0]
+	q.ids[0] = ""
+	q.ids = q.ids[1:]
+	return s
+}
