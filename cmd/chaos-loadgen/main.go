@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"chaos/internal/cli"
+	"chaos/internal/obs"
 )
 
 // Wire mirrors of the chaos-serve API types (README.md): only the
@@ -64,6 +65,7 @@ type jobRequest struct {
 type jobView struct {
 	ID         string     `json:"id"`
 	State      string     `json:"state"`
+	TraceID    string     `json:"traceId,omitempty"`
 	Error      string     `json:"error,omitempty"`
 	EnqueuedAt time.Time  `json:"enqueuedAt"`
 	StartedAt  *time.Time `json:"startedAt,omitempty"`
@@ -77,6 +79,8 @@ type jobEvent struct {
 
 // sample is one completed job's measurements.
 type sample struct {
+	jobID            string
+	traceID          string  // the job's end-to-end trace (GET /v1/traces/{id})
 	submitSeconds    float64 // successful POST /v1/jobs round-trip
 	e2eSeconds       float64 // submit start -> terminal state observed
 	queueWaitSeconds float64 // server-side StartedAt - EnqueuedAt
@@ -164,9 +168,10 @@ func main() {
 					Algorithm: *alg,
 					Options:   jobOptions{Machines: *machines, Seed: *seedBase + int64(i), Engine: *engine},
 				}
-				s := runJob(client, base, req, *jobTimeout, &rejected)
+				tp, tid := traceparentFor(i)
+				s := runJob(client, base, req, tp, tid, *jobTimeout, &rejected)
 				if s.failed {
-					logger.Error("job failed", "index", i)
+					logger.Error("job failed", "index", i, "job", s.jobID, "trace", s.traceID)
 				}
 				mu.Lock()
 				samples = append(samples, s)
@@ -192,6 +197,7 @@ func main() {
 	fmt.Printf("submit latency     p50 %.4fs  p95 %.4fs  p99 %.4fs\n", rec.SubmitSeconds.P50, rec.SubmitSeconds.P95, rec.SubmitSeconds.P99)
 	fmt.Printf("e2e job latency    p50 %.4fs  p95 %.4fs  p99 %.4fs\n", rec.E2ESeconds.P50, rec.E2ESeconds.P95, rec.E2ESeconds.P99)
 	fmt.Printf("queue wait         p50 %.4fs  p95 %.4fs  p99 %.4fs\n", rec.QueueWaitSeconds.P50, rec.QueueWaitSeconds.P95, rec.QueueWaitSeconds.P99)
+	printTraces(samples)
 
 	if *out != "" {
 		data, err := json.MarshalIndent(rec, "", "  ")
@@ -228,22 +234,45 @@ func registerGraph(client *http.Client, base string, scale int) (string, error) 
 	return g.ID, nil
 }
 
+// traceSeed distinguishes this loadgen process's traces; paired with
+// the job index it derives one trace per job (see internal/obs: ids are
+// derived, never random).
+var traceSeed = fmt.Sprintf("chaos-loadgen/%d/%d", os.Getpid(), time.Now().UnixNano())
+
+// traceparentFor mints the W3C traceparent for job i. The load
+// generator is the trace's origin: the server adopts the trace id and
+// parents its request span under the span id sent here, so the job's
+// tree records the submission as a remote caller.
+func traceparentFor(i int) (traceparent, traceID string) {
+	t := obs.DeriveTraceID(traceSeed, uint64(i))
+	s := obs.DeriveSpanID(t.String()+"/loadgen", uint64(i))
+	return obs.Traceparent(t, s), t.String()
+}
+
 // runJob submits one job and drives it to a terminal state, measuring
 // as it goes. Nothing here is fatal: every error path marks the sample
-// failed so the run's record reflects it.
-func runJob(client *http.Client, base string, req jobRequest, timeout time.Duration, rejected *atomic.Int64) sample {
+// failed so the run's record reflects it. The submission carries the
+// given traceparent so the server stitches the job's trace to ours; the
+// trace id rides the sample into the summary.
+func runJob(client *http.Client, base string, req jobRequest, traceparent, traceID string, timeout time.Duration, rejected *atomic.Int64) sample {
 	body, _ := json.Marshal(req)
 	start := time.Now()
 	deadline := start.Add(timeout)
 	var jv jobView
 	for {
 		if time.Now().After(deadline) {
-			return sample{failed: true}
+			return sample{traceID: traceID, failed: true}
 		}
 		postStart := time.Now()
-		resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+		post, err := http.NewRequest(http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
 		if err != nil {
-			return sample{failed: true}
+			return sample{traceID: traceID, failed: true}
+		}
+		post.Header.Set("Content-Type", "application/json")
+		post.Header.Set("traceparent", traceparent)
+		resp, err := client.Do(post)
+		if err != nil {
+			return sample{traceID: traceID, failed: true}
 		}
 		if resp.StatusCode == http.StatusTooManyRequests {
 			// Admission control: honor the backlog-derived Retry-After
@@ -259,14 +288,20 @@ func runJob(client *http.Client, base string, req jobRequest, timeout time.Durat
 		}
 		if resp.StatusCode != http.StatusAccepted {
 			resp.Body.Close()
-			return sample{failed: true}
+			return sample{traceID: traceID, failed: true}
 		}
 		err = json.NewDecoder(resp.Body).Decode(&jv)
 		resp.Body.Close()
 		if err != nil || jv.ID == "" {
-			return sample{failed: true}
+			return sample{traceID: traceID, failed: true}
 		}
-		s := sample{submitSeconds: time.Since(postStart).Seconds()}
+		// Prefer the server's view of the trace id: it equals ours when
+		// the traceparent was honored, and still identifies the job's
+		// trace if the server ever declines to adopt it.
+		if jv.TraceID != "" {
+			traceID = jv.TraceID
+		}
+		s := sample{jobID: jv.ID, traceID: traceID, submitSeconds: time.Since(postStart).Seconds()}
 		final, ok := follow(client, base, jv.ID, deadline)
 		if !ok {
 			s.failed = true
@@ -346,6 +381,39 @@ func pollJob(client *http.Client, base, id string, deadline time.Time) (jobView,
 		time.Sleep(100 * time.Millisecond)
 	}
 	return jobView{}, false
+}
+
+// slowestTraces is how many of the slowest completed jobs get their
+// trace ids printed, so the tail of the latency distribution is one
+// `GET /v1/traces/{id}` away from a span-by-span explanation.
+const slowestTraces = 5
+
+// printTraces points the operator at the interesting traces: the
+// slowest completed jobs (latency-tail forensics) and every failed job.
+func printTraces(samples []sample) {
+	var done, failed []sample
+	for _, s := range samples {
+		switch {
+		case s.failed:
+			failed = append(failed, s)
+		case s.traceID != "":
+			done = append(done, s)
+		}
+	}
+	sort.Slice(done, func(i, j int) bool { return done[i].e2eSeconds > done[j].e2eSeconds })
+	if len(done) > slowestTraces {
+		done = done[:slowestTraces]
+	}
+	for _, s := range done {
+		fmt.Printf("slowest            %s  e2e %.4fs  trace %s\n", s.jobID, s.e2eSeconds, s.traceID)
+	}
+	for _, s := range failed {
+		id := s.jobID
+		if id == "" {
+			id = "(no job id)" // failed before the server answered
+		}
+		fmt.Printf("failed             %s  trace %s\n", id, s.traceID)
+	}
 }
 
 // summarize folds the samples into the benchmark record. Failed jobs

@@ -2,7 +2,7 @@
 // progress hooks must never be storable — or stored — where the result
 // cache's fingerprint can see them.
 //
-// Two rules:
+// Three rules:
 //
 //  1. A struct that has a Fingerprint() string method must not declare
 //     a function-typed field (directly or inside a composite). A hook
@@ -18,7 +18,15 @@
 //     bypassing the context path and the "observation cannot perturb
 //     the run" tests that guard it.
 //
-// //chaos:ctxhook-ok on the offending line suppresses either rule.
+//  3. The WAL span hooks (durable.Journal.SetTrace / durable.WAL.
+//     SetTrace) are the same kind of observational plumbing one tier
+//     down: the hook is invoked under the journal's locks and must stay
+//     a passive reporter. Only the durable package itself and the
+//     service layer (which fans spans into its observability ring) may
+//     wire them; any other caller is installing a side channel the
+//     durability and determinism tests never exercise.
+//
+// //chaos:ctxhook-ok on the offending line suppresses any rule.
 package ctxhook
 
 import (
@@ -34,9 +42,11 @@ var Analyzer = &framework.Analyzer{
 	Doc: "keeps trace/progress hooks out of fingerprinted structs and off unsanctioned Config writes\n\n" +
 		"Hooks ride the context (chaos.WithProgress, chaos.WithTrace), never\n" +
 		"Options: a func-typed field on a struct with a Fingerprint method is\n" +
-		"flagged at its declaration, and assignments to core.Config's\n" +
+		"flagged at its declaration, assignments to core.Config's\n" +
 		"Progress/Trace/Interrupt fields are only allowed in the chaos root\n" +
-		"package and the engine drivers. Suppress with //chaos:ctxhook-ok.",
+		"package and the engine drivers, and the durable WAL/journal span\n" +
+		"hooks (SetTrace) may only be wired by the durable package and the\n" +
+		"service layer. Suppress with //chaos:ctxhook-ok.",
 	Run: run,
 }
 
@@ -58,10 +68,24 @@ var sanctioned = map[string]bool{
 	"chaos/internal/core/drive":  true,
 }
 
+// spanHookPkg owns the WAL/journal span hooks, and spanHookSanctioned
+// are the packages allowed to call its SetTrace installers: the owner
+// itself and the service layer, whose observability ring is the one
+// sanctioned sink for storage-tier spans.
+const spanHookPkg = "chaos/internal/durable"
+
+var spanHookSanctioned = map[string]bool{
+	"chaos/internal/durable": true,
+	"chaos/internal/service": true,
+}
+
 func run(pass *framework.Pass) (interface{}, error) {
 	checkFingerprintedFields(pass)
 	if !sanctioned[pass.Pkg.Path()] {
 		checkConfigWrites(pass)
+	}
+	if !spanHookSanctioned[pass.Pkg.Path()] {
+		checkSpanHookWires(pass)
 	}
 	return nil, nil
 }
@@ -148,6 +172,58 @@ func checkConfigWrites(pass *framework.Pass) {
 			return true
 		})
 	}
+}
+
+// checkSpanHookWires applies rule 3: calls to the durable package's
+// SetTrace span-hook installers outside the sanctioned packages. Method
+// values count too — storing journal.SetTrace for later defeats the
+// rule as thoroughly as calling it.
+func checkSpanHookWires(pass *framework.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recv, ok := spanHookInstaller(pass, sel)
+			if !ok {
+				return true
+			}
+			if pass.Suppressed(Directive, sel.Pos()) {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"durable.%s.SetTrace outside the durable/service plumbing: storage-tier spans flow to the "+
+					"service observability ring; a hook wired elsewhere runs under the journal's locks unseen "+
+					"by the durability tests", recv)
+			return true
+		})
+	}
+}
+
+// spanHookInstaller reports whether sel resolves to a SetTrace method
+// whose receiver is declared in the durable package, returning the
+// receiver type name for the diagnostic.
+func spanHookInstaller(pass *framework.Pass, sel *ast.SelectorExpr) (string, bool) {
+	if sel.Sel.Name != "SetTrace" {
+		return "", false
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return "", false
+	}
+	obj := s.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != spanHookPkg {
+		return "", false
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	if named, ok := recv.(*types.Named); ok {
+		return named.Obj().Name(), true
+	}
+	return "value", true
 }
 
 func configHookField(pass *framework.Pass, sel *ast.SelectorExpr) (string, bool) {

@@ -8,5 +8,5 @@ import (
 )
 
 func TestCtxhook(t *testing.T) {
-	analysistest.Run(t, ctxhook.Analyzer, "a", "b")
+	analysistest.Run(t, ctxhook.Analyzer, "a", "b", "c")
 }

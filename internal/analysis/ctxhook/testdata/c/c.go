@@ -1,0 +1,32 @@
+// Package c exercises ctxhook rule 3: it is neither the durable package
+// nor the service layer, so wiring the WAL/journal span hooks here
+// installs a storage-tier side channel the durability tests never see.
+package c
+
+import "chaos/internal/durable"
+
+func wireJournal(j *durable.Journal) {
+	j.SetTrace(func(durable.Span) {}) // want `durable\.Journal\.SetTrace outside the durable/service plumbing`
+}
+
+func wireWAL(w *durable.WAL) {
+	w.SetTrace(nil) // want `durable\.WAL\.SetTrace outside the durable/service plumbing`
+}
+
+func methodValue(j *durable.Journal) func(durable.SpanHook) {
+	return j.SetTrace // want `durable\.Journal\.SetTrace outside the durable/service plumbing`
+}
+
+// sameName has a SetTrace of its own; calling it is fine — rule 3 keys
+// on the durable package's receiver types, not the method name.
+type sameName struct{}
+
+func (sameName) SetTrace(durable.SpanHook) {}
+
+func unrelated(s sameName) {
+	s.SetTrace(nil)
+}
+
+func suppressed(w *durable.WAL) {
+	w.SetTrace(nil) //chaos:ctxhook-ok fixture stands in for the service wiring
+}

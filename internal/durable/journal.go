@@ -36,6 +36,7 @@ type Journal struct {
 	dirty bool     // written since the last fsync
 	syncs int      // fsyncs actually issued (batching effectiveness, /metrics)
 	err   error    // sticky write/sync error: the journal is dead once a write is lost
+	hook  SpanHook // observational span reporter, nil when tracing is off
 	stop  chan struct{}
 	done  chan struct{}
 
@@ -249,11 +250,15 @@ func (j *Journal) Append(payload []byte) error {
 	if j.err != nil {
 		return j.err
 	}
+	start := time.Now()
 	if _, err := j.f.Write(frame); err != nil {
 		j.err = fmt.Errorf("durable: journal append: %w", err)
 		return j.err
 	}
 	j.dirty = true
+	if j.hook != nil {
+		j.hook(Span{Op: "append", Start: start, Dur: time.Since(start), Bytes: len(payload)})
+	}
 	return nil
 }
 
@@ -271,12 +276,16 @@ func (j *Journal) syncLocked() error {
 	if !j.dirty {
 		return nil
 	}
+	start := time.Now()
 	if err := j.f.Sync(); err != nil {
 		j.err = fmt.Errorf("durable: journal sync: %w", err)
 		return j.err
 	}
 	j.dirty = false
 	j.syncs++
+	if j.hook != nil {
+		j.hook(Span{Op: "fsync", Start: start, Dur: time.Since(start)})
+	}
 	return nil
 }
 
@@ -311,6 +320,7 @@ func (j *Journal) flusher() {
 func (j *Journal) Rotate() (sealed int, err error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	start := time.Now()
 	if err := j.syncLocked(); err != nil {
 		return 0, err
 	}
@@ -326,6 +336,9 @@ func (j *Journal) Rotate() (sealed int, err error) {
 	sealed = j.seq
 	j.f = next
 	j.seq++
+	if j.hook != nil {
+		j.hook(Span{Op: "rotate", Start: start, Dur: time.Since(start)})
+	}
 	return sealed, nil
 }
 

@@ -19,6 +19,7 @@ type WAL struct {
 	appended  int        // records since the last compaction (snapshot policy input)
 	total     int        // records appended over the WAL's lifetime (this process)
 	snapshots int        // successful compactions (this process)
+	hook      SpanHook   // observational span reporter, nil when tracing is off
 	compactMu sync.Mutex // serializes Compact callers
 }
 
@@ -150,6 +151,7 @@ func (w *WAL) Compact(capture func() (any, error)) error {
 	w.mu.Lock()
 	w.appended = 0 // the new segment starts empty
 	w.mu.Unlock()
+	start := time.Now()
 	state, err := capture()
 	if err != nil {
 		return fmt.Errorf("durable: capturing snapshot state: %w", err)
@@ -162,7 +164,11 @@ func (w *WAL) Compact(capture func() (any, error)) error {
 	}
 	w.mu.Lock()
 	w.snapshots++
+	hook := w.hook
 	w.mu.Unlock()
+	if hook != nil {
+		hook(Span{Op: "snapshot", Start: start, Dur: time.Since(start)})
+	}
 	return nil
 }
 

@@ -18,27 +18,29 @@ import (
 	"chaos/internal/core/drive"
 )
 
-// Ring is a fixed-capacity span buffer with drop-oldest overflow.
-type Ring struct {
+// Ring is a fixed-capacity buffer with drop-oldest overflow. It is
+// generic over the record type: the engines' flight recorders hold
+// drive.Span, the service's WAL ops timeline holds its own record.
+type Ring[T any] struct {
 	mu      sync.Mutex
-	spans   []drive.Span // circular storage, len == cap
-	head    int          // index of the oldest span
-	size    int          // live spans, ≤ len(spans)
-	dropped uint64       // spans overwritten since creation
+	spans   []T    // circular storage, len == cap
+	head    int    // index of the oldest span
+	size    int    // live spans, ≤ len(spans)
+	dropped uint64 // spans overwritten since creation
 }
 
 // NewRing returns a ring holding at most capacity spans; a
 // non-positive capacity is bumped to 1 so Record always has a slot.
-func NewRing(capacity int) *Ring {
+func NewRing[T any](capacity int) *Ring[T] {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Ring{spans: make([]drive.Span, capacity)}
+	return &Ring[T]{spans: make([]T, capacity)}
 }
 
 // Record appends s, evicting the oldest span when full. Safe for
 // concurrent use; the critical section is one span copy.
-func (r *Ring) Record(s drive.Span) {
+func (r *Ring[T]) Record(s T) {
 	r.mu.Lock()
 	if r.size == len(r.spans) {
 		r.spans[r.head] = s
@@ -53,10 +55,10 @@ func (r *Ring) Record(s drive.Span) {
 
 // Snapshot returns the retained spans oldest-first plus the number
 // dropped to overflow. The slice is a copy; the ring keeps recording.
-func (r *Ring) Snapshot() ([]drive.Span, uint64) {
+func (r *Ring[T]) Snapshot() ([]T, uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]drive.Span, r.size)
+	out := make([]T, r.size)
 	for i := 0; i < r.size; i++ {
 		out[i] = r.spans[(r.head+i)%len(r.spans)]
 	}
@@ -64,7 +66,7 @@ func (r *Ring) Snapshot() ([]drive.Span, uint64) {
 }
 
 // Dropped returns the overflow count alone.
-func (r *Ring) Dropped() uint64 {
+func (r *Ring[T]) Dropped() uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.dropped
@@ -74,13 +76,17 @@ func (r *Ring) Dropped() uint64 {
 // format (ph "X" = complete event with ts+dur, "M" = metadata). ts and
 // dur are microseconds by spec.
 type chromeEvent struct {
-	Name string         `json:"name"`
-	Ph   string         `json:"ph"`
-	Ts   float64        `json:"ts"`
-	Dur  float64        `json:"dur,omitempty"`
-	Pid  int            `json:"pid"`
-	Tid  int            `json:"tid"`
-	Cat  string         `json:"cat,omitempty"`
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur,omitempty"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	Cat  string  `json:"cat,omitempty"`
+	// ID and BP serve flow events ("s"/"f"): ID pairs the start with its
+	// finish, BP "e" binds the finish to the enclosing slice.
+	ID   int            `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
 

@@ -14,7 +14,7 @@ import (
 // the engines' hot path.
 func TestRingDropsOldestWhenFull(t *testing.T) {
 	const capacity, total = 8, 30
-	r := NewRing(capacity)
+	r := NewRing[drive.Span](capacity)
 	for i := 0; i < total; i++ {
 		r.Record(drive.Span{Iter: i, Phase: drive.PhaseScatter})
 	}
@@ -41,7 +41,7 @@ func TestRingDropsOldestWhenFull(t *testing.T) {
 // record is either retained or counted as dropped.
 func TestRingConcurrentRecord(t *testing.T) {
 	const capacity, writers, perWriter = 16, 8, 500
-	r := NewRing(capacity)
+	r := NewRing[drive.Span](capacity)
 	var wg sync.WaitGroup
 	for w := 0; w < writers; w++ {
 		wg.Add(1)
@@ -63,7 +63,7 @@ func TestRingConcurrentRecord(t *testing.T) {
 }
 
 func TestRingUnderCapacity(t *testing.T) {
-	r := NewRing(8)
+	r := NewRing[drive.Span](8)
 	r.Record(drive.Span{Iter: 3})
 	r.Record(drive.Span{Iter: 4})
 	spans, dropped := r.Snapshot()

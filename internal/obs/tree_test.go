@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"chaos/internal/core/drive"
+)
+
+func countNodes(roots []*Node) int {
+	n := 0
+	var walk func(*Node)
+	walk = func(nd *Node) {
+		n++
+		for _, c := range nd.Children {
+			walk(c)
+		}
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	return n
+}
+
+// BuildTree's base case: parent links become nesting, children sort by
+// (Start, SpanID), and a remote parent makes a root rather than an
+// orphan.
+func TestBuildTreeNesting(t *testing.T) {
+	spans := []TreeSpan{
+		{SpanID: "root", Remote: true, Parent: "caller", Name: "request", Start: 10},
+		{SpanID: "b", Parent: "root", Name: "run", Start: 30},
+		{SpanID: "a", Parent: "root", Name: "queued", Start: 20},
+		{SpanID: "a2", Parent: "root", Name: "admitted", Start: 20}, // ties break on SpanID
+	}
+	roots, orphans := BuildTree(spans)
+	if orphans != 0 {
+		t.Fatalf("orphans = %d, want 0", orphans)
+	}
+	if len(roots) != 1 || roots[0].Span.SpanID != "root" {
+		t.Fatalf("roots = %+v, want the single remote-parent span", roots)
+	}
+	got := make([]string, 0, 3)
+	for _, c := range roots[0].Children {
+		got = append(got, c.Span.SpanID)
+	}
+	want := []string{"a", "a2", "b"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("children order = %v, want %v", got, want)
+		}
+	}
+	if countNodes(roots) != len(spans) {
+		t.Fatalf("tree holds %d spans, want %d", countNodes(roots), len(spans))
+	}
+}
+
+// A span whose parent is missing (ring overflow, journal gap) is
+// counted as an orphan and re-attached under the earliest root — never
+// dropped from the tree.
+func TestBuildTreeOrphanReattached(t *testing.T) {
+	spans := []TreeSpan{
+		{SpanID: "root", Name: "request", Start: 5},
+		{SpanID: "lost-child", Parent: "evicted", Name: "scatter p0", Start: 50},
+	}
+	roots, orphans := BuildTree(spans)
+	if orphans != 1 {
+		t.Fatalf("orphans = %d, want 1", orphans)
+	}
+	if len(roots) != 1 || len(roots[0].Children) != 1 || roots[0].Children[0].Span.SpanID != "lost-child" {
+		t.Fatalf("orphan was not re-attached under the root: %+v", roots)
+	}
+}
+
+// When every ancestor was dropped, the orphans are promoted to roots so
+// the retained spans still render.
+func TestBuildTreeAllOrphansPromoted(t *testing.T) {
+	spans := []TreeSpan{
+		{SpanID: "x", Parent: "gone1", Name: "scatter p0", Start: 2},
+		{SpanID: "y", Parent: "gone2", Name: "gather p0", Start: 1},
+	}
+	roots, orphans := BuildTree(spans)
+	if orphans != 2 {
+		t.Fatalf("orphans = %d, want 2", orphans)
+	}
+	if len(roots) != 2 || roots[0].Span.SpanID != "y" || roots[1].Span.SpanID != "x" {
+		t.Fatalf("promoted roots = %+v, want y then x (start order)", roots)
+	}
+}
+
+// A parent cycle (corrupt input) must not hang or vanish: the cycle is
+// broken, its members surface as roots, and they count as orphans.
+func TestBuildTreeCycleBroken(t *testing.T) {
+	spans := []TreeSpan{
+		{SpanID: "root", Name: "request", Start: 0},
+		{SpanID: "c1", Parent: "c2", Name: "a", Start: 10},
+		{SpanID: "c2", Parent: "c1", Name: "b", Start: 20},
+	}
+	roots, orphans := BuildTree(spans)
+	if orphans == 0 {
+		t.Fatal("cycle members were not counted as orphans")
+	}
+	if countNodes(roots) != len(spans) {
+		t.Fatalf("tree holds %d spans, want %d (cycle must not drop spans)", countNodes(roots), len(spans))
+	}
+	// A self-parented span is the degenerate cycle.
+	roots, orphans = BuildTree([]TreeSpan{{SpanID: "s", Parent: "s", Name: "self", Start: 0}})
+	if countNodes(roots) != 1 || orphans != 1 {
+		t.Fatalf("self-parent: roots=%d orphans=%d, want 1/1", countNodes(roots), orphans)
+	}
+}
+
+// Ring wraparound with parented spans: when the ring evicts a parent
+// but keeps its children, the tree re-attaches the survivors and the
+// Chrome export still renders every retained span — a clipped
+// recording degrades, it does not orphan the export.
+func TestRingWraparoundKeepsChromeExportWhole(t *testing.T) {
+	const capacity = 4
+	ring := NewRing[TreeSpan](capacity)
+	// A chain root -> s1 -> ... -> s6; the ring keeps only the last 4,
+	// so the retained spans' ancestors are all evicted.
+	prev := ""
+	for i := 0; i < 7; i++ {
+		id := fmt.Sprintf("s%d", i)
+		name := "request"
+		if i > 0 {
+			name = fmt.Sprintf("phase %d", i)
+		}
+		ring.Record(TreeSpan{SpanID: id, Parent: prev, Name: name, Kind: KindLifecycle, Start: int64(i * 100), End: int64(i*100 + 50)})
+		prev = id
+	}
+	spans, dropped := ring.Snapshot()
+	if dropped != 3 || len(spans) != capacity {
+		t.Fatalf("ring kept %d spans, dropped %d; want %d kept, 3 dropped", len(spans), dropped, capacity)
+	}
+	roots, orphans := BuildTree(spans)
+	if orphans != 0 {
+		// s3's parent s2 was evicted, but s3 is the only parentless
+		// survivor chain head: it must have been promoted, not counted
+		// against a surviving root.
+		t.Logf("orphans = %d (survivor chain head re-attached)", orphans)
+	}
+	if countNodes(roots) != capacity {
+		t.Fatalf("tree holds %d spans, want all %d retained", countNodes(roots), capacity)
+	}
+
+	tl := Timeline{TraceID: DeriveTraceID("wrap", 0).String(), Spans: spans}
+	var buf bytes.Buffer
+	if err := tl.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	complete := 0
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" {
+			complete++
+		}
+	}
+	if complete != capacity {
+		t.Fatalf("chrome export holds %d complete events, want %d (dropped parents must not orphan the export)", complete, capacity)
+	}
+}
+
+// The merged timeline parents engine spans under the run span, keeps
+// the virtual clock separate from wall-clock tiers, and draws flow
+// events across the run->engine boundary.
+func TestTimelineMergesEngineSpans(t *testing.T) {
+	trace := DeriveTraceID("timeline", 0).String()
+	runID := DeriveSpanID(trace, 2).String()
+	tl := Timeline{
+		TraceID: trace,
+		Spans: []TreeSpan{
+			{TraceID: trace, SpanID: DeriveSpanID(trace, 0).String(), Name: "request", Kind: KindRequest, Start: 1_000_000, End: 1_100_000},
+			{TraceID: trace, SpanID: runID, Parent: DeriveSpanID(trace, 0).String(), Name: "run", Kind: KindLifecycle, Start: 1_100_000, End: 9_000_000},
+		},
+		Engine: []drive.Span{
+			{Machine: 0, Iter: 0, Part: 0, Phase: drive.PhaseScatter, Start: 0, Dur: 500},
+			{Machine: 1, Iter: 0, Part: 1, Phase: drive.PhaseGather, Start: 500, Dur: 300},
+		},
+		EngineVirtual: true,
+		RunSpanID:     runID,
+	}
+	roots, orphans := BuildTree(append(append([]TreeSpan{}, tl.Spans...), tl.engineTreeSpans()...))
+	if orphans != 0 {
+		t.Fatalf("orphans = %d, want 0", orphans)
+	}
+	if len(roots) != 1 {
+		t.Fatalf("roots = %d, want 1", len(roots))
+	}
+	run := roots[0].Children[0]
+	if run.Span.SpanID != runID || len(run.Children) != 2 {
+		t.Fatalf("engine spans did not nest under the run span: %+v", run)
+	}
+	for _, c := range run.Children {
+		if c.Span.Kind != KindEngine || c.Span.Clock != "virtual" {
+			t.Fatalf("engine child = %+v, want kind engine with virtual clock", c.Span)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := tl.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Pid int    `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	var flowStarts, flowEnds, virtualEvents int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "s":
+			flowStarts++
+		case "f":
+			flowEnds++
+		case "X":
+			if e.Pid == 1 {
+				virtualEvents++
+			}
+		}
+	}
+	if flowStarts == 0 || flowStarts != flowEnds {
+		t.Fatalf("flow events s=%d f=%d, want matched pairs across the run->engine handoff", flowStarts, flowEnds)
+	}
+	if virtualEvents != 2 {
+		t.Fatalf("virtual-clock engine events = %d, want 2 (own pid keeps clocks apart)", virtualEvents)
+	}
+}

@@ -1,10 +1,15 @@
 package service
 
 import (
+	"fmt"
 	"log/slog"
 	"net/http"
+	"os"
+	"sync"
 	"sync/atomic"
 	"time"
+
+	"chaos/internal/obs"
 )
 
 // statusWriter captures the status code and body size a handler
@@ -49,19 +54,63 @@ func (w *statusWriter) status() int {
 
 // reqID numbers requests process-wide so log lines from one request
 // correlate (and interleaved concurrent requests stay tellable apart).
+// It is also the counter trace-id derivation pairs with the boot nonce,
+// so fresh traces are unique per request without a randomness source.
 var reqID atomic.Uint64
 
+// bootNonce seeds derived trace ids for requests that arrive without a
+// traceparent; pid + boot instant keeps traces from different process
+// lives distinct (the lifecycle journal outlives the process, so ids
+// minted after a restart must not collide with journaled ones).
+var (
+	bootNonceOnce sync.Once
+	bootNonceVal  string
+)
+
+func bootNonce() string {
+	bootNonceOnce.Do(func() {
+		bootNonceVal = fmt.Sprintf("chaos-serve/%d/%d", os.Getpid(), time.Now().UnixNano())
+	})
+	return bootNonceVal
+}
+
+// startTrace resolves the request's trace context: adopt the caller's
+// trace when it sent a well-formed W3C traceparent (the caller's span
+// becomes the remote parent), otherwise start a fresh derived trace.
+// Either way this process opens its own request span.
+func startTrace(r *http.Request, id uint64, start time.Time) *reqTrace {
+	rt := &reqTrace{name: r.Method + " " + r.URL.Path, start: start}
+	if tid, parent, ok := obs.ParseTraceparent(r.Header.Get("traceparent")); ok {
+		rt.traceID = tid.String()
+		rt.parent = parent.String()
+		rt.remote = true
+	} else {
+		rt.traceID = obs.DeriveTraceID(bootNonce(), id).String()
+	}
+	rt.span = obs.DeriveSpanID(rt.traceID+"/req", id).String()
+	return rt
+}
+
 // instrument wraps the API mux with the observability layer: every
-// request is timed into the per-route duration histogram, and — when
-// the service has a logger — logged as one structured line after it
-// completes. Metrics always run; logging is opt-in via Config.Logger
+// request is timed into the per-route duration histogram, carries a
+// trace context (inbound traceparent honored, the trace id echoed back
+// in a traceparent response header), and — when the service has a
+// logger — is logged as one structured line, trace id included, after
+// it completes. Metrics always run; logging is opt-in via Config.Logger
 // so library users and tests stay quiet by default.
 func (s *Service) instrument(next http.Handler) http.Handler {
 	logger := s.cfg.Logger
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := reqID.Add(1)
-		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
+		rt := startTrace(r, id, start)
+		// Echo the trace identity before the handler writes: the caller
+		// learns which trace to query (GET /v1/traces/{id}) even on
+		// errors, and our request span id is what a downstream hop of
+		// theirs would parent under.
+		w.Header().Set("traceparent", "00-"+rt.traceID+"-"+rt.span+"-01")
+		r = r.WithContext(withReqTrace(r.Context(), rt))
+		sw := &statusWriter{ResponseWriter: w}
 		next.ServeHTTP(sw, r)
 		elapsed := time.Since(start)
 		// ServeMux stamps the matched pattern onto the request it
@@ -75,6 +124,7 @@ func (s *Service) instrument(next http.Handler) http.Handler {
 		if logger != nil {
 			logger.Info("http_request",
 				slog.Uint64("req", id),
+				slog.String("trace", rt.traceID),
 				slog.String("method", r.Method),
 				slog.String("path", r.URL.Path),
 				slog.String("route", route),

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"chaos"
+	"chaos/internal/obs"
 )
 
 // TestRetryAfterSecondsNeverZero pins the admission-control contract
@@ -139,15 +140,21 @@ func TestMetricsHistogramsPreSeededAndFed(t *testing.T) {
 	}
 
 	first := scrape()
-	for _, want := range []string{
-		// One series per registered route, alive from the first scrape.
-		`chaos_http_request_duration_seconds_count{route="POST /v1/jobs"} 0`,
-		`chaos_http_request_duration_seconds_count{route="GET /v1/jobs/{id}/trace"} 0`,
+	// Every route in the route table — not a hand-picked sample — must
+	// have its series alive at zero from the first scrape, so a newly
+	// added endpoint (e.g. the trace routes) can never ship with an
+	// absent series (absent ≠ zero to alerting rules).
+	wanted := []string{
 		`chaos_http_request_duration_seconds_count{route="unmatched"} 0`,
 		`chaos_job_queue_wait_seconds_count 0`,
 		`chaos_job_wall_seconds_count{engine="sim"} 0`,
 		`chaos_job_wall_seconds_count{engine="native"} 0`,
-	} {
+	}
+	for _, route := range svc.routePatterns() {
+		wanted = append(wanted,
+			`chaos_http_request_duration_seconds_count{route="`+route+`"} 0`)
+	}
+	for _, want := range wanted {
 		if !strings.Contains(first, want) {
 			t.Errorf("fresh scrape lacks %q", want)
 		}
@@ -182,10 +189,12 @@ func TestMetricsHistogramsPreSeededAndFed(t *testing.T) {
 	}
 }
 
-// TestJobTraceEndpoint runs a native job and reads its flight recording
-// back through the API: the JSON timeline carries per-machine scatter
-// and gather spans, the chrome format is valid trace_event JSON, and
-// jobs that never executed (cache hits) answer 404.
+// TestJobTraceEndpoint runs a native job and reads its end-to-end trace
+// back through the API: the flat engine timeline carries per-machine
+// scatter and gather spans, the span tree roots in a single trace with
+// the lifecycle chain under it, the chrome format is valid trace_event
+// JSON, and cache-hit jobs serve a lifecycle tree with the engine tier
+// marked absent (nothing ran).
 func TestJobTraceEndpoint(t *testing.T) {
 	svc := newTestService(t, 1)
 	ts := httptest.NewServer(svc.Handler())
@@ -233,6 +242,42 @@ func TestJobTraceEndpoint(t *testing.T) {
 		t.Errorf("scatter spans from %d machines, gather from %d, want 2 each", len(scatter), len(gather))
 	}
 
+	// The tree: one root (the submitting request), no orphans, and the
+	// lifecycle chain — admitted, queued, run, done — under it, with the
+	// engine spans parented under the run span.
+	if tr.TraceID == "" || tr.TraceID != jv.TraceID {
+		t.Errorf("trace id %q, job view carried %q", tr.TraceID, jv.TraceID)
+	}
+	if len(tr.Tree) != 1 {
+		t.Fatalf("trace has %d roots, want 1", len(tr.Tree))
+	}
+	if tr.Orphans != 0 {
+		t.Errorf("trace has %d orphans, want 0", tr.Orphans)
+	}
+	names := map[string]int{}
+	engineUnderRun := 0
+	var walkNames func(n *obs.Node, underRun bool)
+	walkNames = func(n *obs.Node, underRun bool) {
+		names[n.Span.Name]++
+		if n.Span.Kind == "engine" && underRun {
+			engineUnderRun++
+		}
+		for _, c := range n.Children {
+			walkNames(c, underRun || n.Span.Name == "run")
+		}
+	}
+	for _, r := range tr.Tree {
+		walkNames(r, false)
+	}
+	for _, want := range []string{"admitted", "queued", "run", "done"} {
+		if names[want] == 0 {
+			t.Errorf("lifecycle span %q missing from tree (have %v)", want, names)
+		}
+	}
+	if engineUnderRun != len(tr.Spans) {
+		t.Errorf("%d engine spans nest under the run span, want all %d", engineUnderRun, len(tr.Spans))
+	}
+
 	// Chrome format: valid trace_event JSON with at least one event per
 	// retained span.
 	resp, err := client.Get(ts.URL + "/v1/jobs/" + jv.ID + "/trace?format=chrome")
@@ -254,7 +299,8 @@ func TestJobTraceEndpoint(t *testing.T) {
 	}
 
 	// The identical resubmission is answered from the result cache:
-	// nothing ran, so there is no recording to serve.
+	// nothing ran, so the lifecycle tree is served with the engine tier
+	// marked absent-with-reason.
 	var hit JobView
 	if code, body := doJSON(t, client, http.MethodPost, ts.URL+"/v1/jobs", req, &hit); code != http.StatusAccepted {
 		t.Fatalf("resubmit: %d %s", code, body)
@@ -262,10 +308,25 @@ func TestJobTraceEndpoint(t *testing.T) {
 	if !hit.CacheHit {
 		t.Fatalf("resubmission was not a cache hit: %+v", hit)
 	}
-	if code, body := doJSON(t, client, http.MethodGet, ts.URL+"/v1/jobs/"+hit.ID+"/trace", nil, nil); code != http.StatusNotFound {
-		t.Fatalf("cache-hit trace: %d %s, want 404", code, body)
+	var cached traceResponse
+	if code, body := doJSON(t, client, http.MethodGet, ts.URL+"/v1/jobs/"+hit.ID+"/trace", nil, &cached); code != http.StatusOK {
+		t.Fatalf("cache-hit trace: %d %s, want 200 with a lifecycle tree", code, body)
+	}
+	if len(cached.Tree) != 1 || len(cached.Spans) != 0 || cached.EngineAbsent == "" {
+		t.Fatalf("cache-hit trace should be one lifecycle tree with the engine tier absent: %+v", cached)
+	}
+	// The same tree is addressable by trace id.
+	var byTrace traceResponse
+	if code, body := doJSON(t, client, http.MethodGet, ts.URL+"/v1/traces/"+tr.TraceID, nil, &byTrace); code != http.StatusOK {
+		t.Fatalf("GET /v1/traces/{id}: %d %s", code, body)
+	}
+	if byTrace.ID != jv.ID || byTrace.TraceID != tr.TraceID {
+		t.Fatalf("trace lookup resolved %+v, want job %s", byTrace, jv.ID)
 	}
 	if code, _ := doJSON(t, client, http.MethodGet, ts.URL+"/v1/jobs/j999/trace", nil, nil); code != http.StatusNotFound {
 		t.Fatalf("unknown-job trace: %d, want 404", code)
+	}
+	if code, _ := doJSON(t, client, http.MethodGet, ts.URL+"/v1/traces/deadbeef", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown trace id: %d, want 404", code)
 	}
 }

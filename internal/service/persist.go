@@ -13,6 +13,7 @@ import (
 	"chaos"
 	"chaos/internal/durable"
 	"chaos/internal/graph"
+	"chaos/internal/obs"
 )
 
 // Journal record kinds. The on-disk layout under Config.DataDir:
@@ -72,6 +73,16 @@ type jobRecord struct {
 	EnqueuedAt time.Time `json:"enqueuedAt"`
 	StartedAt  time.Time `json:"startedAt,omitzero"`
 	FinishedAt time.Time `json:"finishedAt,omitzero"`
+	// Trace state: the job's trace identity and its lifecycle span list
+	// (full copy, like the rest of the record — replay is an upsert).
+	// Journaling the spans is what makes GET /v1/jobs/{id}/trace serve a
+	// complete lifecycle tree even after a SIGKILL-restart; engine spans
+	// stay execution-scoped and are never persisted. Absent in records
+	// journaled before tracing existed.
+	TraceID     string         `json:"traceId,omitempty"`
+	TraceRemote bool           `json:"traceRemote,omitempty"`
+	SpanSeq     uint64         `json:"spanSeq,omitempty"`
+	Spans       []obs.TreeSpan `json:"spans,omitempty"`
 }
 
 // resultRecord notes a result-store write. The store itself re-indexes
@@ -236,6 +247,11 @@ func jobRecordOf(j *Job) jobRecord {
 		EnqueuedAt: j.enqueuedAt,
 		StartedAt:  j.startedAt,
 		FinishedAt: j.finishedAt,
+
+		TraceID:     j.traceID,
+		TraceRemote: j.traceRemote,
+		SpanSeq:     j.spanSeq,
+		Spans:       append([]obs.TreeSpan(nil), j.spans...),
 	}
 }
 
@@ -353,7 +369,16 @@ func (s *Service) restoreJobs(recs []jobRecord, nextID int) {
 			enqueuedAt: r.EnqueuedAt,
 			startedAt:  r.StartedAt,
 			finishedAt: r.FinishedAt,
+
+			traceID:     r.TraceID,
+			traceRemote: r.TraceRemote,
+			spanSeq:     r.SpanSeq,
+			spans:       append([]obs.TreeSpan(nil), r.Spans...),
 		}
+		// Rebuild the trace bookkeeping (root/open span ids) from the
+		// journaled spans before any transition below needs to close or
+		// extend them; pre-trace records get a synthetic root.
+		sc.restoreTraceLocked(j)
 		changed := false
 		switch {
 		case !terminal(j.state) && r.Canceling:
@@ -362,12 +387,14 @@ func (s *Service) restoreJobs(recs []jobRecord, nextID int) {
 			j.state = JobCanceled
 			j.err = "canceled while running; the process restarted before the run stopped"
 			j.finishedAt = now
+			j.noteTerminalLocked(now)
 			changed = true
 		case !terminal(j.state):
 			if _, ok := s.catalog.Get(j.Graph); !ok {
 				j.state = JobFailed
 				j.err = fmt.Sprintf("not recoverable after restart: graph %q is gone", j.Graph)
 				j.finishedAt = now
+				j.noteTerminalLocked(now)
 			} else {
 				// Re-enqueues bypass admission control: a job the API
 				// already accepted must not be dropped by MaxQueue.
@@ -375,6 +402,7 @@ func (s *Service) restoreJobs(recs []jobRecord, nextID int) {
 				j.startedAt = time.Time{}
 				j.finishedAt = time.Time{}
 				j.restarts++
+				sc.noteRecoveryLocked(j, now)
 				sc.queue = append(sc.queue, j)
 				sc.queued++
 			}

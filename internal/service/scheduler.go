@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"chaos"
+	"chaos/internal/obs"
 )
 
 // JobState is the lifecycle state of a job.
@@ -85,6 +86,20 @@ type Job struct {
 	// computeShare is this job's slice of the scheduler's shared
 	// compute-worker budget, fixed when the job starts (0 = unmanaged).
 	computeShare int
+
+	// Trace state (all guarded by s.mu; see trace.go). traceID roots the
+	// job's causal trace; spans is the journaled lifecycle span list
+	// (request/admitted/queued/run/terminal, plus recovery and
+	// checkpoint spans), carried in every jobRecord so the tree survives
+	// a crash-restart. rootSpanID/queuedSpanID/runSpanID locate the
+	// spans later transitions must close or parent under.
+	traceID      string
+	traceRemote  bool
+	spans        []obs.TreeSpan
+	spanSeq      uint64
+	rootSpanID   string
+	queuedSpanID string
+	runSpanID    string
 }
 
 // JobView is an immutable snapshot of a Job, safe to serialize.
@@ -95,7 +110,10 @@ type JobView struct {
 	// Engine is the execution plane that runs (or ran) the job: "sim"
 	// or "native". Jobs journaled before the engine option existed
 	// report "sim", the only engine there was.
-	Engine     string        `json:"engine"`
+	Engine string `json:"engine"`
+	// TraceID is the job's end-to-end trace (GET /v1/traces/{id});
+	// empty only for jobs journaled before tracing existed.
+	TraceID    string        `json:"traceId,omitempty"`
 	State      JobState      `json:"state"`
 	CacheHit   bool          `json:"cacheHit,omitempty"`
 	Canceling  bool          `json:"canceling,omitempty"`
@@ -142,6 +160,7 @@ func (j *Job) identView() JobView {
 		Graph:      j.Graph,
 		Algorithm:  j.Algorithm,
 		Engine:     j.engine(),
+		TraceID:    j.traceID, // written once at admission, before the job can run
 		Restarts:   j.restarts,
 		EnqueuedAt: j.enqueuedAt,
 	}
@@ -197,10 +216,13 @@ type Scheduler struct {
 	// queue = queue[1:] would pin every popped *Job (result payloads
 	// included) in the backing array — and compacts once the dead
 	// prefix dominates, the same ring-head discipline as resultCache.
-	queue   []*Job
-	qhead   int
-	queued  int // jobs in state JobQueued (admission-control depth)
-	jobs    map[string]*Job
+	queue  []*Job
+	qhead  int
+	queued int // jobs in state JobQueued (admission-control depth)
+	jobs   map[string]*Job
+	// byTrace maps a trace id to the job that owns it (GET
+	// /v1/traces/{id}); pruned together with the job history.
+	byTrace map[string]string
 	order   []string
 	nextID  int
 	running int
@@ -306,6 +328,7 @@ func NewScheduler(cfg SchedulerConfig, run runFunc) *Scheduler {
 		maxQueue:      cfg.MaxQueue,
 		computeBudget: cfg.ComputeBudget,
 		jobs:          make(map[string]*Job),
+		byTrace:       make(map[string]string),
 		counts:        make(map[string]int),
 		engines:       make(map[string]int),
 		events:        newEventHub(),
@@ -366,6 +389,9 @@ func (s *Scheduler) pruneLocked() {
 		terminal := j.state == JobDone || j.state == JobFailed || j.state == JobCanceled
 		if excess > 0 && terminal {
 			delete(s.jobs, id)
+			if j.traceID != "" && s.byTrace[j.traceID] == id {
+				delete(s.byTrace, j.traceID)
+			}
 			excess--
 			continue
 		}
@@ -395,6 +421,12 @@ func (s *Scheduler) newJobLocked(graphID, alg string, opt chaos.Options) *Job {
 // Submit enqueues a job, rejecting it with *QueueFullError when
 // admission control finds the queue at its bound.
 func (s *Scheduler) Submit(graphID, alg string, opt chaos.Options) (JobView, error) {
+	return s.SubmitTraced(nil, graphID, alg, opt)
+}
+
+// SubmitTraced is Submit rooted in the request's trace context (nil
+// derives a synthetic root from the job's options fingerprint).
+func (s *Scheduler) SubmitTraced(rt *reqTrace, graphID, alg string, opt chaos.Options) (JobView, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -405,6 +437,8 @@ func (s *Scheduler) Submit(graphID, alg string, opt chaos.Options) (JobView, err
 	}
 	j := s.newJobLocked(graphID, alg, opt)
 	j.state = JobQueued
+	s.initTraceLocked(j, rt)
+	j.queuedSpanID = j.addSpanLocked(obs.KindLifecycle, "queued", "", j.rootSpanID, j.enqueuedAt.UnixNano(), 0)
 	s.queue = append(s.queue, j)
 	s.queued++
 	s.noteLocked(j)
@@ -415,6 +449,13 @@ func (s *Scheduler) Submit(graphID, alg string, opt chaos.Options) (JobView, err
 // AdmitCached files an already-answered job (a result-cache hit) directly
 // in the done state, so clients observe the same lifecycle either way.
 func (s *Scheduler) AdmitCached(graphID, alg string, opt chaos.Options, res *chaos.Result, rep *chaos.Report) (JobView, error) {
+	return s.AdmitCachedTraced(nil, graphID, alg, opt, res, rep)
+}
+
+// AdmitCachedTraced is AdmitCached rooted in the request's trace
+// context; the trace tree records admission and an immediate done span
+// (no queue, run or engine spans — nothing ran).
+func (s *Scheduler) AdmitCachedTraced(rt *reqTrace, graphID, alg string, opt chaos.Options, res *chaos.Result, rep *chaos.Report) (JobView, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -426,6 +467,9 @@ func (s *Scheduler) AdmitCached(graphID, alg string, opt chaos.Options, res *cha
 	j.result = res
 	j.report = rep
 	j.finishedAt = j.enqueuedAt
+	s.initTraceLocked(j, rt)
+	at := j.finishedAt.UnixNano()
+	j.addSpanLocked(obs.KindLifecycle, "done", "served from the result cache", j.rootSpanID, at, at)
 	s.noteLocked(j)
 	return j.view(), nil
 }
@@ -585,6 +629,7 @@ func (s *Scheduler) Cancel(id string) (JobView, error) {
 		j.state = JobCanceled
 		j.finishedAt = time.Now().UTC()
 		s.queued--
+		j.noteTerminalLocked(j.finishedAt)
 		s.noteLocked(j)
 		// The job stays in s.queue; workers skip non-queued entries.
 		return j.view(), nil
@@ -592,6 +637,11 @@ func (s *Scheduler) Cancel(id string) (JobView, error) {
 		if !j.canceling.Load() {
 			j.canceling.Store(true)
 			j.cancel() // observed at the next iteration boundary
+			if j.traceID != "" {
+				at := time.Now().UTC().UnixNano()
+				j.addSpanLocked(obs.KindLifecycle, "cancel requested",
+					"stops at the next iteration boundary", j.rootSpanID, at, at)
+			}
 			// Journal the accepted cancellation: if the process dies
 			// before the boundary, recovery must cancel the job, not
 			// rerun it to completion.
@@ -651,6 +701,11 @@ func (s *Scheduler) worker() {
 		if s.onJobStart != nil {
 			s.onJobStart(j.startedAt.Sub(j.enqueuedAt))
 		}
+		// Trace: the queue wait ends here, the run span opens — the
+		// engine flight recording parents under it at serve time.
+		startNs := j.startedAt.UnixNano()
+		j.closeSpanLocked(j.queuedSpanID, startNs, "")
+		j.runSpanID = j.addSpanLocked(obs.KindLifecycle, "run", "", j.rootSpanID, startNs, 0)
 		ctx, cancel := context.WithCancel(context.Background())
 		j.cancel = cancel
 		s.running++
@@ -715,6 +770,7 @@ func (s *Scheduler) worker() {
 			j.state = JobFailed
 			j.err = err.Error()
 		}
+		j.noteTerminalLocked(j.finishedAt)
 		s.noteLocked(j)
 		s.mu.Unlock()
 	}
@@ -739,6 +795,7 @@ func (s *Scheduler) Shutdown(ctx context.Context) error {
 			j.err = "canceled at shutdown before running"
 			j.finishedAt = time.Now().UTC()
 			s.queued--
+			j.noteTerminalLocked(j.finishedAt)
 			s.noteLocked(j)
 		}
 	}

@@ -7,8 +7,10 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	"chaos"
+	"chaos/internal/obs"
 )
 
 // Handler returns the service's HTTP API:
@@ -24,9 +26,13 @@ import (
 //	                      Report and Result when done
 //	GET    /v1/jobs/{id}/events  SSE stream of state transitions and
 //	                      iteration-boundary progress ticks
-//	GET    /v1/jobs/{id}/trace  flight-recorder span timeline of an
-//	                      executed run (?format=chrome for trace_event
-//	                      JSON loadable in about:tracing / Perfetto)
+//	GET    /v1/jobs/{id}/trace  the job's end-to-end trace tree —
+//	                      request, scheduler lifecycle, WAL and engine
+//	                      spans stitched into one causal tree
+//	                      (?format=chrome for trace_event JSON loadable
+//	                      in about:tracing / Perfetto)
+//	GET    /v1/traces/{id}  the same tree looked up by trace id (the
+//	                      traceparent response header names it)
 //	DELETE /v1/jobs/{id}  cancel a job (running ones stop at the next
 //	                      iteration boundary; poll until "canceled")
 //	GET    /healthz       liveness
@@ -57,6 +63,7 @@ func (s *Service) routes() map[string]http.HandlerFunc {
 		"GET /v1/jobs/{id}":        s.handleGetJob,
 		"GET /v1/jobs/{id}/events": s.handleJobEvents,
 		"GET /v1/jobs/{id}/trace":  s.handleJobTrace,
+		"GET /v1/traces/{id}":      s.handleGetTrace,
 		"DELETE /v1/jobs/{id}":     s.handleCancelJob,
 		"GET /healthz":             s.handleHealth,
 		"GET /v1/stats":            s.handleStats,
@@ -267,7 +274,7 @@ func (s *Service) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	job, err := s.Submit(req.Graph, alg, opt)
+	job, err := s.SubmitCtx(r.Context(), req.Graph, alg, opt)
 	if err != nil {
 		var qf *QueueFullError
 		if errors.As(err, &qf) {
@@ -329,47 +336,155 @@ func (s *Service) handleGetJob(w http.ResponseWriter, r *http.Request) {
 }
 
 // traceResponse is the GET /v1/jobs/{id}/trace payload: the job's
-// identity plus its flight-recorder span timeline. Dropped counts
-// spans lost to the bounded ring (raise -trace-spans if nonzero).
+// identity plus its end-to-end trace — the rooted span tree (request,
+// scheduler lifecycle, WAL and engine tiers stitched causally) and the
+// flat engine flight recording. Dropped counts engine spans lost to
+// the bounded ring (raise -trace-spans if nonzero); Orphans counts
+// spans whose parent was dropped, re-attached under the root rather
+// than lost. EngineAbsent explains a missing engine tier: engine spans
+// are execution-scoped, so a trace recovered from the journal keeps
+// its lifecycle tree but not the dead process's flight recording.
 type traceResponse struct {
-	ID      string            `json:"id"`
-	Engine  string            `json:"engine"`
-	State   JobState          `json:"state"`
-	Spans   []chaos.TraceSpan `json:"spans"`
-	Dropped uint64            `json:"dropped,omitempty"`
+	ID      string      `json:"id"`
+	TraceID string      `json:"traceId,omitempty"`
+	Engine  string      `json:"engine"`
+	State   JobState    `json:"state"`
+	Tree    []*obs.Node `json:"tree"`
+	Orphans int         `json:"orphans"`
+	// Spans is the flat engine flight recording (the pre-tree wire
+	// form, kept for existing consumers); empty when EngineAbsent.
+	Spans        []chaos.TraceSpan `json:"spans"`
+	Dropped      uint64            `json:"dropped,omitempty"`
+	EngineAbsent string            `json:"engineAbsent,omitempty"`
 }
 
-// handleJobTrace serves a job's flight-recorder timeline. Plain JSON
-// by default; ?format=chrome emits Chrome trace_event JSON loadable in
-// about:tracing or Perfetto. A running job's trace is the spans
-// emitted so far. Jobs that never executed in this process — still
-// queued, answered from the result cache, restored from the journal —
-// have no recording, reported as 404 with the reason.
+// walTreeSpans converts the retained WAL operation spans overlapping
+// [fromNs, toNs] into tree spans parented under the job's root. Span
+// ids are derived from the snapshot index; the WAL tier is shared
+// across jobs, so a busy server attributes an overlapping append to
+// every job in flight — tiers, not exclusivity, is what the tree shows.
+func (s *Service) walTreeSpans(traceID, root string, fromNs, toNs int64) []obs.TreeSpan {
+	if s.walSpans == nil {
+		return nil
+	}
+	spans, _ := s.walSpans.Snapshot()
+	var out []obs.TreeSpan
+	for i, sp := range spans {
+		start := sp.Start.UnixNano()
+		end := sp.Start.Add(sp.Dur).UnixNano()
+		if end < fromNs || start > toNs {
+			continue
+		}
+		detail := ""
+		if sp.Bytes > 0 {
+			detail = fmt.Sprintf("%d bytes", sp.Bytes)
+		}
+		out = append(out, obs.TreeSpan{
+			TraceID: traceID,
+			SpanID:  obs.DeriveSpanID(traceID+"/wal", uint64(i)).String(),
+			Parent:  root,
+			Name:    sp.Op,
+			Kind:    obs.KindWAL,
+			Start:   start,
+			End:     end,
+			Detail:  detail,
+		})
+	}
+	return out
+}
+
+// jobTimeline assembles the merged cross-tier timeline of one job.
+func (s *Service) jobTimeline(t jobTrace) (obs.Timeline, []chaos.TraceSpan, uint64, string) {
+	tl := obs.Timeline{
+		TraceID:    t.traceID,
+		Spans:      t.spans,
+		RunSpanID:  t.runSpanID,
+		RunStartNs: t.runStartNs,
+	}
+	var engine []chaos.TraceSpan
+	var dropped uint64
+	absent := ""
+	if t.rec != nil {
+		engine, dropped = t.rec.Spans()
+		tl.Engine = engine
+		tl.EngineVirtual = t.view.Engine == chaos.EngineSim
+	} else {
+		absent = "engine spans are execution-scoped and this process has no recording for the job " +
+			"(still queued, answered from the result cache, or restored from the journal after a restart)"
+	}
+	if t.traceID != "" {
+		from := t.view.EnqueuedAt.UnixNano()
+		to := time.Now().UTC().UnixNano()
+		if t.view.FinishedAt != nil {
+			to = t.view.FinishedAt.UnixNano()
+		}
+		rootID := ""
+		for _, sp := range t.spans {
+			if sp.Kind == obs.KindRequest {
+				rootID = sp.SpanID
+				break
+			}
+		}
+		tl.Spans = append(tl.Spans, s.walTreeSpans(t.traceID, rootID, from, to)...)
+	}
+	return tl, engine, dropped, absent
+}
+
+// handleJobTrace serves a job's end-to-end trace: the causal span tree
+// stitched from the HTTP request, the scheduler lifecycle (admitted,
+// queue wait, run, checkpoints, terminal — journaled through the WAL,
+// so the tree survives a SIGKILL-restart), the WAL's own operation
+// spans, and the engine flight recording of both planes. Plain JSON by
+// default; ?format=chrome emits Chrome trace_event JSON loadable in
+// about:tracing or Perfetto, with flow arrows across the queue and
+// engine boundaries. A running job's trace is the spans so far. Only
+// jobs journaled before tracing existed (and never re-run since) have
+// nothing to serve, reported as 404 with the reason.
 func (s *Service) handleJobTrace(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	rec, jv, ok := s.scheduler.Trace(id)
+	s.serveTrace(w, r, r.PathValue("id"))
+}
+
+// handleGetTrace serves the same trace looked up by trace id — the id
+// the traceparent response header and every job view carry.
+func (s *Service) handleGetTrace(w http.ResponseWriter, r *http.Request) {
+	traceID := r.PathValue("id")
+	jobID, ok := s.scheduler.JobForTrace(traceID)
+	if !ok {
+		writeError(w, http.StatusNotFound, &notFoundError{what: "trace", id: traceID})
+		return
+	}
+	s.serveTrace(w, r, jobID)
+}
+
+func (s *Service) serveTrace(w http.ResponseWriter, r *http.Request, id string) {
+	t, ok := s.scheduler.TraceInfo(id)
 	if !ok {
 		writeError(w, http.StatusNotFound, &notFoundError{what: "job", id: id})
 		return
 	}
-	if rec == nil {
+	if t.traceID == "" && t.rec == nil {
 		writeError(w, http.StatusNotFound, fmt.Errorf(
-			"service: job %s has no trace: only jobs executed by this process record one (not queued jobs, cache hits, or journal-restored history)", id))
+			"service: job %s has no trace: it was journaled before tracing existed and has not run since", id))
 		return
 	}
+	tl, engine, dropped, absent := s.jobTimeline(t)
 	if r.URL.Query().Get("format") == "chrome" {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusOK)
-		rec.WriteChromeTrace(w)
+		tl.WriteChrome(w)
 		return
 	}
-	spans, dropped := rec.Spans()
+	tree, orphans := tl.Tree()
 	writeJSON(w, http.StatusOK, traceResponse{
-		ID:      jv.ID,
-		Engine:  jv.Engine,
-		State:   jv.State,
-		Spans:   spans,
-		Dropped: dropped,
+		ID:           t.view.ID,
+		TraceID:      t.traceID,
+		Engine:       t.view.Engine,
+		State:        t.view.State,
+		Tree:         tree,
+		Orphans:      orphans,
+		Spans:        engine,
+		Dropped:      dropped,
+		EngineAbsent: absent,
 	})
 }
 

@@ -29,6 +29,7 @@ import (
 
 	"chaos"
 	"chaos/internal/durable"
+	"chaos/internal/obs"
 )
 
 // Config parameterizes a Service.
@@ -96,9 +97,18 @@ type Service struct {
 
 	metrics *serviceMetrics
 
-	persist   *persistence // nil without Config.DataDir
+	persist *persistence // nil without Config.DataDir
+	// walSpans retains the durability tier's recent operation spans
+	// (append/fsync/rotate/snapshot, reported by the WAL's SetTrace
+	// hook); the trace endpoint merges the ones overlapping a job's
+	// lifetime into its tree. Nil without a data dir.
+	walSpans  *obs.Ring[durable.Span]
 	closeOnce sync.Once
 }
+
+// walSpanCap bounds the retained WAL operation spans; old spans fall
+// off first, which only thins the WAL tier of very old traces.
+const walSpanCap = 4096
 
 // New starts an in-memory Service with its worker pool running. It is
 // Open for configurations that cannot fail; a Config with a DataDir
@@ -151,6 +161,10 @@ func Open(cfg Config) (*Service, error) {
 		s.persist = p
 		recovered = rec
 		s.cache = newResultCache(cfg.MaxCacheEntries, p.store)
+		// The WAL reports its operations as observational spans into a
+		// bounded ring (never back into the journal; see durable.SpanHook).
+		s.walSpans = obs.NewRing[durable.Span](walSpanCap)
+		p.wal.SetTrace(s.walSpans.Record)
 	} else {
 		s.cache = newResultCache(cfg.MaxCacheEntries, nil)
 	}
@@ -243,8 +257,11 @@ func (s *Service) execute(ctx context.Context, job *Job) (*chaos.Result, *chaos.
 	if s.persist != nil {
 		// Blob (fsynced) before journal record: a journaled key never
 		// points at a hole. The done transition is journaled by the
-		// scheduler hook after this returns.
+		// scheduler hook after this returns. The write is the job's
+		// durability checkpoint, so it becomes a span under the run.
+		start := time.Now().UTC()
 		s.persistResult(key, res, rep)
+		s.scheduler.NoteJobSpan(job, "checkpoint", "result blob persisted", start, time.Since(start))
 	}
 	return res, rep, nil
 }
@@ -273,6 +290,15 @@ func (s *Service) RegisterGraph(spec GraphSpec) (*Graph, error) {
 // when an identical (graph, algorithm, canonical options) run has already
 // completed. The algorithm name must be canonical (see chaos.ParseOptions).
 func (s *Service) Submit(graphID, algorithm string, opt chaos.Options) (JobView, error) {
+	return s.SubmitCtx(context.Background(), graphID, algorithm, opt)
+}
+
+// SubmitCtx is Submit carrying the caller's context: when the HTTP
+// middleware attached a request trace to it, the job's trace tree
+// roots in that request (and in the caller's inbound traceparent, when
+// one was sent). The context carries only observational trace state —
+// cancellation and deadlines are the job's own affair once admitted.
+func (s *Service) SubmitCtx(ctx context.Context, graphID, algorithm string, opt chaos.Options) (JobView, error) {
 	g, ok := s.catalog.Get(graphID)
 	if !ok {
 		return JobView{}, &notFoundError{what: "graph", id: graphID}
@@ -288,10 +314,11 @@ func (s *Service) Submit(graphID, algorithm string, opt chaos.Options) (JobView,
 		return JobView{}, fmt.Errorf("service: %s needs edge weights but graph %q is unweighted", algorithm, g.ID)
 	}
 	opt = mergeOptions(s.cfg.BaseOptions, opt)
+	rt := reqTraceFrom(ctx)
 	if res, rep, ok := s.cache.lookup(cacheKey(g.ID, algorithm, opt)); ok {
-		return s.scheduler.AdmitCached(g.ID, algorithm, opt, res, rep)
+		return s.scheduler.AdmitCachedTraced(rt, g.ID, algorithm, opt, res, rep)
 	}
-	return s.scheduler.Submit(g.ID, algorithm, opt)
+	return s.scheduler.SubmitTraced(rt, g.ID, algorithm, opt)
 }
 
 // mergeOptions fills zero-valued fields of opt from base. Only the knobs

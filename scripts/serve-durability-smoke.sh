@@ -4,7 +4,11 @@
 # /metrics re-scraped on the recovered process. Both sides of the
 # restart also check the latency histograms and the pprof debug
 # listener, so the observability surface is exercised on a recovered
-# process too, not just a fresh one.
+# process too, not just a fresh one. The job is submitted under a
+# caller-chosen traceparent, and its lifecycle trace tree is asserted
+# complete (request root -> queued -> run -> done, no orphan spans)
+# before the restart, after the graceful restart, and after a final
+# SIGKILL restart that leaves recovery nothing but the journal.
 set -euo pipefail
 BIN=${1:-./chaos-serve}
 DIR=$(mktemp -d)
@@ -37,6 +41,22 @@ check_observability() {
     || { echo "pprof heap profile not served on $DEBUG_ADDR" >&2; exit 1; }
 }
 
+# check_trace: the job's journaled lifecycle trace is complete and
+# whole — the caller's trace id survived, the request root and the
+# queued -> run -> done chain are present, and no span is orphaned.
+check_trace() {
+  local t
+  t=$(curl -sf $BASE/v1/jobs/$JOB/trace)
+  echo "$t" | grep -q "\"traceId\": \"$TRACE_ID\"" \
+    || { echo "trace id drifted: $t" >&2; exit 1; }
+  for name in 'POST /v1/jobs' queued run done; do
+    echo "$t" | grep -q "\"name\": \"$name\"" \
+      || { echo "trace tree missing '$name' span: $t" >&2; exit 1; }
+  done
+  echo "$t" | grep -q '"orphans": 0' \
+    || { echo "trace tree has orphan spans: $t" >&2; exit 1; }
+}
+
 wait_up() {
   for i in $(seq 1 100); do
     curl -sf $BASE/healthz >/dev/null 2>&1 && return 0
@@ -59,7 +79,15 @@ trap cleanup EXIT
 wait_up
 
 curl -sf -XPOST $BASE/v1/graphs -d '{"name":"smoke","type":"rmat","scale":7,"weighted":true,"seed":42}' >/dev/null
-JOB=$(curl -sf -XPOST $BASE/v1/jobs -d '{"graph":"smoke","algorithm":"PR","options":{"machines":2,"seed":7}}' | sed -n 's/.*"id": "\(j[0-9]*\)".*/\1/p')
+# Submit under our own W3C trace context; the server must adopt the
+# trace id and echo it in a traceparent response header.
+TRACE_ID=aaaabbbbccccddddeeeeffff00112233
+HDRS="$DIR/submit-headers.txt"
+JOB=$(curl -sf -D "$HDRS" -XPOST $BASE/v1/jobs \
+  -H "traceparent: 00-$TRACE_ID-0123456789abcdef-01" \
+  -d '{"graph":"smoke","algorithm":"PR","options":{"machines":2,"seed":7}}' | sed -n 's/.*"id": "\(j[0-9]*\)".*/\1/p')
+grep -qi "^traceparent: 00-$TRACE_ID-" "$HDRS" \
+  || { echo "inbound traceparent not adopted/echoed" >&2; cat "$HDRS" >&2; exit 1; }
 # Stream the job's SSE feed while it runs; the handler closes the
 # stream at the terminal state, so this curl exits on its own.
 EVENTS="$DIR/events.txt"
@@ -85,6 +113,12 @@ echo "$METRICS" | grep -q '^chaos_wal_records_total [1-9]' || { echo "metrics mi
 echo "$METRICS" | grep -q '^chaos_persist_healthy 1' || { echo "persistence not healthy" >&2; exit 1; }
 # One job has executed here: histograms fed, pprof answering.
 check_observability 1
+# The executing process serves the full tree, trace-id lookup included.
+check_trace
+# Capture, then grep (see check_observability: grep -q + pipefail).
+BYTRACE=$(curl -sf $BASE/v1/traces/$TRACE_ID)
+echo "$BYTRACE" | grep -q "\"id\": \"$JOB\"" \
+  || { echo "trace id does not resolve to the job" >&2; exit 1; }
 
 # SIGTERM: graceful shutdown snapshots before exit.
 kill -TERM $PID; wait $PID || true
@@ -93,23 +127,46 @@ kill -TERM $PID; wait $PID || true
 PID=$!
 wait_up
 
-# The graph survived the restart...
-curl -sf $BASE/v1/graphs | grep -q '"id": "smoke"' || { echo "graph lost" >&2; exit 1; }
+# The graph survived the restart... (every check below captures before
+# grepping: grep -q exits on the first match, and under pipefail the
+# SIGPIPE that gives curl would fail the whole pipeline.)
+GRAPHS=$(curl -sf $BASE/v1/graphs)
+echo "$GRAPHS" | grep -q '"id": "smoke"' || { echo "graph lost" >&2; exit 1; }
 # ...and the identical submission is an immediate cache hit served from
 # the disk result store (the fresh process's memory cache was empty).
 HIT=$(curl -sf -XPOST $BASE/v1/jobs -d '{"graph":"smoke","algorithm":"PR","options":{"machines":2,"seed":7}}')
 echo "$HIT" | grep -q '"state": "done"' || { echo "resubmission not served from cache: $HIT" >&2; exit 1; }
 echo "$HIT" | grep -q '"cacheHit": true' || { echo "no cacheHit flag: $HIT" >&2; exit 1; }
-curl -sf $BASE/v1/stats | grep -q '"diskHits": [1-9]' || { echo "no disk hit recorded" >&2; exit 1; }
+STATS=$(curl -sf $BASE/v1/stats)
+echo "$STATS" | grep -q '"diskHits": [1-9]' || { echo "no disk hit recorded" >&2; exit 1; }
 # The recovered process exposes the restored history on /metrics (two
 # done jobs now: the pre-crash run and the cache-hit resubmission).
-curl -sf $BASE/metrics | grep -q '^chaos_jobs{state="done"} [2-9]' || { echo "recovered metrics missing job history" >&2; exit 1; }
+METRICS=$(curl -sf $BASE/metrics)
+echo "$METRICS" | grep -q '^chaos_jobs{state="done"} [2-9]' || { echo "recovered metrics missing job history" >&2; exit 1; }
 # The SSE stream of a job finished before the crash replays as a single
 # terminal snapshot on the recovered process.
-curl -sN -m 10 $BASE/v1/jobs/$JOB/events | grep -q '"state":"done"' || { echo "no terminal snapshot for recovered job" >&2; exit 1; }
+REPLAY=$(curl -sN -m 10 $BASE/v1/jobs/$JOB/events)
+echo "$REPLAY" | grep -q '"state":"done"' || { echo "no terminal snapshot for recovered job" >&2; exit 1; }
 # Observability after recovery: the histogram families come back
 # pre-seeded (0 is a real value — the cache-hit resubmission never
 # executed, so queue-wait legitimately has no new samples) and the
 # debug listener serves profiles on the recovered process too.
 check_observability 0
+# The lifecycle trace rode the journal across the graceful restart.
+check_trace
+
+# SIGKILL: no snapshot, no drain — the journal alone must rebuild the
+# trace. Sleep past the fsync batching window first so the journal
+# holds everything the dead process acknowledged.
+sleep 0.3
+kill -KILL $PID; wait $PID 2>/dev/null || true
+"$BIN" -addr $ADDR -debug-addr $DEBUG_ADDR -workers 2 -chunk-kb 1 -data-dir "$DIR/state" &
+PID=$!
+wait_up
+check_trace
+# Engine spans are execution-scoped: the restored trace reports the
+# tier absent with a reason instead of inventing a recording.
+RESTORED=$(curl -sf $BASE/v1/jobs/$JOB/trace)
+echo "$RESTORED" | grep -q '"engineAbsent"' \
+  || { echo "restored trace claims an engine recording" >&2; exit 1; }
 echo "SMOKE OK"

@@ -57,13 +57,13 @@ func traceFrom(ctx context.Context) func(TraceSpan) {
 // grows without bound. Safe for concurrent use; one recorder should
 // observe one run (spans carry no run ID).
 type TraceRecorder struct {
-	ring *obs.Ring
+	ring *obs.Ring[drive.Span]
 }
 
 // NewTraceRecorder returns a recorder retaining at most capacity spans
 // (a non-positive capacity is bumped to 1).
 func NewTraceRecorder(capacity int) *TraceRecorder {
-	return &TraceRecorder{ring: obs.NewRing(capacity)}
+	return &TraceRecorder{ring: obs.NewRing[drive.Span](capacity)}
 }
 
 // Record is the WithTrace subscriber: pass it as the callback.
