@@ -79,6 +79,15 @@ type Options struct {
 	// machine, determining the partition count (§3). Zero means
 	// unconstrained (one partition per machine).
 	MemBudgetBytes int64
+	// MemoryBudgetMB bounds the native engine's resident update-set
+	// memory, in MiB. Past the budget the update transport encodes
+	// overflowing buckets and spills them to temp files, streaming them
+	// back in deterministic fold order — the out-of-core execution the
+	// paper runs from secondary storage. Zero means unlimited (the
+	// zero-copy in-memory transport). The sim engine accepts and
+	// ignores it: the DES models storage, so every sim run is
+	// out-of-core by construction.
+	MemoryBudgetMB int64
 	// BatchK is the batch factor k of §6.5 (default 5).
 	BatchK int
 	// WindowOverride fixes the request window phi*k directly (Figure 16).
@@ -184,6 +193,9 @@ func (o Options) config() core.Config {
 	if o.MemBudgetBytes > 0 {
 		cfg.MemBudget = o.MemBudgetBytes
 	}
+	if o.MemoryBudgetMB > 0 {
+		cfg.TransportBudgetBytes = o.MemoryBudgetMB << 20
+	}
 	if o.BatchK > 0 {
 		cfg.BatchK = o.BatchK
 	}
@@ -249,6 +261,12 @@ type Report struct {
 	RebalanceSeconds float64
 	CheckpointBytes  int64
 	Recoveries       int
+	// SpillBytes / SpillFiles report the native engine's out-of-core
+	// update traffic under Options.MemoryBudgetMB: encoded bytes
+	// written to spill files and spill files created. Zero when the
+	// budget is unlimited and always zero for the sim engine.
+	SpillBytes int64
+	SpillFiles int
 }
 
 func reportFrom(run *metrics.Run, machines int) *Report {
@@ -269,6 +287,8 @@ func reportFrom(run *metrics.Run, machines int) *Report {
 		RebalanceSeconds:   run.RebalanceTime().Seconds(),
 		CheckpointBytes:    run.CheckpointBytes,
 		Recoveries:         run.Recoveries,
+		SpillBytes:         run.SpillBytes,
+		SpillFiles:         run.SpillFiles,
 	}
 	for _, c := range metrics.Categories() {
 		r.Breakdown[c.String()] = run.Fraction(c)

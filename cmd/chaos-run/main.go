@@ -50,9 +50,11 @@ func main() {
 		cores    = flag.Int("cores", 16, "cores per machine")
 		chunkKB  = flag.Int("chunk-kb", 4096, "chunk size in KiB (paper: 4096)")
 		budgetMB = flag.Int64("mem-mb", 0, "per-machine vertex memory budget in MiB (0 = unconstrained)")
-		ckpt     = flag.Int("checkpoint", 0, "checkpoint every n iterations (0 = off)")
-		seed     = flag.Int64("seed", 1, "randomization seed")
-		engine   = flag.String("engine", "sim",
+		updateMB = flag.Int64("memory-budget-mb", 0,
+			"native engine update-memory budget in MiB; past it updates spill to temp files (out-of-core mode, 0 = unlimited)")
+		ckpt   = flag.Int("checkpoint", 0, "checkpoint every n iterations (0 = off)")
+		seed   = flag.Int64("seed", 1, "randomization seed")
+		engine = flag.String("engine", "sim",
 			"execution engine: sim (discrete-event simulation, virtual time) or native (host-speed goroutine plane, wall-clock)")
 		traceOut = flag.String("trace", "",
 			"write the run's flight-recorder timeline to this file as Chrome trace_event JSON (empty = no recording)")
@@ -108,6 +110,7 @@ func main() {
 		Cores:           *cores,
 		ChunkBytes:      *chunkKB << 10,
 		MemBudgetBytes:  *budgetMB << 20,
+		MemoryBudgetMB:  *updateMB,
 		CheckpointEvery: *ckpt,
 		Seed:            *seed,
 		LatencyScale:    float64(*chunkKB<<10) / float64(4<<20),
@@ -169,6 +172,9 @@ func main() {
 		// the device-model figures (utilization, breakdown) are sim-only.
 		if rep.CheckpointBytes > 0 {
 			fmt.Printf("checkpoint I/O     %.2f MB (%d recoveries)\n", float64(rep.CheckpointBytes)/1e6, rep.Recoveries)
+		}
+		if rep.SpillFiles > 0 {
+			fmt.Printf("spill I/O          %.2f MB across %d spill files\n", float64(rep.SpillBytes)/1e6, rep.SpillFiles)
 		}
 		return
 	}

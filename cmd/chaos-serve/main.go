@@ -75,6 +75,8 @@ func main() {
 		maxUploadMB = flag.Int("max-upload-mb", 64, "POST /v1/graphs body cap in MiB")
 		engine      = flag.String("engine", "sim",
 			"default execution engine for jobs that set none: sim (discrete-event simulation, virtual time) or native (host-speed goroutine plane)")
+		memoryBudgetMB = flag.Int64("memory-budget-mb", 0,
+			"default native update-memory budget in MiB for jobs that set none; past it updates spill to disk (0 = unlimited)")
 		debugAddr = flag.String("debug-addr", "",
 			"operator-only listener with net/http/pprof under /debug/pprof/ (empty = off; never expose publicly)")
 		traceSpans = flag.Int("trace-spans", 8192,
@@ -89,9 +91,10 @@ func main() {
 	svc, err := service.Open(service.Config{
 		Workers: *workers,
 		BaseOptions: chaos.Options{
-			ChunkBytes:   *chunkKB << 10,
-			LatencyScale: float64(*chunkKB<<10) / float64(4<<20),
-			Engine:       defaultEngine,
+			ChunkBytes:     *chunkKB << 10,
+			LatencyScale:   float64(*chunkKB<<10) / float64(4<<20),
+			Engine:         defaultEngine,
+			MemoryBudgetMB: *memoryBudgetMB,
 		},
 		MaxQueue:            *maxQueue,
 		ComputeBudget:       *computeBudget,

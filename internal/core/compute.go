@@ -36,9 +36,14 @@ type machine[V, U, A any] struct {
 	// pendingWrites counts unacknowledged write-class requests.
 	pendingWrites int
 
-	// updBuf holds encoded update records per destination partition,
-	// flushed as chunks fill (§5.1).
-	updBuf [][]byte
+	// wire is this machine's side of the update-transport seam
+	// (internal/core/drive): it buffers encoded update records per
+	// destination partition and hands exactly-limit-sized chunks to
+	// writeDataChunk as they fill (§5.1). Under the DES every update
+	// crosses a modeled storage boundary, so the wire always carries
+	// bytes — its chunk boundaries and flush sequence are bit-identical
+	// to the buffering it replaced.
+	wire *drive.Wire
 
 	// combBuf replaces updBuf when the Pregel-style combiner is active:
 	// updates to the same destination merge in place before spilling.
@@ -81,9 +86,11 @@ func newMachine[V, U, A any](eng *engine[V, U, A], id int) *machine[V, U, A] {
 		requestedAccums: make(map[int]bool),
 		degAcc:          make(map[int][]uint32),
 		dirPending:      make(map[uint64]func(dirResp)),
-		updBuf:          make([][]byte, eng.layout.NumPartitions),
 		edgeNextBuf:     make([][]byte, eng.layout.NumPartitions),
 	}
+	m.wire = drive.NewWire(eng.layout.NumPartitions, eng.updatesPerChunk()*eng.updBytes, func(tp int, chunk []byte) {
+		m.writeDataChunk(storage.UpdateSet, tp, chunk)
+	})
 	if eng.combiner != nil {
 		m.combBuf = make([]map[graph.VertexID]U, eng.layout.NumPartitions)
 	}
@@ -661,12 +668,11 @@ func (m *machine[V, U, A]) mergeScatter(p *sim.Proc, part int, out *drive.Scatte
 			}
 		}
 	}
-	limit := eng.updatesPerChunk() * eng.updBytes
 	for tp, b := range out.Updates {
 		if len(b) == 0 {
 			continue
 		}
-		m.updBuf[tp] = m.appendSpill(storage.UpdateSet, tp, m.updBuf[tp], b, limit)
+		m.wire.Put(tp, b)
 	}
 	// Combining costs an extra hash-merge per emitted update; the
 	// paper found this overhead outweighs the traffic reduction.
@@ -719,7 +725,7 @@ func (m *machine[V, U, A]) flushCombined(tp int) {
 		buf = m.appendUpdate(buf, dst, &val)
 	}
 	clear(mp)
-	m.writeDataChunk(storage.UpdateSet, tp, buf)
+	m.wire.PutChunk(tp, buf)
 }
 
 func (eng *engine[V, U, A]) updatesPerChunk() int {
@@ -733,12 +739,7 @@ func (eng *engine[V, U, A]) updatesPerChunk() int {
 // flushAllUpdates writes out the partially filled update (and rewritten
 // edge) buffers at the end of a scatter phase.
 func (m *machine[V, U, A]) flushAllUpdates() {
-	for part, buf := range m.updBuf {
-		if len(buf) > 0 {
-			m.writeDataChunk(storage.UpdateSet, part, buf)
-			m.updBuf[part] = nil
-		}
-	}
+	m.wire.FlushPartials()
 	if m.eng.combiner != nil {
 		for tp := range m.combBuf {
 			m.flushCombined(tp)

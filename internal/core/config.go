@@ -45,6 +45,19 @@ type Config struct {
 	// vertex set; it determines the partition count (§3). Zero means
 	// unconstrained (one partition per machine).
 	MemBudget int64
+	// TransportBudgetBytes bounds the update transport's resident
+	// memory on the native driver: past it, overflowing buckets are
+	// encoded and spilled to temp files under SpillDir, streamed back
+	// in deterministic fold order (out-of-core mode). Zero means
+	// unbounded (the zero-copy in-memory transport). The DES driver
+	// ignores it: simulated storage makes every DES run out-of-core by
+	// construction.
+	TransportBudgetBytes int64
+	// SpillDir is the parent directory for the native driver's spill
+	// files ("" = the OS temp dir). Operational, not semantic: it never
+	// affects results and is deliberately absent from option
+	// fingerprints.
+	SpillDir string
 	// MaxIterations caps the main loop (safety net; 0 means 1000).
 	MaxIterations int
 	// CheckpointEvery enables vertex-state checkpoints at every n-th

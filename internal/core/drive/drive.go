@@ -44,6 +44,10 @@ type ScatterOut[U any] struct {
 	N          int      // edge records decoded
 	CombineOps int      // combiner merges performed
 	Updates    [][]byte // encoded update records per destination partition
+	// Typed replaces Updates under ScatterChunkTyped (the native
+	// zero-copy path): per-destination-partition pooled record slices,
+	// whose ownership the driver transfers to its Transport.
+	Typed [][]UpdRec[U]
 	// Combined replaces Updates when the Pregel-style combiner is active:
 	// per-destination-partition maps of pre-merged updates.
 	Combined []map[graph.VertexID]U
@@ -74,10 +78,22 @@ type Kernel[V, U, A any] struct {
 	Combiner gas.Combiner[U]
 	Rewriter gas.EdgeRewriter[V]
 
-	recPool   sync.Pool
-	bufPool   sync.Pool
-	partsPool sync.Pool
+	// RetainBytes bounds the capacity of scratch slices returned to the
+	// pools: anything larger is dropped for the garbage collector, so
+	// one giant iteration cannot pin its high-water mark for the rest
+	// of the run. Zero disables the bound (tests only); NewKernel sets
+	// DefaultRetainBytes.
+	RetainBytes int
+
+	recPool      sync.Pool
+	bufPool      sync.Pool
+	partsPool    sync.Pool
+	recPartsPool sync.Pool
 }
+
+// DefaultRetainBytes is the pool retention bound NewKernel installs: the
+// largest scratch-slice capacity worth keeping across iterations.
+const DefaultRetainBytes = 8 << 20
 
 // NewKernel derives the record geometry for prog over layout. weighted
 // edge format selection and ID width follow §8: 4-byte destinations below
@@ -97,6 +113,7 @@ func NewKernel[V, U, A any](prog gas.Program[V, U, A], layout *partition.Layout)
 	k.VCodec = prog.VertexCodec()
 	k.UpdBytes = k.IDBytes + k.UpdCodec.Bytes
 	k.VBytes = k.VCodec.Bytes
+	k.RetainBytes = DefaultRetainBytes
 	return k
 }
 
@@ -125,6 +142,15 @@ func (k *Kernel[V, U, A]) AppendUpdate(buf []byte, dst graph.VertexID, val *U) [
 	buf = append(buf, make([]byte, k.UpdBytes)...)
 	k.EncodeDst(buf[off:], dst)
 	k.UpdCodec.Put(buf[off+k.IDBytes:], val)
+	return buf
+}
+
+// AppendRecs encodes a typed record slice onto buf — the spill side of
+// the transport seam, and the bulk inverse of DecodeUpdateChunk.
+func (k *Kernel[V, U, A]) AppendRecs(buf []byte, recs []UpdRec[U]) []byte {
+	for i := range recs {
+		buf = k.AppendUpdate(buf, recs[i].Dst, &recs[i].Val)
+	}
 	return buf
 }
 
@@ -199,6 +225,63 @@ func (k *Kernel[V, U, A]) ScatterChunk(iter, part int, verts []V, data []byte, o
 	}
 }
 
+// ScatterChunkTyped is ScatterChunk for drivers that move decoded
+// records through a Transport (the native zero-copy path): emitted
+// updates stay typed, grouped per destination partition in pooled
+// record slices, and are never encoded unless a spilling transport
+// later pushes them across the memory-budget boundary. The edge loop is
+// deliberately a twin of ScatterChunk's — the two differ only in the
+// emit step, and sharing it through a per-update closure would tax the
+// DES driver's hot path.
+func (k *Kernel[V, U, A]) ScatterChunkTyped(iter, part int, verts []V, data []byte, out *ScatterOut[U]) {
+	lo, _ := k.Layout.Range(part)
+	edgeSize := k.EdgeFmt.EdgeSize()
+	n := len(data) / edgeSize
+	out.N = n
+	out.Typed = k.GrabRecParts()
+	if k.Combiner != nil {
+		out.Combined = make([]map[graph.VertexID]U, k.Layout.NumPartitions)
+	}
+	for i := 0; i < n; i++ {
+		e := k.EdgeFmt.Decode(data[i*edgeSize:])
+		src := &verts[e.Src-lo]
+		if k.Rewriter != nil {
+			if ne, keep := k.Rewriter.RewriteEdge(iter, e, src); keep {
+				if out.EdgesNext == nil {
+					out.EdgesNext = k.GrabBuf()
+				}
+				off := len(out.EdgesNext)
+				out.EdgesNext = append(out.EdgesNext, make([]byte, edgeSize)...)
+				k.EdgeFmt.Encode(out.EdgesNext[off:], ne)
+			}
+		}
+		dst, val, emit := k.Prog.Scatter(iter, e, src)
+		if !emit {
+			continue
+		}
+		tp := k.Layout.Of(dst)
+		if k.Combiner != nil {
+			mp := out.Combined[tp]
+			if mp == nil {
+				mp = make(map[graph.VertexID]U)
+				out.Combined[tp] = mp
+			}
+			if old, ok := mp[dst]; ok {
+				mp[dst] = k.Combiner.Combine(old, val)
+			} else {
+				mp[dst] = val
+			}
+			out.CombineOps++
+			continue
+		}
+		recs := out.Typed[tp]
+		if recs == nil {
+			recs = k.GrabRecs()
+		}
+		out.Typed[tp] = append(recs, UpdRec[U]{Dst: dst, Val: val})
+	}
+}
+
 // GrabRecs returns a pooled decoded-record slice; ReleaseRecs recycles it
 // once a fold has consumed it.
 func (k *Kernel[V, U, A]) GrabRecs() []UpdRec[U] {
@@ -208,11 +291,18 @@ func (k *Kernel[V, U, A]) GrabRecs() []UpdRec[U] {
 	return nil
 }
 
-// ReleaseRecs recycles a decoded-record slice.
+// ReleaseRecs recycles a decoded-record slice. Slices whose capacity
+// exceeds RetainBytes (encoded-equivalent) are dropped instead of
+// pooled, so a one-off giant chunk cannot pin its high-water mark in
+// the pool for the rest of the run.
 func (k *Kernel[V, U, A]) ReleaseRecs(recs []UpdRec[U]) {
-	if cap(recs) > 0 {
-		k.recPool.Put(recs[:0])
+	if cap(recs) == 0 {
+		return
 	}
+	if k.RetainBytes > 0 && cap(recs)*max(k.UpdBytes, 1) > k.RetainBytes {
+		return
+	}
+	k.recPool.Put(recs[:0])
 }
 
 // GrabBuf / ReleaseBuf pool the per-chunk encode buffers; GrabParts pools
@@ -225,11 +315,16 @@ func (k *Kernel[V, U, A]) GrabBuf() []byte {
 	return nil
 }
 
-// ReleaseBuf recycles a per-chunk encode buffer.
+// ReleaseBuf recycles a per-chunk encode buffer, subject to the same
+// RetainBytes bound as ReleaseRecs.
 func (k *Kernel[V, U, A]) ReleaseBuf(b []byte) {
-	if cap(b) > 0 {
-		k.bufPool.Put(b[:0])
+	if cap(b) == 0 {
+		return
 	}
+	if k.RetainBytes > 0 && cap(b) > k.RetainBytes {
+		return
+	}
+	k.bufPool.Put(b[:0])
 }
 
 // GrabParts returns a pooled per-destination-partition buffer table.
@@ -240,17 +335,39 @@ func (k *Kernel[V, U, A]) GrabParts() [][]byte {
 	return make([][]byte, k.Layout.NumPartitions)
 }
 
-// ReleaseScatterOut returns a merged chunk result's scratch memory to the
-// pools.
-func (k *Kernel[V, U, A]) ReleaseScatterOut(out *ScatterOut[U]) {
-	for tp, b := range out.Updates {
-		if b != nil {
-			k.ReleaseBuf(b)
-			out.Updates[tp] = nil
-		}
+// GrabRecParts returns a pooled per-destination-partition record-slice
+// table (the typed twin of GrabParts).
+func (k *Kernel[V, U, A]) GrabRecParts() [][]UpdRec[U] {
+	if v := k.recPartsPool.Get(); v != nil {
+		return v.([][]UpdRec[U])
 	}
-	k.partsPool.Put(out.Updates)
-	out.Updates = nil
+	return make([][]UpdRec[U], k.Layout.NumPartitions)
+}
+
+// ReleaseScatterOut returns a merged chunk result's scratch memory to the
+// pools. Typed slots the driver handed to its Transport must be nil'd
+// before the call — whatever remains is recycled here.
+func (k *Kernel[V, U, A]) ReleaseScatterOut(out *ScatterOut[U]) {
+	if out.Updates != nil {
+		for tp, b := range out.Updates {
+			if b != nil {
+				k.ReleaseBuf(b)
+				out.Updates[tp] = nil
+			}
+		}
+		k.partsPool.Put(out.Updates)
+		out.Updates = nil
+	}
+	if out.Typed != nil {
+		for tp, recs := range out.Typed {
+			if recs != nil {
+				k.ReleaseRecs(recs)
+				out.Typed[tp] = nil
+			}
+		}
+		k.recPartsPool.Put(out.Typed)
+		out.Typed = nil
+	}
 	if out.EdgesNext != nil {
 		k.ReleaseBuf(out.EdgesNext)
 		out.EdgesNext = nil

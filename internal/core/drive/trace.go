@@ -32,6 +32,13 @@ const (
 	// many proposals were accepted and rejected, and how long the sweep
 	// ran. Emitted with Part == -1 (the sweep spans partitions).
 	PhaseSteal = "steal"
+	// PhaseSpill summarizes the update chunks a partition's scatter
+	// merge pushed over the transport's memory budget onto spill
+	// storage: BytesOut is the encoded bytes written, Chunks the chunks
+	// spilled, and the span brackets the merge during which the
+	// overflow happened. Only the native driver's spilling transport
+	// emits it (the DES models storage instead of spilling to it).
+	PhaseSpill = "spill"
 )
 
 // Span is one flight-recorder record: a unit of per-machine work with

@@ -1,0 +1,160 @@
+package drive
+
+import "sync/atomic"
+
+// Transport is the seam between update producers (scatter) and consumers
+// (gather): the one place where typed update records either stay typed
+// slices or become encoded bytes. A driver Puts the records partition
+// src's scatter emitted for partition dst, chunk by chunk, and later
+// Drains partition dst's pending chunks in the deterministic
+// (source partition, chunk) fold order. Encoding is a property of
+// crossing a real boundary — the in-memory transport never encodes, the
+// spilling transport encodes exactly the chunks that overflow its budget
+// onto storage, and the DES driver's Wire always encodes because its
+// simulated storage engines only move bytes.
+//
+// Concurrency contract (the native store's one-writer discipline):
+// during a scatter phase, row src is written only by the goroutine
+// processing partition src; during a gather phase, column dst is drained
+// only by the goroutine processing partition dst. The two phases are
+// separated by a barrier, and PendingBytes is only consulted between
+// phases (the steal criterion snapshot), so no slot is ever touched from
+// two goroutines without a barrier in between.
+//
+// Transports never touch a clock, an RNG or a mailbox; spill I/O failure
+// mid-phase is unrecoverable and panics with context.
+type Transport[U any] interface {
+	// Put transfers ownership of recs — one scatter chunk's worth of
+	// updates from partition src to partition dst — to the transport.
+	// The caller must not touch recs afterwards; the transport releases
+	// it to the kernel pools once consumed. The returned tallies report
+	// any spilling the Put triggered, so the driver can emit
+	// PhaseSpill spans without the transport reading a clock.
+	Put(src, dst int, recs []UpdRec[U]) (spilledBytes int64, spilledChunks int)
+	// PendingBytes is D in the §5.4 steal criterion: the
+	// encoded-equivalent bytes pending for partition dst.
+	PendingBytes(dst int) int64
+	// Drain removes and returns dst's pending chunks in (source
+	// partition, chunk production) order — the deterministic fold order.
+	// Each chunk must be Loaded (any goroutine) and then Released.
+	Drain(dst int) []PendingChunk[U]
+	// Stats reports the cumulative spill tallies of the run.
+	Stats() TransportStats
+	// Close releases the transport's resources (spill files included).
+	Close() error
+}
+
+// TransportStats are the cumulative spill tallies of one run.
+type TransportStats struct {
+	// SpillBytes counts encoded bytes written to spill storage.
+	SpillBytes int64
+	// SpillFiles counts spill files created (one per (src, dst) stream
+	// that ever overflowed).
+	SpillFiles int
+}
+
+// PendingChunk is one drained update chunk awaiting its gather fold.
+// Load materializes the typed records — a pure computation safe on any
+// goroutine, so drivers run it on the compute pool exactly like a chunk
+// decode — and Release returns the scratch to the kernel pools (and, for
+// the last spilled chunk of a drained column, reclaims the column's
+// spill-file space).
+type PendingChunk[U any] struct {
+	// Bytes is the chunk's encoded-equivalent size, for byte tallies and
+	// flight-recorder spans.
+	Bytes   int64
+	load    func() []UpdRec[U]
+	release func([]UpdRec[U])
+}
+
+// Load materializes the chunk's records. Call exactly once.
+func (c *PendingChunk[U]) Load() []UpdRec[U] { return c.load() }
+
+// Release recycles the records Load returned. Call exactly once, after
+// the fold has consumed them.
+func (c *PendingChunk[U]) Release(recs []UpdRec[U]) { c.release(recs) }
+
+// MemTransport is the zero-copy in-memory transport: pooled typed record
+// slices move from scatter to gather through per-(src, dst) bucket slots
+// with no encode/decode round-trip. Rows are allocated per source
+// partition so concurrent producers write disjoint backing arrays, and
+// the record slices themselves are arena-recycled across iterations
+// through the kernel's per-core sharded pools (sync.Pool is per-P).
+type MemTransport[U any] struct {
+	updBytes int
+	release  func([]UpdRec[U])
+	// buckets[src][dst] holds the chunks src's scatter emitted for dst,
+	// in production order. One writer per row during scatter, one reader
+	// per column during gather (see the Transport contract).
+	buckets [][][][]UpdRec[U]
+}
+
+// NewMemTransport returns the in-memory transport over the kernel's
+// record geometry and pools.
+func (k *Kernel[V, U, A]) NewMemTransport() *MemTransport[U] {
+	np := k.Layout.NumPartitions
+	t := &MemTransport[U]{
+		updBytes: k.UpdBytes,
+		release:  k.ReleaseRecs,
+		buckets:  make([][][][]UpdRec[U], np),
+	}
+	for src := 0; src < np; src++ {
+		t.buckets[src] = make([][][]UpdRec[U], np)
+	}
+	return t
+}
+
+// Put appends recs as one chunk of bucket (src, dst). Never spills.
+func (t *MemTransport[U]) Put(src, dst int, recs []UpdRec[U]) (int64, int) {
+	t.buckets[src][dst] = append(t.buckets[src][dst], recs)
+	return 0, 0
+}
+
+// PendingBytes sums the encoded-equivalent bytes pending for dst.
+func (t *MemTransport[U]) PendingBytes(dst int) int64 {
+	var total int64
+	for src := range t.buckets {
+		for _, recs := range t.buckets[src][dst] {
+			total += int64(len(recs)) * int64(t.updBytes)
+		}
+	}
+	return total
+}
+
+// Drain removes and returns dst's chunks in (src, chunk) order.
+func (t *MemTransport[U]) Drain(dst int) []PendingChunk[U] {
+	var out []PendingChunk[U]
+	for src := range t.buckets {
+		for _, recs := range t.buckets[src][dst] {
+			recs := recs
+			out = append(out, PendingChunk[U]{
+				Bytes:   int64(len(recs)) * int64(t.updBytes),
+				load:    func() []UpdRec[U] { return recs },
+				release: t.release,
+			})
+		}
+		t.buckets[src][dst] = nil
+	}
+	return out
+}
+
+// Stats reports zero: the in-memory transport never spills.
+func (t *MemTransport[U]) Stats() TransportStats { return TransportStats{} }
+
+// Close is a no-op: all memory is pooled or garbage-collected.
+func (t *MemTransport[U]) Close() error { return nil }
+
+// drainState tracks one drained column's outstanding spilled chunks so
+// the column's spill streams are truncated exactly once, after the last
+// spilled chunk has been folded and released.
+type drainState struct {
+	remaining atomic.Int64
+	truncate  func(streams []string)
+	streams   []string
+}
+
+func (d *drainState) done() {
+	if d.remaining.Add(-1) == 0 {
+		d.truncate(d.streams)
+	}
+}

@@ -1,0 +1,62 @@
+package drive
+
+// Wire is the DES driver's side of the transport seam: the byte-format
+// update path. Under the simulation every update chunk crosses a modeled
+// storage boundary, so records are always encoded — Wire owns the
+// per-destination record-aligned buffering that turns a scatter kernel's
+// encoded output into exactly-limit-sized chunks, handing each finished
+// chunk to the driver's flush callback at the instant it fills. The
+// chunk boundaries and flush call sequence are bit-identical to the
+// buffering it replaced, which is what keeps the simulation's RNG draw
+// order, and with it every determinism test, unchanged.
+//
+// Wire is single-goroutine (simulation context), like the machine state
+// it belongs to.
+type Wire struct {
+	limit int
+	bufs  [][]byte
+	flush func(dst int, chunk []byte)
+}
+
+// NewWire returns a Wire over np destination partitions. limit is the
+// record-aligned chunk size in bytes; flush receives each finished chunk
+// (ownership transfers: flushed slices join the storage protocol and are
+// never reused).
+func NewWire(np, limit int, flush func(dst int, chunk []byte)) *Wire {
+	return &Wire{limit: limit, bufs: make([][]byte, np), flush: flush}
+}
+
+// Put appends encoded records to dst's buffer, flushing full chunks of
+// exactly limit bytes as they fill. The remainder is copied to fresh
+// backing because flushed slices must not be reused.
+func (w *Wire) Put(dst int, b []byte) {
+	buf := append(w.bufs[dst], b...)
+	for len(buf) >= w.limit {
+		w.flush(dst, buf[:w.limit:w.limit])
+		rest := buf[w.limit:]
+		if len(rest) == 0 {
+			buf = nil
+			break
+		}
+		buf = append(make([]byte, 0, w.limit), rest...)
+	}
+	w.bufs[dst] = buf
+}
+
+// PutChunk ships one pre-assembled chunk immediately, bypassing the
+// record-aligned buffering (the combiner's sorted flushes are chunks of
+// their own regardless of size).
+func (w *Wire) PutChunk(dst int, chunk []byte) {
+	w.flush(dst, chunk)
+}
+
+// FlushPartials writes out the partially filled buffers in ascending
+// destination order (the deterministic phase-end flush).
+func (w *Wire) FlushPartials() {
+	for dst, buf := range w.bufs {
+		if len(buf) > 0 {
+			w.flush(dst, buf)
+			w.bufs[dst] = nil
+		}
+	}
+}

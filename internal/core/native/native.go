@@ -26,6 +26,7 @@ package native
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,6 +38,7 @@ import (
 	"chaos/internal/metrics"
 	"chaos/internal/partition"
 	"chaos/internal/sim"
+	"chaos/internal/storage"
 )
 
 // Run executes prog over the given unsorted edge list natively and
@@ -73,14 +75,19 @@ type run[V, U, A any] struct {
 	// The native chunk store. verts[p] holds partition p's encoded
 	// vertex chunks (fixed positions, rewritten after apply); edges[p]
 	// its current-generation edge chunks; edgesNext[p] the rewritten
-	// next generation under the §6.1 extended model; upd[src][dst] the
-	// update chunks partition src's scatter emitted for partition dst.
-	// Every slot has exactly one writer per phase and readers only on
-	// the other side of a phase barrier, so the store needs no locks.
+	// next generation under the §6.1 extended model. Every slot has
+	// exactly one writer per phase and readers only on the other side
+	// of a phase barrier, so the store needs no locks.
 	verts     [][][]byte
 	edges     [][][]byte
 	edgesNext [][][]byte
-	upd       [][][][]byte
+
+	// tr carries updates from scatter to gather through the transport
+	// seam (internal/core/drive): typed record slices through
+	// per-(src, dst) buckets under the same one-writer-per-phase
+	// discipline, zero-copy in memory and — past
+	// Config.TransportBudgetBytes — encoded onto spill files.
+	tr drive.Transport[U]
 
 	// claimed is the per-phase partition ownership table: masters claim
 	// their own partitions first, idle machines steal the rest through
@@ -167,9 +174,22 @@ func newRun[V, U, A any](cfg core.Config, prog gas.Program[V, U, A], edges []gra
 	r.verts = make([][][]byte, np)
 	r.edges = make([][][]byte, np)
 	r.edgesNext = make([][][]byte, np)
-	r.upd = make([][][][]byte, np)
-	for p := 0; p < np; p++ {
-		r.upd[p] = make([][][]byte, np)
+	if cfg.TransportBudgetBytes > 0 {
+		// Out-of-core mode: overflow past the budget is encoded with
+		// the kernel codec and spilled to real temp files, one
+		// directory per run, removed when the transport closes.
+		dir, err := os.MkdirTemp(cfg.SpillDir, "chaos-spill-*")
+		if err != nil {
+			return nil, fmt.Errorf("native: spill dir: %w", err)
+		}
+		backend, err := storage.NewFileBackend(dir)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		r.tr = r.kern.NewSpillTransport(cfg.TransportBudgetBytes, backend, func() error { return os.RemoveAll(dir) })
+	} else {
+		r.tr = r.kern.NewMemTransport()
 	}
 	r.claimed = make([]atomic.Bool, np)
 	r.rngs = make([]*rand.Rand, r.nm)
@@ -192,6 +212,15 @@ func (r *run[V, U, A]) execute(edges []graph.Edge) (interrupted bool, err error)
 	r.start = time.Now() //chaos:wallclock-ok native plane measures wall time by design
 	r.pool = drive.NewPool(r.cfg.ComputeWorkers)
 	defer r.pool.Close()
+	// Closing the transport removes any spill files, on every exit path:
+	// completion, interrupt, and rollback alike (update sets are fully
+	// consumed by the gather preceding each decision point, so nothing
+	// pending is lost).
+	defer func() {
+		if cerr := r.tr.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 
 	r.preprocess(edges)
 	r.rmet.Preprocess = r.elapsed()
@@ -248,6 +277,9 @@ func (r *run[V, U, A]) execute(edges []graph.Edge) (interrupted bool, err error)
 	r.rmet.CheckpointBytes = r.ckptBytes.Load()
 	r.rmet.StealsAccepted = int(r.stealsAcc.Load())
 	r.rmet.StealsRejected = int(r.stealsRej.Load())
+	st := r.tr.Stats()
+	r.rmet.SpillBytes = st.SpillBytes
+	r.rmet.SpillFiles = st.SpillFiles
 	return interrupted, nil
 }
 
@@ -348,19 +380,14 @@ const (
 // remainingBytes is D in the steal criterion: the unprocessed bytes of
 // the partition's streamed set this phase.
 func (r *run[V, U, A]) remainingBytes(ph phaseKind, p int) int64 {
-	var total int64
 	if ph == scatterPhase {
+		var total int64
 		for _, c := range r.edges[p] {
 			total += int64(len(c))
 		}
 		return total
 	}
-	for src := range r.upd {
-		for _, c := range r.upd[src][p] {
-			total += int64(len(c))
-		}
-	}
-	return total
+	return r.tr.PendingBytes(p)
 }
 
 // vertexSetBytes is V in the steal criterion.

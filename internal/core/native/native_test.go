@@ -2,7 +2,9 @@ package native_test
 
 import (
 	"math"
+	"os"
 	"reflect"
+	"strconv"
 	"testing"
 
 	"chaos/internal/algorithms"
@@ -16,11 +18,25 @@ import (
 
 // cfg builds a lab-scale config forcing ~2 partitions per machine, the
 // same shape the DES driver's equivalence tests use.
+//
+// CHAOS_NATIVE_SPILL_BUDGET (bytes), when set, forces the update
+// transport into out-of-core mode for every test in this package: CI
+// uses it to re-run the whole refalgo-equivalence suite with real
+// spill-file traffic under -race. Bytes rather than MiB because the
+// lab-scale working sets here are a few KiB — a 1 MiB floor would never
+// spill.
 func cfg(m int, n uint64, vbytes int) core.Config {
 	c := core.DefaultConfig(cluster.SSD(m))
 	c.ChunkBytes = 4 << 10
 	c.VertexChunkBytes = 4 << 10
 	c.MemBudget = int64(n)*int64(vbytes)/int64(2*m) + int64(vbytes)
+	if v := os.Getenv("CHAOS_NATIVE_SPILL_BUDGET"); v != "" {
+		b, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			panic("bad CHAOS_NATIVE_SPILL_BUDGET: " + err.Error())
+		}
+		c.TransportBudgetBytes = b
+	}
 	return c
 }
 

@@ -205,9 +205,10 @@ func storedBytes(chunks [][]byte) int64 {
 
 // ---------------------------------------------------------------------------
 // Scatter phase (§5.1): stream the partition's edge chunks, run the
-// shared scatter kernel on the compute pool, and merge each chunk's
-// result — in the deterministic chunk order — into per-destination spill
-// buffers that land in the update buckets.
+// shared typed scatter kernel on the compute pool, and merge each
+// chunk's result — in the deterministic chunk order — into the update
+// transport: record slices move into the per-(src, dst) buckets
+// zero-copy, and only a spilling transport ever encodes them.
 
 func (r *run[V, U, A]) scatterPartition(iter, mach, p int, stolen bool) {
 	kern := r.kern
@@ -228,7 +229,7 @@ func (r *run[V, U, A]) scatterPartition(iter, mach, p int, stolen bool) {
 	for i, data := range chunks {
 		sc := &scatterChunk{}
 		data := data
-		sc.Fn = func() { kern.ScatterChunk(iter, p, verts, data, &sc.out) }
+		sc.Fn = func() { kern.ScatterChunkTyped(iter, p, verts, data, &sc.out) }
 		tasks[i] = sc
 		r.pool.Submit(&sc.Task)
 		r.bytesRead.Add(int64(len(data)))
@@ -236,8 +237,6 @@ func (r *run[V, U, A]) scatterPartition(iter, mach, p int, stolen bool) {
 	}
 
 	np := r.layout.NumPartitions
-	tails := make([][]byte, np)
-	updLimit := drive.SpillLimit(r.cfg.ChunkBytes, kern.UpdBytes)
 	var combined []map[graph.VertexID]U
 	var combinedPer int
 	if kern.Combiner != nil {
@@ -246,6 +245,9 @@ func (r *run[V, U, A]) scatterPartition(iter, mach, p int, stolen bool) {
 	}
 	var nextTail []byte
 	edgeLimit := drive.SpillLimit(r.cfg.ChunkBytes, kern.EdgeFmt.EdgeSize())
+	mergeT0 := r.elapsed()
+	var spillBytes int64
+	var spillChunks int
 
 	for _, sc := range tasks {
 		sc.Wait()
@@ -272,35 +274,50 @@ func (r *run[V, U, A]) scatterPartition(iter, mach, p int, stolen bool) {
 					}
 				}
 				if len(mp) >= combinedPer {
-					bytesOut += r.flushCombined(p, tp, mp)
+					enc, sb, sn := r.flushCombined(p, tp, mp)
+					bytesOut += enc
+					spillBytes += sb
+					spillChunks += sn
 				}
 			}
 		}
-		for tp, b := range out.Updates {
-			if len(b) == 0 {
+		for tp, recs := range out.Typed {
+			if len(recs) == 0 {
 				continue
 			}
-			bytesOut += int64(len(b))
-			tails[tp] = r.appendSpill(&r.upd[p][tp], tails[tp], b, updLimit)
+			sz := int64(len(recs)) * int64(kern.UpdBytes)
+			bytesOut += sz
+			r.bytesWritten.Add(sz)
+			// Ownership of the record slice transfers to the transport;
+			// nil the slot so ReleaseScatterOut leaves it alone.
+			out.Typed[tp] = nil
+			sb, sn := r.tr.Put(p, tp, recs)
+			spillBytes += sb
+			spillChunks += sn
 		}
 		kern.ReleaseScatterOut(out)
 	}
 
-	// Flush partial buffers at phase end.
-	for tp, buf := range tails {
-		if len(buf) > 0 {
-			r.putUpdateChunk(p, tp, buf)
-		}
-	}
+	// Flush the remaining combined updates at phase end.
 	if kern.Combiner != nil {
 		for tp, mp := range combined {
 			if len(mp) > 0 {
-				bytesOut += r.flushCombined(p, tp, mp)
+				enc, sb, sn := r.flushCombined(p, tp, mp)
+				bytesOut += enc
+				spillBytes += sb
+				spillChunks += sn
 			}
 		}
 	}
 	if len(nextTail) > 0 {
 		r.putEdgeNextChunk(p, nextTail)
+	}
+	if spillChunks > 0 && r.cfg.Trace != nil {
+		r.cfg.Trace(drive.Span{
+			Iter: iter, Machine: mach, Part: p, Phase: drive.PhaseSpill, Stolen: stolen,
+			Start: int64(mergeT0), Dur: int64(r.elapsed() - mergeT0),
+			Chunks: spillChunks, BytesOut: spillBytes,
+		})
 	}
 	if r.cfg.Trace != nil {
 		r.cfg.Trace(drive.Span{
@@ -329,38 +346,35 @@ func (r *run[V, U, A]) appendSpill(dst *[][]byte, buf, b []byte, limit int) []by
 	return buf
 }
 
-func (r *run[V, U, A]) putUpdateChunk(src, dst int, data []byte) {
-	r.upd[src][dst] = append(r.upd[src][dst], data)
-	r.bytesWritten.Add(int64(len(data)))
-}
-
 func (r *run[V, U, A]) putEdgeNextChunk(p int, data []byte) {
 	r.edgesNext[p] = append(r.edgesNext[p], data)
 	r.bytesWritten.Add(int64(len(data)))
 }
 
-// flushCombined encodes and spills one destination partition's combined
-// update buffer, returning the encoded bytes. Keys are sorted so the
-// encoded byte order — and with it downstream gather order and any
-// float folds — is deterministic (identical discipline to the DES
+// flushCombined hands one destination partition's combined updates to
+// the transport as a single sorted chunk, returning the
+// encoded-equivalent bytes plus any spill the Put triggered. Keys are
+// sorted so the record order — and with it downstream gather order and
+// any float folds — is deterministic (identical discipline to the DES
 // driver).
-func (r *run[V, U, A]) flushCombined(src, dst int, mp map[graph.VertexID]U) int64 {
+func (r *run[V, U, A]) flushCombined(src, dst int, mp map[graph.VertexID]U) (encoded, spilledBytes int64, spilledChunks int) {
 	if len(mp) == 0 {
-		return 0
+		return 0, 0, 0
 	}
 	dsts := make([]graph.VertexID, 0, len(mp))
 	for d := range mp {
 		dsts = append(dsts, d)
 	}
 	slices.Sort(dsts)
-	buf := make([]byte, 0, len(mp)*r.kern.UpdBytes)
+	recs := r.kern.GrabRecs()
 	for _, d := range dsts {
-		val := mp[d]
-		buf = r.kern.AppendUpdate(buf, d, &val)
+		recs = append(recs, drive.UpdRec[U]{Dst: d, Val: mp[d]})
 	}
 	clear(mp)
-	r.putUpdateChunk(src, dst, buf)
-	return int64(len(buf))
+	encoded = int64(len(recs)) * int64(r.kern.UpdBytes)
+	r.bytesWritten.Add(encoded)
+	spilledBytes, spilledChunks = r.tr.Put(src, dst, recs)
+	return encoded, spilledBytes, spilledChunks
 }
 
 // ---------------------------------------------------------------------------
@@ -370,7 +384,6 @@ func (r *run[V, U, A]) flushCombined(src, dst int, mp map[graph.VertexID]U) int6
 // apply and write the vertex set back.
 
 func (r *run[V, U, A]) gatherPartition(iter, mach, p int, stolen bool) {
-	kern := r.kern
 	t0 := r.elapsed()
 	bytesIn := storedBytes(r.verts[p]) // the vertex set about to be loaded
 	var nchunks int
@@ -381,38 +394,40 @@ func (r *run[V, U, A]) gatherPartition(iter, mach, p int, stolen bool) {
 	}
 	lo, _ := r.layout.Range(p)
 
-	// Dispatch every chunk's decode to the pool, with the fold into this
-	// partition's accumulators chained behind it in deterministic chunk
-	// order — the DES driver's exact gather pattern. Folds are the bulk
-	// of gather compute, so running them as pool tasks keeps native jobs
-	// inside the scheduler's shared compute budget instead of doing the
-	// heavy lifting on unbudgeted machine goroutines.
+	// Drain the transport's chunks for this partition — already in the
+	// deterministic (source partition, chunk) order — and dispatch each
+	// chunk's Load to the pool (a slice hand-back for resident chunks, a
+	// read+decode for spilled ones), with the fold into this partition's
+	// accumulators chained behind it in that same order — the DES
+	// driver's exact gather pattern. Folds are the bulk of gather
+	// compute, so running them as pool tasks keeps native jobs inside
+	// the scheduler's shared compute budget instead of doing the heavy
+	// lifting on unbudgeted machine goroutines.
 	type gatherChunk struct {
 		drive.Task
 		recs []drive.UpdRec[U]
 	}
+	pending := r.tr.Drain(p)
 	var tail *drive.Task
-	for src := range r.upd {
-		for _, data := range r.upd[src][p] {
-			gc := &gatherChunk{}
-			data := data
-			gc.Fn = func() { gc.recs = kern.DecodeUpdateChunk(kern.GrabRecs(), data) }
-			r.pool.Submit(&gc.Task)
-			r.bytesRead.Add(int64(len(data)))
-			nchunks++
-			bytesIn += int64(len(data))
-			ft := &drive.Task{Prev: tail, Fn: func() {
-				gc.Wait() // decode complete
-				for i := range gc.recs {
-					u := &gc.recs[i]
-					accums[u.Dst-lo] = r.prog.Gather(accums[u.Dst-lo], u.Val, &verts[u.Dst-lo])
-				}
-				kern.ReleaseRecs(gc.recs)
-				gc.recs = nil
-			}}
-			r.pool.Submit(ft)
-			tail = ft
-		}
+	for i := range pending {
+		pc := &pending[i]
+		gc := &gatherChunk{}
+		gc.Fn = func() { gc.recs = pc.Load() }
+		r.pool.Submit(&gc.Task)
+		r.bytesRead.Add(pc.Bytes)
+		nchunks++
+		bytesIn += pc.Bytes
+		ft := &drive.Task{Prev: tail, Fn: func() {
+			gc.Wait() // load complete
+			for i := range gc.recs {
+				u := &gc.recs[i]
+				accums[u.Dst-lo] = r.prog.Gather(accums[u.Dst-lo], u.Val, &verts[u.Dst-lo])
+			}
+			pc.Release(gc.recs)
+			gc.recs = nil
+		}}
+		r.pool.Submit(ft)
+		tail = ft
 	}
 	if tail != nil {
 		tail.Wait()
@@ -445,9 +460,8 @@ func (r *run[V, U, A]) gatherPartition(iter, mach, p int, stolen bool) {
 			BytesOut: stored,
 		})
 	}
-	// Delete the consumed update set (§6.1). This goroutine owns column
-	// p of the buckets for the whole gather phase.
-	for src := range r.upd {
-		r.upd[src][p] = nil
-	}
+	// The consumed update set was deleted by the Drain above (§6.1):
+	// this goroutine owns column p of the transport's buckets for the
+	// whole gather phase, and the last released spilled chunk truncates
+	// the column's spill streams.
 }

@@ -1,0 +1,215 @@
+package native_test
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"chaos/internal/algorithms"
+	"chaos/internal/core"
+	"chaos/internal/core/native"
+	"chaos/internal/graph"
+	"chaos/internal/refalgo"
+)
+
+// spillCfg is cfg with the transport forced into out-of-core mode: a
+// budget far below the lab-scale update working set, spilling into a
+// test-private directory so leftovers are detectable.
+func spillCfg(t *testing.T, m int, n uint64, vbytes int) core.Config {
+	t.Helper()
+	c := cfg(m, n, vbytes)
+	c.TransportBudgetBytes = 1 << 10 // ~4 KiB chunks, so every phase spills
+	c.SpillDir = t.TempDir()
+	return c
+}
+
+// requireNoSpillLeftovers fails when anything is left under the run's
+// spill directory: every run — completed, interrupted or rolled back —
+// must delete its temp dir.
+func requireNoSpillLeftovers(t *testing.T, dir string) {
+	t.Helper()
+	var left []string
+	err := filepath.Walk(dir, func(p string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if p != dir {
+			left = append(left, p)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking spill dir: %v", err)
+	}
+	if len(left) > 0 {
+		t.Fatalf("spill files left behind: %v", left)
+	}
+}
+
+// TestNativeSpillMatchesInMemory checks the out-of-core transport is
+// invisible to results: a run with a budget small enough to spill every
+// phase produces bit-identical vertex values to the unbudgeted zero-copy
+// run, because spilled chunks stream back in the same (src, chunk) fold
+// order they were produced in.
+func TestNativeSpillMatchesInMemory(t *testing.T) {
+	edges, n := rmatEdges(7, false, 21)
+	mem, _, err := native.Run(cfg(4, n, 8), &algorithms.PageRank{Iterations: 5}, edges, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := spillCfg(t, 4, n, 8)
+	spilled, run, err := native.Run(c, &algorithms.PageRank{Iterations: 5}, edges, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.SpillBytes == 0 || run.SpillFiles == 0 {
+		t.Fatalf("budget %d did not force spilling: %+v", c.TransportBudgetBytes, run)
+	}
+	if !reflect.DeepEqual(mem, spilled) {
+		t.Error("out-of-core run diverged from the in-memory run")
+	}
+	requireNoSpillLeftovers(t, c.SpillDir)
+}
+
+// TestNativeSpillMatchesReference runs a forced-spill BFS against the
+// reference implementation (exact integer results, so any fold-order
+// corruption in the spill round-trip is loud).
+func TestNativeSpillMatchesReference(t *testing.T) {
+	edges, n := rmatEdges(8, false, 7)
+	und := graph.Undirected(edges)
+	want := refalgo.BFSLevels(graph.BuildAdjacency(und, n), 0)
+	for _, m := range machineCounts {
+		c := spillCfg(t, m, n, 5)
+		values, run, err := native.Run(c, &algorithms.BFS{}, und, n)
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		if run.SpillBytes == 0 {
+			t.Fatalf("m=%d: no spill traffic recorded", m)
+		}
+		for i := range values {
+			if values[i].Level != want[i] {
+				t.Fatalf("m=%d vertex %d: level %d, want %d", m, i, values[i].Level, want[i])
+			}
+		}
+		requireNoSpillLeftovers(t, c.SpillDir)
+	}
+}
+
+// TestNativeSpillWeightedMatchesReference covers the float fold path
+// (SSSP) under forced spilling.
+func TestNativeSpillWeightedMatchesReference(t *testing.T) {
+	edges, n := rmatEdges(7, true, 13)
+	und := graph.Undirected(edges)
+	want := refalgo.SSSPDistances(graph.BuildAdjacency(und, n), 0)
+	c := spillCfg(t, 2, n, 5)
+	values, _, err := native.Run(c, &algorithms.SSSP{}, und, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range values {
+		got, exp := values[i].Dist, want[i]
+		if exp == algorithms.Inf {
+			if got != algorithms.Inf {
+				t.Fatalf("vertex %d: dist %g, want unreachable", i, got)
+			}
+			continue
+		}
+		if math.Abs(float64(got-exp)) > 1e-4*math.Max(1, float64(exp)) {
+			t.Fatalf("vertex %d: dist %g, want %g", i, got, exp)
+		}
+	}
+	requireNoSpillLeftovers(t, c.SpillDir)
+}
+
+// TestNativeSpillCleanupOnInterrupt: a run stopped mid-flight at an
+// iteration boundary still deletes its spill directory.
+func TestNativeSpillCleanupOnInterrupt(t *testing.T) {
+	edges, n := rmatEdges(7, false, 5)
+	c := spillCfg(t, 2, n, 8)
+	boundaries := 0
+	c.Interrupt = func() bool {
+		boundaries++
+		return boundaries >= 2
+	}
+	_, _, err := native.Run(c, &algorithms.PageRank{Iterations: 10}, edges, n)
+	if err != core.ErrInterrupted {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	requireNoSpillLeftovers(t, c.SpillDir)
+}
+
+// TestNativeSpillCleanupAfterRollback: checkpoint rollback re-executes
+// iterations (fresh spill traffic each attempt) and the run still ends
+// with correct results and an empty spill directory.
+func TestNativeSpillCleanupAfterRollback(t *testing.T) {
+	edges, n := rmatEdges(7, false, 9)
+	und := graph.Undirected(edges)
+	want := refalgo.BFSLevels(graph.BuildAdjacency(und, n), 0)
+	c := spillCfg(t, 2, n, 5)
+	c.CheckpointEvery = 1
+	c.FailAtIteration = 2
+	values, run, err := native.Run(c, &algorithms.BFS{}, und, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Recoveries != 1 {
+		t.Errorf("recoveries = %d, want 1", run.Recoveries)
+	}
+	for i := range values {
+		if values[i].Level != want[i] {
+			t.Fatalf("vertex %d after recovery: level %d, want %d", i, values[i].Level, want[i])
+		}
+	}
+	requireNoSpillLeftovers(t, c.SpillDir)
+}
+
+// TestNativeSpillSurvivesRestart simulates the process-restart story:
+// a fresh run pointed at a spill dir holding a dead run's orphan
+// directory neither trips over it nor deletes it (boot-time sweeping is
+// the service's job), and cleans up only its own files.
+func TestNativeSpillSurvivesRestart(t *testing.T) {
+	edges, n := rmatEdges(7, false, 3)
+	c := spillCfg(t, 2, n, 8)
+	orphan := filepath.Join(c.SpillDir, "chaos-spill-dead")
+	if err := os.MkdirAll(orphan, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(orphan, "upd.s0000.d0001"), []byte("stale"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := native.Run(c, &algorithms.PageRank{Iterations: 3}, edges, n); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(orphan); err != nil {
+		t.Fatalf("run disturbed another run's spill dir: %v", err)
+	}
+	entries, err := os.ReadDir(c.SpillDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("spill dir should hold only the orphan, got %d entries", len(entries))
+	}
+}
+
+// TestNativeUnbudgetedRunNeverSpills pins the fast path: without a
+// budget the transport stays in memory and reports zero spill traffic.
+func TestNativeUnbudgetedRunNeverSpills(t *testing.T) {
+	if os.Getenv("CHAOS_NATIVE_SPILL_BUDGET") != "" {
+		t.Skip("package-wide forced spilling is on")
+	}
+	edges, n := rmatEdges(7, false, 3)
+	c := cfg(2, n, 8)
+	c.SpillDir = t.TempDir()
+	_, run, err := native.Run(c, &algorithms.PageRank{Iterations: 3}, edges, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.SpillBytes != 0 || run.SpillFiles != 0 {
+		t.Fatalf("in-memory run reported spill traffic: %+v", run)
+	}
+	requireNoSpillLeftovers(t, c.SpillDir)
+}

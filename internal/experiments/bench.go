@@ -21,6 +21,9 @@ type BenchArm struct {
 	// point, for experiments whose arms are compared on wall-clock
 	// (the native-vs-DES record). Empty for the simulated figures.
 	WallSecondsPerPoint []float64 `json:"wall_seconds_per_point,omitempty"`
+	// SpillBytesPerPoint records the out-of-core spill traffic per
+	// point; present only on the forced-spill (oocore) arm.
+	SpillBytesPerPoint []int64 `json:"spill_bytes_per_point,omitempty"`
 }
 
 // BenchRecord is the machine-readable result of one benchmark experiment,

@@ -9,11 +9,13 @@ import (
 )
 
 // TestNativeVsDESEmitsRecord runs the native-vs-DES comparison at quick
-// scale and validates the emitted BENCH_native.json: two arms over the
-// same machine axis, per-point wall-clock populated, and the native
-// plane at or under the DES driver's wall-clock (the margin is
-// structural — the DES serializes every event through one scheduler —
-// so this holds on any host).
+// scale and validates the emitted BENCH_native.json: four arms over the
+// same machine axis (des/native on the strong-scale graph, the
+// zero-copy/oocore transport pair on the larger out-of-core graph),
+// per-point wall-clock populated, spill traffic recorded only on the
+// budgeted arm, and the native plane at or under the DES driver's
+// wall-clock (the margin is structural — the DES serializes every
+// event through one scheduler — so this holds on any host).
 func TestNativeVsDESEmitsRecord(t *testing.T) {
 	s := Quick
 	s.BenchDir = t.TempDir()
@@ -29,25 +31,43 @@ func TestNativeVsDESEmitsRecord(t *testing.T) {
 	if err := json.Unmarshal(data, &rec); err != nil {
 		t.Fatal(err)
 	}
-	if rec.Experiment != "native" || len(rec.Arms) != 2 {
+	if rec.Experiment != "native" || len(rec.Arms) != 4 {
 		t.Fatalf("record shape wrong: %+v", rec)
 	}
-	des, nat := rec.Arms[0], rec.Arms[1]
-	if des.Name != "des" || nat.Name != "native" {
-		t.Fatalf("arm names %q, %q", des.Name, nat.Name)
+	des, nat, fast, ooc := rec.Arms[0], rec.Arms[1], rec.Arms[2], rec.Arms[3]
+	if des.Name != "des" || nat.Name != "native" || fast.Name != "native-zerocopy" || ooc.Name != "oocore" {
+		t.Fatalf("arm names %q, %q, %q, %q", des.Name, nat.Name, fast.Name, ooc.Name)
 	}
-	if len(des.Machines) != len(s.Machines) || len(nat.Machines) != len(s.Machines) {
-		t.Fatalf("machine axes truncated: %v %v", des.Machines, nat.Machines)
+	for _, a := range rec.Arms {
+		if len(a.Machines) != len(s.Machines) {
+			t.Fatalf("arm %s machine axis truncated: %v", a.Name, a.Machines)
+		}
+		if len(a.WallSecondsPerPoint) != len(s.Machines) {
+			t.Fatalf("arm %s per-point wall-clock missing", a.Name)
+		}
+		if a.WallSeconds <= 0 {
+			t.Fatalf("arm %s wall total not measured: %g", a.Name, a.WallSeconds)
+		}
 	}
-	if len(des.WallSecondsPerPoint) != len(s.Machines) || len(nat.WallSecondsPerPoint) != len(s.Machines) {
-		t.Fatal("per-point wall-clock missing")
+	for _, a := range []BenchArm{nat, fast, ooc} {
+		for i, ss := range a.SimulatedSeconds {
+			if ss != 0 {
+				t.Errorf("%s arm point %d claims simulated seconds %g", a.Name, i, ss)
+			}
+		}
 	}
-	if nat.WallSeconds <= 0 || des.WallSeconds <= 0 {
-		t.Fatalf("wall totals not measured: des %g native %g", des.WallSeconds, nat.WallSeconds)
+	// Spill traffic belongs to the budgeted arm and only to it.
+	if len(ooc.SpillBytesPerPoint) != len(s.Machines) {
+		t.Fatalf("oocore arm spill bytes missing: %v", ooc.SpillBytesPerPoint)
 	}
-	for i, ss := range nat.SimulatedSeconds {
-		if ss != 0 {
-			t.Errorf("native arm point %d claims simulated seconds %g", i, ss)
+	for i, b := range ooc.SpillBytesPerPoint {
+		if b <= 0 {
+			t.Errorf("oocore arm point %d did not spill", i)
+		}
+	}
+	for _, a := range []BenchArm{des, nat, fast} {
+		if len(a.SpillBytesPerPoint) != 0 {
+			t.Errorf("arm %s carries spill bytes: %v", a.Name, a.SpillBytesPerPoint)
 		}
 	}
 	if rec.NativeBeatsDES == nil {

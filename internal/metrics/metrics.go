@@ -82,6 +82,12 @@ type Run struct {
 	CheckpointBytes int64
 	// Recoveries counts restarts from checkpoint.
 	Recoveries int
+	// SpillBytes / SpillFiles count the native update transport's
+	// out-of-core traffic: encoded bytes written past the memory budget
+	// and spill files created. Always zero under the DES driver (its
+	// storage engines are the spill).
+	SpillBytes int64
+	SpillFiles int
 }
 
 // NewRun creates statistics for a run across machines machines.

@@ -212,6 +212,12 @@ func (s *Service) metricsText() string {
 	}
 	p.scalar("chaos_native_wall_seconds_total", "Summed measured wall-clock of completed native runs.", "counter", st.NativeWallSeconds)
 
+	// Out-of-core spill counters, always emitted (zero until a native
+	// job with a memory budget actually spills) so dashboards see the
+	// series before the first out-of-core run.
+	p.scalar("chaos_spill_bytes_total", "Encoded update bytes spilled to disk by native out-of-core runs.", "counter", float64(st.SpillBytes))
+	p.scalar("chaos_spill_files_total", "Spill files created by native out-of-core runs.", "counter", float64(st.SpillFiles))
+
 	// Latency histograms. Route and engine series were pre-seeded at
 	// Open, so the first scrape already names every route at zero.
 	p.family("chaos_http_request_duration_seconds", "HTTP request duration by mux route pattern.", "histogram")

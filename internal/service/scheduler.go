@@ -234,7 +234,12 @@ type Scheduler struct {
 	// chaos_native_wall_seconds_total counter); cache hits never ran,
 	// so they add nothing.
 	nativeWallSeconds float64
-	wg                sync.WaitGroup
+	// spillBytes / spillFiles accumulate the out-of-core spill traffic
+	// of completed native runs (the /metrics chaos_spill_*_total
+	// counters); like nativeWallSeconds, cache hits add nothing.
+	spillBytes int64
+	spillFiles int
+	wg         sync.WaitGroup
 
 	// events fans state transitions and progress ticks out to SSE
 	// subscribers; it has its own lock and never blocks publishers.
@@ -757,6 +762,8 @@ func (s *Scheduler) worker() {
 				// that produced the blob (already counted when it
 				// completed), not to this process.
 				s.nativeWallSeconds += rep.WallSeconds
+				s.spillBytes += rep.SpillBytes
+				s.spillFiles += rep.SpillFiles
 			}
 			if s.onJobDone != nil && !j.answeredFromCache.Load() {
 				// Cache-answered restarts excluded for the same reason
@@ -824,6 +831,8 @@ type schedStats struct {
 	perAlgorithm      map[string]int
 	perEngine         map[string]int
 	nativeWallSeconds float64
+	spillBytes        int64
+	spillFiles        int
 }
 
 func (s *Scheduler) stats() schedStats {
@@ -836,6 +845,8 @@ func (s *Scheduler) stats() schedStats {
 		perAlgorithm:      make(map[string]int),
 		perEngine:         make(map[string]int),
 		nativeWallSeconds: s.nativeWallSeconds,
+		spillBytes:        s.spillBytes,
+		spillFiles:        s.spillFiles,
 	}
 	for _, j := range s.jobs {
 		st.jobs[string(j.state)]++

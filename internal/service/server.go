@@ -96,6 +96,7 @@ type jobOptions struct {
 	ChunkBytes        int     `json:"chunkBytes,omitempty"`
 	VertexChunkBytes  int     `json:"vertexChunkBytes,omitempty"`
 	MemBudgetBytes    int64   `json:"memBudgetBytes,omitempty"`
+	MemoryBudgetMB    int64   `json:"memoryBudgetMB,omitempty"`
 	BatchK            int     `json:"batchK,omitempty"`
 	WindowOverride    int     `json:"windowOverride,omitempty"`
 	Alpha             float64 `json:"alpha,omitempty"`
@@ -134,6 +135,7 @@ func (r jobRequest) resolve() (string, chaos.Options, error) {
 		ChunkBytes:        r.Options.ChunkBytes,
 		VertexChunkBytes:  r.Options.VertexChunkBytes,
 		MemBudgetBytes:    r.Options.MemBudgetBytes,
+		MemoryBudgetMB:    r.Options.MemoryBudgetMB,
 		BatchK:            r.Options.BatchK,
 		WindowOverride:    r.Options.WindowOverride,
 		Alpha:             r.Options.Alpha,

@@ -46,6 +46,7 @@ func TestJobOptionsRoundTrip(t *testing.T) {
 			ChunkBytes:        1 << 12,
 			VertexChunkBytes:  1 << 11,
 			MemBudgetBytes:    1 << 21,
+			MemoryBudgetMB:    12,
 			BatchK:            7,
 			WindowOverride:    9,
 			Alpha:             2.5,
@@ -79,6 +80,7 @@ func TestJobOptionsRoundTrip(t *testing.T) {
 		ChunkBytes:        1 << 12,
 		VertexChunkBytes:  1 << 11,
 		MemBudgetBytes:    1 << 21,
+		MemoryBudgetMB:    12,
 		BatchK:            7,
 		WindowOverride:    9,
 		Alpha:             2.5,

@@ -23,6 +23,8 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
@@ -98,6 +100,11 @@ type Service struct {
 	metrics *serviceMetrics
 
 	persist *persistence // nil without Config.DataDir
+	// spillDir is the parent directory handed to native out-of-core runs
+	// (chaos.WithSpillDir); "" without a data dir (the OS temp dir is
+	// used). Swept clean on Open so a crash mid-run never leaks spill
+	// files across restarts.
+	spillDir string
 	// walSpans retains the durability tier's recent operation spans
 	// (append/fsync/rotate/snapshot, reported by the WAL's SetTrace
 	// hook); the trace endpoint merges the ones overlapping a job's
@@ -160,6 +167,17 @@ func Open(cfg Config) (*Service, error) {
 		}
 		s.persist = p
 		recovered = rec
+		// Out-of-core spill files live under the data dir so a crashed
+		// run's orphans are found and removed at the next boot (a live
+		// run deletes its own temp dir on completion, interruption or
+		// rollback; only a process death can leave one behind).
+		s.spillDir = filepath.Join(cfg.DataDir, "spill")
+		if err := os.RemoveAll(s.spillDir); err != nil {
+			return nil, fmt.Errorf("service: sweeping spill dir: %w", err)
+		}
+		if err := os.MkdirAll(s.spillDir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: creating spill dir: %w", err)
+		}
 		s.cache = newResultCache(cfg.MaxCacheEntries, p.store)
 		// The WAL reports its operations as observational spans into a
 		// bounded ring (never back into the journal; see durable.SpanHook).
@@ -240,6 +258,11 @@ func (s *Service) execute(ctx context.Context, job *Job) (*chaos.Result, *chaos.
 	rec := chaos.NewTraceRecorder(s.cfg.TraceSpanCap)
 	job.trace.Store(rec)
 	ctx = chaos.WithTrace(ctx, rec.Record)
+	if s.spillDir != "" {
+		// Native out-of-core runs spill under the data dir (swept on
+		// boot) instead of the OS temp dir.
+		ctx = chaos.WithSpillDir(ctx, s.spillDir)
+	}
 	opt := job.Options
 	if opt.ComputeWorkers == 0 && job.computeShare > 0 {
 		// The job did not pin its host parallelism: run it on its share
@@ -340,6 +363,9 @@ func mergeOptions(base, opt chaos.Options) chaos.Options {
 	if opt.MemBudgetBytes == 0 {
 		opt.MemBudgetBytes = base.MemBudgetBytes
 	}
+	if opt.MemoryBudgetMB == 0 {
+		opt.MemoryBudgetMB = base.MemoryBudgetMB
+	}
 	// LatencyScale must follow the chunk size unless the request pins it:
 	// shrinking chunks by f without shrinking fixed latencies by f
 	// distorts the latency-to-service-time ratio (DESIGN.md). The base
@@ -392,8 +418,12 @@ type Stats struct {
 	PerEngine map[string]int `json:"perEngine"`
 	// NativeWallSeconds is the summed measured wall-clock of completed
 	// native runs (cache hits excluded — they never ran).
-	NativeWallSeconds float64    `json:"nativeWallSeconds"`
-	Cache             CacheStats `json:"cache"`
+	NativeWallSeconds float64 `json:"nativeWallSeconds"`
+	// SpillBytes / SpillFiles sum the out-of-core spill traffic of
+	// completed native runs with a memory budget (cache hits excluded).
+	SpillBytes int64      `json:"spillBytes"`
+	SpillFiles int        `json:"spillFiles"`
+	Cache      CacheStats `json:"cache"`
 	// Durable reports the persistence layer; nil without a data dir.
 	Durable *DurableStats `json:"durable,omitempty"`
 }
@@ -425,6 +455,8 @@ func (s *Service) Stats() Stats {
 		PerAlgorithm:      st.perAlgorithm,
 		PerEngine:         st.perEngine,
 		NativeWallSeconds: st.nativeWallSeconds,
+		SpillBytes:        st.spillBytes,
+		SpillFiles:        st.spillFiles,
 		Cache:             s.cache.stats(),
 	}
 	if s.persist != nil {

@@ -1,0 +1,140 @@
+package service
+
+import (
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chaos"
+)
+
+// TestSpillMetricsPreSeeded checks the out-of-core counters are present
+// in the Prometheus exposition — with HELP/TYPE headers and a zero
+// sample — before any job has spilled, so dashboards and alerts see the
+// series from the first scrape (absent-vs-zero matters to alerting).
+func TestSpillMetricsPreSeeded(t *testing.T) {
+	svc := newTestService(t, 1)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"# HELP chaos_spill_bytes_total ",
+		"# TYPE chaos_spill_bytes_total counter",
+		"\nchaos_spill_bytes_total 0\n",
+		"# HELP chaos_spill_files_total ",
+		"# TYPE chaos_spill_files_total counter",
+		"\nchaos_spill_files_total 0\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics lacks %q", want)
+		}
+	}
+	// Exposition-format sanity for the two families: HELP, then TYPE,
+	// then the sample, each on its own line.
+	for _, fam := range []string{"chaos_spill_bytes_total", "chaos_spill_files_total"} {
+		help := strings.Index(text, "# HELP "+fam)
+		typ := strings.Index(text, "# TYPE "+fam)
+		sample := strings.Index(text, "\n"+fam+" ")
+		if !(help >= 0 && help < typ && typ < sample) {
+			t.Errorf("%s: HELP/TYPE/sample out of order (%d, %d, %d)", fam, help, typ, sample)
+		}
+	}
+}
+
+// TestSpillOrphanSweepOnOpen plants a fake dead-run spill directory
+// under the data dir and checks Open removes it: a process killed
+// mid-spill must not leak disk across restarts.
+func TestSpillOrphanSweepOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	orphan := filepath.Join(dir, "spill", "chaos-spill-dead123")
+	if err := os.MkdirAll(orphan, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(orphan, "upd.s0000.d0001"), []byte("stale spill data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	svc := openDurable(t, dir, 1)
+	defer svc.Close()
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphan spill dir survived Open: stat err = %v", err)
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "spill"))
+	if err != nil {
+		t.Fatalf("spill root missing after Open: %v", err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("spill root not empty after sweep: %v", entries)
+	}
+}
+
+// TestNativeOutOfCoreJobThroughService runs a native job with a memory
+// budget small enough to spill, end to end through the service: the
+// option travels the wire form, the run spills under the service's
+// spill root, the report carries the tallies, and stats and /metrics
+// both surface them.
+func TestNativeOutOfCoreJobThroughService(t *testing.T) {
+	dir := t.TempDir()
+	svc := openDurable(t, dir, 1)
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	if _, err := svc.RegisterGraph(GraphSpec{Name: "g", Type: "rmat", Scale: 14, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	jv, err := svc.Submit("g", "BFS", chaos.Options{Engine: chaos.EngineNative, MemoryBudgetMB: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitJob(t, svc, jv.ID)
+	if done.State != JobDone {
+		t.Fatalf("job ended %s: %s", done.State, done.Error)
+	}
+	if done.Report == nil || done.Report.SpillBytes == 0 || done.Report.SpillFiles == 0 {
+		t.Fatalf("budgeted native run did not spill: %+v", done.Report)
+	}
+	st := svc.Stats()
+	if st.SpillBytes != done.Report.SpillBytes || st.SpillFiles != done.Report.SpillFiles {
+		t.Errorf("stats spill counters (%d, %d) do not match report (%d, %d)",
+			st.SpillBytes, st.SpillFiles, done.Report.SpillBytes, done.Report.SpillFiles)
+	}
+	// The run's temp dir under the service spill root is gone.
+	entries, err := os.ReadDir(filepath.Join(dir, "spill"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("spill root not empty after job: %v", entries)
+	}
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "chaos_spill_files_total 1") &&
+		!strings.Contains(string(raw), "chaos_spill_bytes_total") {
+		t.Error("/metrics lacks spill counters after an out-of-core run")
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.HasPrefix(line, "chaos_spill_bytes_total ") && strings.HasSuffix(line, " 0") {
+			t.Errorf("spill bytes still zero after an out-of-core run: %q", line)
+		}
+	}
+}

@@ -142,6 +142,9 @@ func (o Options) Canonical() Options {
 	if c.MemBudgetBytes < 0 {
 		c.MemBudgetBytes = 0
 	}
+	if c.MemoryBudgetMB < 0 {
+		c.MemoryBudgetMB = 0
+	}
 	if c.BatchK <= 0 {
 		c.BatchK = 5
 	}
@@ -202,7 +205,8 @@ func (o Options) Canonical() Options {
 // from silently falling out of the result-cache key.
 var fingerprintFields = []string{
 	"Machines", "Storage", "Network", "Cores", "ChunkBytes",
-	"VertexChunkBytes", "MemBudgetBytes", "BatchK", "WindowOverride",
+	"VertexChunkBytes", "MemBudgetBytes", "MemoryBudgetMB", "BatchK",
+	"WindowOverride",
 	"Alpha", "DisableStealing", "AlwaysSteal", "CheckpointEvery",
 	"FailAtIteration", "CentralDirectory", "CombineUpdates",
 	"RewriteEdges", "ReplicateVertices", "MaxIterations", "LatencyScale",
@@ -237,6 +241,7 @@ func (o Options) Fingerprint() string {
 	app("chunkBytes", itoa(c.ChunkBytes))
 	app("vertexChunkBytes", itoa(c.VertexChunkBytes))
 	app("memBudgetBytes", strconv.FormatInt(c.MemBudgetBytes, 10))
+	app("memoryBudgetMB", strconv.FormatInt(c.MemoryBudgetMB, 10))
 	app("batchK", itoa(c.BatchK))
 	app("windowOverride", itoa(c.WindowOverride))
 	app("alpha", ftoa(c.Alpha))

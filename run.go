@@ -42,6 +42,7 @@ func runProgram[V, U, A any](ctx context.Context, opt Options, prog gas.Program[
 	if fn := traceFrom(ctx); fn != nil {
 		cfg.Trace = fn // TraceSpan = drive.Span, same time base per engine
 	}
+	cfg.SpillDir = spillDirFrom(ctx)
 	if fn := progressFrom(ctx); fn != nil {
 		if engine == EngineNative {
 			// The native driver has no virtual clock: its Now is host

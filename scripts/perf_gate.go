@@ -20,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 )
 
 // record mirrors the fields of experiments.BenchRecord the gate reads.
@@ -50,8 +52,26 @@ func main() {
 		committedPath = flag.String("committed", "records/BENCH_native.json", "record committed to the repo")
 		factor        = flag.Float64("factor", 2.0, "fail when fresh wall-clock exceeds committed*factor+slack")
 		slack         = flag.Float64("slack", 0.75, "absolute headroom in seconds per arm")
+		armFactors    = flag.String("arm-factors", "oocore=3",
+			"per-arm factor overrides as name=factor[,name=factor...]; disk-bound arms get a wider envelope than CPU-bound ones")
 	)
 	flag.Parse()
+	perArm := make(map[string]float64)
+	if *armFactors != "" {
+		for _, kv := range strings.Split(*armFactors, ",") {
+			name, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				fmt.Fprintf(os.Stderr, "perf_gate: bad -arm-factors entry %q (want name=factor)\n", kv)
+				os.Exit(1)
+			}
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "perf_gate: bad factor in %q: %v\n", kv, err)
+				os.Exit(1)
+			}
+			perArm[name] = f
+		}
+	}
 	fresh, err := load(*freshPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "perf_gate:", err)
@@ -79,7 +99,11 @@ func main() {
 			fmt.Printf("perf_gate: arm %-12s %8.3fs (no committed baseline)\n", a.Name, a.WallSeconds)
 			continue
 		}
-		limit := want**factor + *slack
+		f := *factor
+		if af, ok := perArm[a.Name]; ok {
+			f = af
+		}
+		limit := want*f + *slack
 		verdict := "ok"
 		if a.WallSeconds > limit {
 			verdict = "REGRESSION"

@@ -24,6 +24,7 @@ const (
 	PhaseGather     = drive.PhaseGather
 	PhaseApply      = drive.PhaseApply
 	PhaseSteal      = drive.PhaseSteal
+	PhaseSpill      = drive.PhaseSpill
 )
 
 // traceKey carries the subscriber through a context, mirroring
@@ -50,6 +51,32 @@ func traceFrom(ctx context.Context) func(TraceSpan) {
 	}
 	fn, _ := ctx.Value(traceKey{}).(func(TraceSpan))
 	return fn
+}
+
+// spillDirKey carries the native spill parent directory through a
+// context, mirroring traceKey.
+type spillDirKey struct{}
+
+// WithSpillDir returns a context under which native runs with an
+// Options.MemoryBudgetMB place their spill files in a run-private temp
+// directory created under dir instead of the OS temp dir. The job
+// service points this at a directory it can sweep for orphans on
+// restart. Purely operational: the directory never affects results and
+// is absent from option fingerprints.
+func WithSpillDir(ctx context.Context, dir string) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, spillDirKey{}, dir)
+}
+
+// spillDirFrom extracts the directory WithSpillDir installed, "" if none.
+func spillDirFrom(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	dir, _ := ctx.Value(spillDirKey{}).(string)
+	return dir
 }
 
 // TraceRecorder collects a run's span stream into a bounded ring,
