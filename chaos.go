@@ -142,6 +142,17 @@ type Options struct {
 	// paper-facing performance claim is made (see DESIGN.md, "Two
 	// planes, one protocol").
 	Engine string
+	// NativeBarrier restores the native engine's two-global-barriers-
+	// per-iteration phase layout: every scatter finishes before any
+	// gather starts. The default (false) streams the boundary — gathers
+	// fold each source's update chunks as soon as that source's scatter
+	// completes. Final values are bit-identical either way (the fold
+	// order, not the phase order, is the determinism invariant; DESIGN.md
+	// "Streaming the phase boundary"); only wall-clock and the
+	// scheduling-dependent steal counters differ. The sim engine accepts
+	// and ignores it: its simulated phases are barrier-ordered by
+	// construction.
+	NativeBarrier bool
 	// Seed drives all randomized decisions; equal seeds reproduce runs
 	// exactly.
 	Seed int64
@@ -214,6 +225,7 @@ func (o Options) config() core.Config {
 	cfg.CombineUpdates = o.CombineUpdates
 	cfg.RewriteEdges = o.RewriteEdges
 	cfg.ReplicateVertices = o.ReplicateVertices
+	cfg.PhaseBarrier = o.NativeBarrier
 	if o.MaxIterations > 0 {
 		cfg.MaxIterations = o.MaxIterations
 	}

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"chaos"
@@ -63,6 +65,10 @@ func main() {
 		workers   = flag.Int("workers", 0, "engine compute workers (0 = GOMAXPROCS); results are identical for every value")
 		engineFl  = flag.String("engine", "sim",
 			"execution engine: sim reproduces the paper's figures; native selects the native-vs-DES wall-clock comparison (the figures themselves are DES-only)")
+		cpuProfile = flag.String("cpuprofile", "",
+			"write a runtime/pprof CPU profile of the experiments' timed region to this file (setup and flag parsing excluded)")
+		memProfile = flag.String("memprofile", "",
+			"write a runtime/pprof allocs profile to this file after the experiments finish (records every allocation since program start, so iteration-loop hot spots dominate)")
 	)
 	flag.Parse()
 
@@ -96,6 +102,21 @@ func main() {
 	}
 	scale.Storage, scale.Network = hw.Storage, hw.Network
 	scale.BenchDir, scale.ComputeWorkers = *benchJSON, *workers
+	// Profiling brackets exactly the experiments' timed region — the
+	// same code the wall-clock records measure — so "profile-driven" is
+	// reproducible by anyone: chaos-bench -experiment native -cpuprofile
+	// cpu.pb.gz, then go tool pprof (see EXPERIMENTS.md).
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			cli.Fatal(logger, "creating cpu profile", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			cli.Fatal(logger, "starting cpu profile", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	ran := 0
 	for _, e := range all {
 		if *which != "all" && e.name != *which {
@@ -105,6 +126,17 @@ func main() {
 			cli.Fatal(logger, e.name, err)
 		}
 		ran++
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			cli.Fatal(logger, "creating mem profile", err)
+		}
+		runtime.GC() // settle live objects so alloc_space dominates the view
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			cli.Fatal(logger, "writing mem profile", err)
+		}
+		f.Close()
 	}
 	if ran == 0 {
 		names := make([]string, len(all))

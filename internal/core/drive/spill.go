@@ -11,14 +11,14 @@ import (
 // in memory exactly like MemTransport until the configured budget is
 // exceeded, then encodes whole overflowing buckets with the kernel codec
 // and appends them to one storage stream per (src, dst) pair. Drained
-// columns stream their spilled chunks back in production order — spilled
+// buckets stream their spilled chunks back in production order — spilled
 // chunks always precede a bucket's in-memory tail, so the per-(src, dst)
 // record sequence, and with it every float fold, is identical to the
 // all-in-memory run.
 //
 // Budget enforcement keeps the one-writer discipline: a Put that tips the
 // total over budget spills buckets of its own source row only, so no lock
-// protects bucket state; only the global byte counter and the backend
+// protects bucket state; only the global byte counters and the backend
 // (which serializes internally) are shared.
 type SpillTransport[U any] struct {
 	updBytes int
@@ -38,6 +38,12 @@ type SpillTransport[U any] struct {
 	spillFiles atomic.Int64
 
 	rows []spillRow[U]
+	// pending[dst] is the column's encoded-equivalent byte total
+	// (spilled and resident both — the codec is fixed-width, so
+	// spilling a chunk never changes its pending contribution),
+	// maintained atomically so steal sweeps can read it while
+	// producers are still Putting.
+	pending []atomic.Int64
 }
 
 // spillRow is one source partition's buckets. Allocated per row so
@@ -80,6 +86,7 @@ func (k *Kernel[V, U, A]) NewSpillTransport(budget int64, backend storage.Backen
 		grabRecs:    k.GrabRecs,
 		releaseRecs: k.ReleaseRecs,
 		rows:        make([]spillRow[U], np),
+		pending:     make([]atomic.Int64, np),
 	}
 	for src := 0; src < np; src++ {
 		t.rows[src].buckets = make([]spillBucket[U], np)
@@ -96,7 +103,9 @@ func (k *Kernel[V, U, A]) NewSpillTransport(budget int64, backend storage.Backen
 func (t *SpillTransport[U]) Put(src, dst int, recs []UpdRec[U]) (int64, int) {
 	b := &t.rows[src].buckets[dst]
 	b.mem = append(b.mem, recs)
-	if t.memBytes.Add(int64(len(recs))*int64(t.updBytes)) <= t.budget {
+	sz := int64(len(recs)) * int64(t.updBytes)
+	t.pending[dst].Add(sz)
+	if t.memBytes.Add(sz) <= t.budget {
 		return 0, 0
 	}
 	var bytes int64
@@ -144,40 +153,45 @@ func (t *SpillTransport[U]) spillBucket(src, dst int) (int64, int) {
 	return written, n
 }
 
-// PendingBytes sums dst's encoded-equivalent bytes, spilled and resident.
+// PendingBytes reports dst's encoded-equivalent bytes, spilled and
+// resident.
 func (t *SpillTransport[U]) PendingBytes(dst int) int64 {
-	var total int64
-	for src := range t.rows {
-		b := &t.rows[src].buckets[dst]
-		for _, ref := range b.refs {
-			total += int64(ref.n)
-		}
-		for _, recs := range b.mem {
-			total += int64(len(recs)) * int64(t.updBytes)
-		}
-	}
-	return total
+	return t.pending[dst].Load()
 }
 
 // Drain removes and returns dst's chunks in (src, chunk) order: each
 // bucket's spilled chunks first (they are the oldest), then its
-// in-memory tail. Spill streams are truncated once the column's last
-// spilled chunk is released.
+// in-memory tail.
 func (t *SpillTransport[U]) Drain(dst int) []PendingChunk[U] {
 	var out []PendingChunk[U]
-	state := &drainState{truncate: func(streams []string) {
-		for _, s := range streams {
-			if err := t.backend.Truncate(s); err != nil {
-				panic(fmt.Sprintf("drive: spill truncate %s: %v", s, err))
-			}
-		}
-	}}
-	var spilled int64
 	for src := range t.rows {
-		b := &t.rows[src].buckets[dst]
+		out = append(out, t.DrainFrom(dst, src)...)
+	}
+	return out
+}
+
+// DrainFrom removes and returns bucket (src, dst)'s chunks in
+// production order: the spilled prefix, then the in-memory tail. The
+// bucket's spill stream is truncated once its last spilled chunk is
+// released.
+func (t *SpillTransport[U]) DrainFrom(dst, src int) []PendingChunk[U] {
+	b := &t.rows[src].buckets[dst]
+	if len(b.refs) == 0 && len(b.mem) == 0 {
+		return nil
+	}
+	out := make([]PendingChunk[U], 0, len(b.refs)+len(b.mem))
+	var drained int64
+	if len(b.refs) > 0 {
+		state := &drainState{stream: b.stream, truncate: func(stream string) {
+			if err := t.backend.Truncate(stream); err != nil {
+				panic(fmt.Sprintf("drive: spill truncate %s: %v", stream, err))
+			}
+		}}
+		state.remaining.Store(int64(len(b.refs)))
 		for _, ref := range b.refs {
 			ref := ref
 			stream := b.stream
+			drained += int64(ref.n)
 			out = append(out, PendingChunk[U]{
 				Bytes: int64(ref.n),
 				load: func() []UpdRec[U] {
@@ -193,26 +207,23 @@ func (t *SpillTransport[U]) Drain(dst int) []PendingChunk[U] {
 				},
 			})
 		}
-		if len(b.refs) > 0 {
-			state.streams = append(state.streams, b.stream)
-			spilled += int64(len(b.refs))
-			b.refs = nil
-		}
-		for _, recs := range b.mem {
-			recs := recs
-			sz := int64(len(recs)) * int64(t.updBytes)
-			out = append(out, PendingChunk[U]{
-				Bytes: sz,
-				load:  func() []UpdRec[U] { return recs },
-				release: func(recs []UpdRec[U]) {
-					t.memBytes.Add(-sz)
-					t.releaseRecs(recs)
-				},
-			})
-		}
-		b.mem = nil
+		b.refs = nil
 	}
-	state.remaining.Store(spilled)
+	for _, recs := range b.mem {
+		recs := recs
+		sz := int64(len(recs)) * int64(t.updBytes)
+		drained += sz
+		out = append(out, PendingChunk[U]{
+			Bytes: sz,
+			load:  func() []UpdRec[U] { return recs },
+			release: func(recs []UpdRec[U]) {
+				t.memBytes.Add(-sz)
+				t.releaseRecs(recs)
+			},
+		})
+	}
+	b.mem = nil
+	t.pending[dst].Add(-drained)
 	return out
 }
 

@@ -6,20 +6,26 @@ import "sync/atomic"
 // (gather): the one place where typed update records either stay typed
 // slices or become encoded bytes. A driver Puts the records partition
 // src's scatter emitted for partition dst, chunk by chunk, and later
-// Drains partition dst's pending chunks in the deterministic
-// (source partition, chunk) fold order. Encoding is a property of
-// crossing a real boundary — the in-memory transport never encodes, the
-// spilling transport encodes exactly the chunks that overflow its budget
-// onto storage, and the DES driver's Wire always encodes because its
-// simulated storage engines only move bytes.
+// drains partition dst's pending chunks in the deterministic
+// (source partition, chunk) fold order — either all at once (Drain) or
+// source by source as each scatter completes (DrainFrom, the streaming
+// consumer API behind the native driver's pipelined phase boundary).
+// Encoding is a property of crossing a real boundary — the in-memory
+// transport never encodes, the spilling transport encodes exactly the
+// chunks that overflow its budget onto storage, and the DES driver's
+// Wire always encodes because its simulated storage engines only move
+// bytes.
 //
 // Concurrency contract (the native store's one-writer discipline):
-// during a scatter phase, row src is written only by the goroutine
-// processing partition src; during a gather phase, column dst is drained
-// only by the goroutine processing partition dst. The two phases are
-// separated by a barrier, and PendingBytes is only consulted between
-// phases (the steal criterion snapshot), so no slot is ever touched from
-// two goroutines without a barrier in between.
+// bucket (src, dst) is written only by the goroutine running scatter(src)
+// — including any budget-pressure spilling, which sweeps row src only —
+// until scatter(src)'s completion is published (a channel close or a
+// phase barrier). Afterwards the bucket is read only by the goroutine
+// running gather(dst), via DrainFrom(dst, src) or Drain(dst). The
+// completion signal is the happens-before edge; no slot is ever touched
+// from two goroutines without one. PendingBytes is a single atomic read,
+// safe at any time — steal sweeps consult it live while producers are
+// still Putting into the column.
 //
 // Transports never touch a clock, an RNG or a mailbox; spill I/O failure
 // mid-phase is unrecoverable and panics with context.
@@ -32,12 +38,20 @@ type Transport[U any] interface {
 	// PhaseSpill spans without the transport reading a clock.
 	Put(src, dst int, recs []UpdRec[U]) (spilledBytes int64, spilledChunks int)
 	// PendingBytes is D in the §5.4 steal criterion: the
-	// encoded-equivalent bytes pending for partition dst.
+	// encoded-equivalent bytes pending for partition dst. A single
+	// atomic read — callable concurrently with Put and DrainFrom.
 	PendingBytes(dst int) int64
 	// Drain removes and returns dst's pending chunks in (source
 	// partition, chunk production) order — the deterministic fold order.
 	// Each chunk must be Loaded (any goroutine) and then Released.
 	Drain(dst int) []PendingChunk[U]
+	// DrainFrom removes and returns only the chunks src's scatter
+	// emitted for dst, in production order. Draining src 0..np-1 in
+	// ascending order yields exactly Drain's sequence, so a consumer
+	// that folds each source's chunks as that source completes sees the
+	// same deterministic fold order as one that waits for all of them.
+	// Callable only after scatter(src)'s completion is published.
+	DrainFrom(dst, src int) []PendingChunk[U]
 	// Stats reports the cumulative spill tallies of the run.
 	Stats() TransportStats
 	// Close releases the transport's resources (spill files included).
@@ -57,7 +71,7 @@ type TransportStats struct {
 // Load materializes the typed records — a pure computation safe on any
 // goroutine, so drivers run it on the compute pool exactly like a chunk
 // decode — and Release returns the scratch to the kernel pools (and, for
-// the last spilled chunk of a drained column, reclaims the column's
+// the last spilled chunk of a drained bucket, reclaims the bucket's
 // spill-file space).
 type PendingChunk[U any] struct {
 	// Bytes is the chunk's encoded-equivalent size, for byte tallies and
@@ -85,8 +99,12 @@ type MemTransport[U any] struct {
 	release  func([]UpdRec[U])
 	// buckets[src][dst] holds the chunks src's scatter emitted for dst,
 	// in production order. One writer per row during scatter, one reader
-	// per column during gather (see the Transport contract).
+	// per column once the source completes (see the Transport contract).
 	buckets [][][][]UpdRec[U]
+	// pending[dst] is the column's encoded-equivalent byte total,
+	// maintained atomically so steal sweeps can read it while producers
+	// are still appending.
+	pending []atomic.Int64
 }
 
 // NewMemTransport returns the in-memory transport over the kernel's
@@ -97,6 +115,7 @@ func (k *Kernel[V, U, A]) NewMemTransport() *MemTransport[U] {
 		updBytes: k.UpdBytes,
 		release:  k.ReleaseRecs,
 		buckets:  make([][][][]UpdRec[U], np),
+		pending:  make([]atomic.Int64, np),
 	}
 	for src := 0; src < np; src++ {
 		t.buckets[src] = make([][][]UpdRec[U], np)
@@ -107,34 +126,45 @@ func (k *Kernel[V, U, A]) NewMemTransport() *MemTransport[U] {
 // Put appends recs as one chunk of bucket (src, dst). Never spills.
 func (t *MemTransport[U]) Put(src, dst int, recs []UpdRec[U]) (int64, int) {
 	t.buckets[src][dst] = append(t.buckets[src][dst], recs)
+	t.pending[dst].Add(int64(len(recs)) * int64(t.updBytes))
 	return 0, 0
 }
 
-// PendingBytes sums the encoded-equivalent bytes pending for dst.
+// PendingBytes reports the encoded-equivalent bytes pending for dst.
 func (t *MemTransport[U]) PendingBytes(dst int) int64 {
-	var total int64
-	for src := range t.buckets {
-		for _, recs := range t.buckets[src][dst] {
-			total += int64(len(recs)) * int64(t.updBytes)
-		}
-	}
-	return total
+	return t.pending[dst].Load()
 }
 
 // Drain removes and returns dst's chunks in (src, chunk) order.
 func (t *MemTransport[U]) Drain(dst int) []PendingChunk[U] {
 	var out []PendingChunk[U]
 	for src := range t.buckets {
-		for _, recs := range t.buckets[src][dst] {
-			recs := recs
-			out = append(out, PendingChunk[U]{
-				Bytes:   int64(len(recs)) * int64(t.updBytes),
-				load:    func() []UpdRec[U] { return recs },
-				release: t.release,
-			})
-		}
-		t.buckets[src][dst] = nil
+		out = append(out, t.DrainFrom(dst, src)...)
 	}
+	return out
+}
+
+// DrainFrom removes and returns bucket (src, dst)'s chunks in
+// production order.
+func (t *MemTransport[U]) DrainFrom(dst, src int) []PendingChunk[U] {
+	chunks := t.buckets[src][dst]
+	if len(chunks) == 0 {
+		return nil
+	}
+	t.buckets[src][dst] = nil
+	out := make([]PendingChunk[U], 0, len(chunks))
+	var drained int64
+	for _, recs := range chunks {
+		recs := recs
+		sz := int64(len(recs)) * int64(t.updBytes)
+		drained += sz
+		out = append(out, PendingChunk[U]{
+			Bytes:   sz,
+			load:    func() []UpdRec[U] { return recs },
+			release: t.release,
+		})
+	}
+	t.pending[dst].Add(-drained)
 	return out
 }
 
@@ -144,17 +174,17 @@ func (t *MemTransport[U]) Stats() TransportStats { return TransportStats{} }
 // Close is a no-op: all memory is pooled or garbage-collected.
 func (t *MemTransport[U]) Close() error { return nil }
 
-// drainState tracks one drained column's outstanding spilled chunks so
-// the column's spill streams are truncated exactly once, after the last
+// drainState tracks one drained bucket's outstanding spilled chunks so
+// the bucket's spill stream is truncated exactly once, after the last
 // spilled chunk has been folded and released.
 type drainState struct {
 	remaining atomic.Int64
-	truncate  func(streams []string)
-	streams   []string
+	truncate  func(stream string)
+	stream    string
 }
 
 func (d *drainState) done() {
 	if d.remaining.Add(-1) == 0 {
-		d.truncate(d.streams)
+		d.truncate(d.stream)
 	}
 }

@@ -176,6 +176,84 @@ func TestSpillTransportRoundTrip(t *testing.T) {
 	}
 }
 
+// TestStreamingDrainFoldOrder pins the DrainFrom contract on both
+// transports: consuming source by source — interleaved with later
+// sources still producing, the pipelined phase layout — yields exactly
+// the (source partition, chunk production) record sequence a full Drain
+// would, and PendingBytes tracks the undrained remainder atomically.
+// The spilling arm runs under a budget that spills part of src 0's
+// bucket, so the drained sequence interleaves a spilled prefix with the
+// resident tail mid-stream.
+func TestStreamingDrainFoldOrder(t *testing.T) {
+	k := testKernel(t, 3)
+	backend, err := storage.NewFileBackend(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const chunkRecs = 6
+	// Budget fits two chunks: src 0's third Put spills its bucket, the
+	// fourth chunk stays resident — DrainFrom(1, 0) must hand back the
+	// spilled prefix then the mem tail.
+	budget := int64(2*chunkRecs+1) * int64(k.UpdBytes)
+	transports := map[string]Transport[float32]{
+		"mem":   k.NewMemTransport(),
+		"spill": k.NewSpillTransport(budget, backend, nil),
+	}
+	for _, name := range []string{"mem", "spill"} {
+		tr := transports[name]
+		t.Run(name, func(t *testing.T) {
+			var want0, want2 []UpdRec[float32]
+			for i := 0; i < 4; i++ {
+				c := chunkOf(100*i, chunkRecs)
+				want0 = append(want0, c...)
+				tr.Put(0, 1, append([]UpdRec[float32](nil), c...))
+			}
+			// Source 1 emitted nothing; source 2 produces AFTER source 0
+			// is already drained (the streaming interleave).
+			var got []UpdRec[float32]
+			drainFrom := func(src int) {
+				for _, pc := range tr.DrainFrom(1, src) {
+					recs := pc.Load()
+					got = append(got, recs...)
+					pc.Release(recs)
+				}
+			}
+			drainFrom(0)
+			if len(got) != len(want0) {
+				t.Fatalf("src 0 drained %d records, want %d", len(got), len(want0))
+			}
+			for _, base := range []int{500, 600} {
+				c := chunkOf(base, chunkRecs)
+				want2 = append(want2, c...)
+				tr.Put(2, 1, append([]UpdRec[float32](nil), c...))
+			}
+			if gotP, wantP := tr.PendingBytes(1), int64(len(want2))*int64(k.UpdBytes); gotP != wantP {
+				t.Errorf("PendingBytes after partial drain = %d, want %d", gotP, wantP)
+			}
+			drainFrom(1)
+			drainFrom(2)
+			want := append(append([]UpdRec[float32](nil), want0...), want2...)
+			if len(got) != len(want) {
+				t.Fatalf("drained %d records, want %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("record %d: got %+v, want %+v (streaming fold order broken)", i, got[i], want[i])
+				}
+			}
+			if tr.PendingBytes(1) != 0 {
+				t.Error("column still pending after full streamed drain")
+			}
+			if err := tr.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	if st := transports["spill"].Stats(); st.SpillBytes == 0 {
+		t.Error("spill arm never spilled; the spilled-prefix interleave went unexercised")
+	}
+}
+
 // TestSpillTransportPartialSpill puts chunks under a budget that spills
 // some but not all: the drained sequence must still be exactly the
 // production sequence (spilled prefix, then the in-memory tail).

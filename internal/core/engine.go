@@ -308,6 +308,8 @@ func (eng *engine[V, U, A]) decide(iter int) {
 			BytesRead:      eng.run.BytesRead,
 			BytesWritten:   eng.run.BytesWritten,
 			StealsAccepted: eng.run.StealsAccepted,
+			StealsRejected: eng.run.StealsRejected,
+			SpillBytes:     eng.run.SpillBytes,
 		})
 	}
 	d := decision{iter: iter, rollbackTo: -1}

@@ -3,9 +3,10 @@
 // update sets, the GAS kernels of internal/core/drive, work stealing by
 // the §5.4 criterion, checkpoint/recovery decisions — but directly on the
 // host instead of under the discrete-event simulation. Machines are
-// goroutine groups, chunks are real byte slices moving through shared
-// per-(source, destination) buckets with barrier-ordered hand-off, and
-// the only clock is host wall-clock: nothing charges virtual time.
+// goroutine groups, vertex state is resident typed memory, update chunks
+// move through shared per-(source, destination) buckets with
+// completion-signaled hand-off, and the only clock is host wall-clock:
+// nothing charges virtual time.
 //
 // What the native driver does and does not validate (see DESIGN.md, "Two
 // planes, one protocol"): algorithm results are exact and are tested
@@ -20,7 +21,10 @@
 // flushes sort destinations). Which goroutine processes which partition
 // varies with host scheduling, but partition processing is
 // order-independent by the same GAS argument the paper relies on, so
-// only the steal counters are scheduling-dependent.
+// only the steal counters are scheduling-dependent. Pipelining the
+// scatter→gather boundary (the default; see Config.PhaseBarrier) keeps
+// that argument intact because the fold order, not the phase order, is
+// what the float folds see.
 package native
 
 import (
@@ -72,32 +76,59 @@ type run[V, U, A any] struct {
 	pool   *drive.Pool
 	nm     int
 
-	// The native chunk store. verts[p] holds partition p's encoded
-	// vertex chunks (fixed positions, rewritten after apply); edges[p]
-	// its current-generation edge chunks; edgesNext[p] the rewritten
-	// next generation under the §6.1 extended model. Every slot has
-	// exactly one writer per phase and readers only on the other side
-	// of a phase barrier, so the store needs no locks.
-	verts     [][][]byte
+	// The resident vertex store. verts[p] holds partition p's decoded
+	// vertex values, live across phases and iterations — the producer
+	// and consumer share an address space, so the vertex set crosses no
+	// boundary and is never encoded at rest. kern.VCodec runs only where
+	// bytes genuinely move: checkpoint shadow copies (§6.6) and their
+	// restore. Partition p's values are written by gather(p)'s Apply and
+	// read by scatter(p); the scatter-completion signal plus the
+	// iteration barrier order those accesses (see runIteration).
+	verts [][]V
+	// edges[p] holds partition p's current-generation encoded edge
+	// chunks; edgesNext[p] the rewritten next generation under the §6.1
+	// extended model. One writer per slot per iteration, promoted at the
+	// decision point.
 	edges     [][][]byte
 	edgesNext [][][]byte
 
 	// tr carries updates from scatter to gather through the transport
 	// seam (internal/core/drive): typed record slices through
-	// per-(src, dst) buckets under the same one-writer-per-phase
+	// per-(src, dst) buckets under the one-writer-until-completion
 	// discipline, zero-copy in memory and — past
 	// Config.TransportBudgetBytes — encoded onto spill files.
 	tr drive.Transport[U]
 
-	// claimed is the per-phase partition ownership table: masters claim
-	// their own partitions first, idle machines steal the rest through
-	// the §5.4 criterion.
-	claimed []atomic.Bool
+	// Per-phase partition ownership tables: masters claim their own
+	// partitions first, idle machines steal the rest through the §5.4
+	// criterion. Two tables because the pipelined layout runs both
+	// phases of one iteration concurrently.
+	scatterClaimed []atomic.Bool
+	gatherClaimed  []atomic.Bool
+	// scatterDone[p] closes when scatter(p) completes; remade each
+	// iteration. The close is the happens-before edge that lets
+	// gather(q) drain bucket (p, q) — and, once all np channels are
+	// closed, run Apply — while other scatters may still be running.
+	scatterDone []chan struct{}
 	// rngs holds one steal-sweep RNG per machine, created once per run
 	// so probe orders vary across phases (as the DES driver's
 	// persistent env RNG does) while staying seed-deterministic. Each
 	// goroutine touches only its own machine's entry.
 	rngs []*rand.Rand
+	// others[m] is machine m's steal-sweep probe scratch: the fixed set
+	// of partitions m does not master, reshuffled in place each sweep
+	// (allocated once per run, not once per sweep).
+	others [][]int
+
+	// accums[p] is partition p's gather accumulator slice, allocated
+	// once and reset via InitAccum at the top of each gather — the
+	// iteration loop's largest recurring allocation before pooling.
+	accums [][]A
+	// combined[p][dst] is scatter(p)'s combiner map for destination dst,
+	// reused across iterations (flushes clear, never discard, the maps).
+	// Only touched by the machine running scatter(p); the iteration
+	// barrier orders cross-iteration handoff. Nil unless combining.
+	combined [][]map[graph.VertexID]U
 
 	bytesRead    atomic.Int64
 	bytesWritten atomic.Int64
@@ -111,11 +142,16 @@ type run[V, U, A any] struct {
 	// so programs are free to keep private state in them (MCST's
 	// component forest does). Scatter/Gather/Combine/RewriteEdge run
 	// concurrently here exactly as they do on the DES driver's worker
-	// pool.
+	// pool. Pipelining preserves the contract Apply additionally relies
+	// on — running strictly after every scatter of its iteration —
+	// because gather(p) waits on all np scatterDone channels before its
+	// Apply (see gatherPartition).
 	applyMu sync.Mutex
 
-	// Checkpoint state (2-phase, §6.6): chunks staged per partition
-	// during apply, committed by the decision point.
+	// Checkpoint state (2-phase, §6.6): encoded shadow chunks staged per
+	// partition during apply, committed by the decision point. The
+	// checkpoint is the one place vertex bytes still move, so it is the
+	// one place kern.VCodec still runs per iteration.
 	ckptPending [][][]byte
 	ckptVerts   [][][]byte
 	ckptIter    int
@@ -171,7 +207,7 @@ func newRun[V, U, A any](cfg core.Config, prog gas.Program[V, U, A], edges []gra
 		r.kern.Rewriter = rw
 	}
 	np := layout.NumPartitions
-	r.verts = make([][][]byte, np)
+	r.verts = make([][]V, np)
 	r.edges = make([][][]byte, np)
 	r.edgesNext = make([][][]byte, np)
 	if cfg.TransportBudgetBytes > 0 {
@@ -191,10 +227,25 @@ func newRun[V, U, A any](cfg core.Config, prog gas.Program[V, U, A], edges []gra
 	} else {
 		r.tr = r.kern.NewMemTransport()
 	}
-	r.claimed = make([]atomic.Bool, np)
+	r.scatterClaimed = make([]atomic.Bool, np)
+	r.gatherClaimed = make([]atomic.Bool, np)
+	r.scatterDone = make([]chan struct{}, np)
 	r.rngs = make([]*rand.Rand, r.nm)
+	r.others = make([][]int, r.nm)
 	for m := range r.rngs {
 		r.rngs[m] = rand.New(rand.NewSource(cfg.Seed + int64(m)))
+		for p := 0; p < np; p++ {
+			if layout.Master(p) != m {
+				r.others[m] = append(r.others[m], p)
+			}
+		}
+	}
+	r.accums = make([][]A, np)
+	for p := 0; p < np; p++ {
+		r.accums[p] = make([]A, layout.Size(p))
+	}
+	if r.kern.Combiner != nil {
+		r.combined = make([][]map[graph.VertexID]U, np)
 	}
 	r.ckptPending = make([][][]byte, np)
 	r.ckptVerts = make([][][]byte, np)
@@ -226,8 +277,7 @@ func (r *run[V, U, A]) execute(edges []graph.Edge) (interrupted bool, err error)
 	r.rmet.Preprocess = r.elapsed()
 
 	for iter := 0; ; {
-		r.runPhase(iter, func(m, p int, stolen bool) { r.scatterPartition(iter, m, p, stolen) }, scatterPhase)
-		r.runPhase(iter, func(m, p int, stolen bool) { r.gatherPartition(iter, m, p, stolen) }, gatherPhase)
+		r.runIteration(iter)
 
 		// Decision point (machine 0's role under the DES driver).
 		changed := r.changed.Swap(0)
@@ -238,6 +288,8 @@ func (r *run[V, U, A]) execute(edges []graph.Edge) (interrupted bool, err error)
 				BytesRead:      r.bytesRead.Load(),
 				BytesWritten:   r.bytesWritten.Load(),
 				StealsAccepted: int(r.stealsAcc.Load()),
+				StealsRejected: int(r.stealsRej.Load()),
+				SpillBytes:     r.tr.Stats().SpillBytes,
 			})
 		}
 		done := r.prog.Converged(iter, changed) || iter+1 >= r.cfg.MaxIterations
@@ -291,83 +343,132 @@ func (r *run[V, U, A]) checkpointDue(iter int) bool {
 	return r.cfg.CheckpointEvery > 0 && (iter+1)%r.cfg.CheckpointEvery == 0
 }
 
-// runPhase processes every partition exactly once: nm machine goroutines
-// claim their own partitions first (masters take whatever of their own
-// work nobody stole, so every partition is processed even when the
-// criterion rejects stealing it), then sweep the rest in seeded-random
-// order, stealing any still-unclaimed partition the §5.4 criterion
-// accepts. process is handed the claiming machine and whether the claim
-// was a steal, so the flight recorder can attribute the span.
-func (r *run[V, U, A]) runPhase(iter int, process func(m, p int, stolen bool), ph phaseKind) {
-	for i := range r.claimed {
-		r.claimed[i].Store(false)
+// runIteration processes every partition's scatter and gather exactly
+// once, then returns with the iteration fully settled (the decision
+// point still needs one barrier; pipelining removes the mid-iteration
+// one).
+//
+// Pipelined layout (the default): each of the nm machine goroutines runs
+// scatter over its own partitions, closes each partition's scatterDone
+// as it finishes, sweeps for scatter steals, then moves straight into
+// gather — its gathers fold each source's chunks as that source's
+// channel closes, overlapping with other machines' still-running
+// scatters. No goroutine ever blocks before finishing its scatter stage,
+// so every scatterDone channel is guaranteed to close and the gather
+// waits cannot deadlock.
+//
+// Barrier layout (Config.PhaseBarrier): the classic two-phase schedule —
+// all scatters, one wg.Wait, all gathers — for A/B measurement and as
+// the conservative fallback. The gather path is identical (the channel
+// waits are free once every channel is closed), so the two layouts
+// produce bit-identical values by construction: the per-bucket fold
+// order is pinned either way.
+func (r *run[V, U, A]) runIteration(iter int) {
+	np := r.layout.NumPartitions
+	for i := 0; i < np; i++ {
+		r.scatterClaimed[i].Store(false)
+		r.gatherClaimed[i].Store(false)
+		r.scatterDone[i] = make(chan struct{})
 	}
-	stealing := r.cfg.Alpha != 0 && r.nm > 1
-	// Snapshot each partition's streamed-set size before work starts:
-	// the steal criterion's D. Stealing only ever claims unstarted
-	// partitions, whose remaining bytes equal this phase-start total —
-	// and probing live store slots mid-phase would race their owners.
-	var rem []int64
-	if stealing {
-		rem = make([]int64, r.layout.NumPartitions)
-		for p := range rem {
-			rem[p] = r.remainingBytes(ph, p)
-		}
+	if r.cfg.PhaseBarrier {
+		r.runStage(iter, scatterPhase)
+		r.runStage(iter, gatherPhase)
+		return
 	}
 	var wg sync.WaitGroup
 	wg.Add(r.nm)
 	for m := 0; m < r.nm; m++ {
 		go func(m int) {
 			defer wg.Done()
-			// Own partitions first, in order.
-			for _, p := range r.layout.PartitionsOf(m) {
-				if r.claimed[p].CompareAndSwap(false, true) {
-					process(m, p, false)
-				}
-			}
-			if !stealing {
-				return
-			}
-			// Steal sweep over everyone else's partitions, in this
-			// machine's seeded-random order (§5.3).
-			sweepT0 := r.elapsed()
-			var acc, rej int
-			rng := r.rngs[m]
-			others := make([]int, 0, r.layout.NumPartitions)
-			for p := 0; p < r.layout.NumPartitions; p++ {
-				if r.layout.Master(p) != m {
-					others = append(others, p)
-				}
-			}
-			rng.Shuffle(len(others), func(i, j int) { others[i], others[j] = others[j], others[i] })
-			for _, p := range others {
-				if r.claimed[p].Load() {
-					continue
-				}
-				if !drive.StealCriterion(r.vertexSetBytes(p), rem[p], 1, r.cfg.Alpha) {
-					r.stealsRej.Add(1)
-					rej++
-					continue
-				}
-				if r.claimed[p].CompareAndSwap(false, true) {
-					r.stealsAcc.Add(1)
-					acc++
-					process(m, p, true)
-				}
-			}
-			if r.cfg.Trace != nil {
-				r.cfg.Trace(drive.Span{
-					Iter: iter, Machine: m, Part: -1, Phase: drive.PhaseSteal,
-					Start: int64(sweepT0), Dur: int64(r.elapsed() - sweepT0),
-					StealsAccepted: acc, StealsRejected: rej,
-				})
-			}
+			r.ownPartitions(iter, m, scatterPhase)
+			r.stealSweep(iter, m, scatterPhase)
+			r.ownPartitions(iter, m, gatherPhase)
+			r.stealSweep(iter, m, gatherPhase)
+		}(m)
+	}
+	wg.Wait()
+}
+
+// runStage runs one phase to completion across all machines (the
+// barrier layout's building block).
+func (r *run[V, U, A]) runStage(iter int, ph phaseKind) {
+	var wg sync.WaitGroup
+	wg.Add(r.nm)
+	for m := 0; m < r.nm; m++ {
+		go func(m int) {
+			defer wg.Done()
+			r.ownPartitions(iter, m, ph)
+			r.stealSweep(iter, m, ph)
 		}(m)
 	}
 	wg.Wait()
 	// Every partition is claimed at this point: layout.PartitionsOf
 	// covers all partitions across machines 0..nm-1, and each master
-	// claims its own unconditionally before returning.
+	// claims its own unconditionally in ownPartitions.
+}
+
+// ownPartitions claims and processes machine m's own partitions, in
+// order (masters take whatever of their own work nobody stole, so every
+// partition is processed even when the criterion rejects stealing it).
+func (r *run[V, U, A]) ownPartitions(iter, m int, ph phaseKind) {
+	claimed := r.phaseClaimed(ph)
+	for _, p := range r.layout.PartitionsOf(m) {
+		if claimed[p].CompareAndSwap(false, true) {
+			r.processPartition(iter, m, p, false, ph)
+		}
+	}
+}
+
+// stealSweep probes everyone else's partitions in machine m's
+// seeded-random order (§5.3), stealing any still-unclaimed partition the
+// §5.4 criterion accepts. The criterion's D is read live — the edge set
+// is immutable within an iteration and the transport's PendingBytes is a
+// single atomic — so the sweep needs no phase-start snapshot and stays
+// correct while producers are still running (the pipelined layout).
+func (r *run[V, U, A]) stealSweep(iter, m int, ph phaseKind) {
+	if r.cfg.Alpha == 0 || r.nm <= 1 {
+		return
+	}
+	claimed := r.phaseClaimed(ph)
+	sweepT0 := r.elapsed()
+	var acc, rej int
+	rng := r.rngs[m]
+	others := r.others[m]
+	rng.Shuffle(len(others), func(i, j int) { others[i], others[j] = others[j], others[i] })
+	for _, p := range others {
+		if claimed[p].Load() {
+			continue
+		}
+		if !drive.StealCriterion(r.vertexSetBytes(p), r.remainingBytes(ph, p), 1, r.cfg.Alpha) {
+			r.stealsRej.Add(1)
+			rej++
+			continue
+		}
+		if claimed[p].CompareAndSwap(false, true) {
+			r.stealsAcc.Add(1)
+			acc++
+			r.processPartition(iter, m, p, true, ph)
+		}
+	}
+	if r.cfg.Trace != nil {
+		r.cfg.Trace(drive.Span{
+			Iter: iter, Machine: m, Part: -1, Phase: drive.PhaseSteal,
+			Start: int64(sweepT0), Dur: int64(r.elapsed() - sweepT0),
+			StealsAccepted: acc, StealsRejected: rej,
+		})
+	}
+}
+
+// processPartition dispatches one claimed partition to its phase worker.
+// Whoever claims scatter(p) — master or thief — closes its completion
+// channel, exactly once, after the last Put of p's update set.
+func (r *run[V, U, A]) processPartition(iter, m, p int, stolen bool, ph phaseKind) {
+	if ph == scatterPhase {
+		r.scatterPartition(iter, m, p, stolen)
+		close(r.scatterDone[p])
+	} else {
+		r.gatherPartition(iter, m, p, stolen)
+	}
 }
 
 type phaseKind int
@@ -377,20 +478,26 @@ const (
 	gatherPhase
 )
 
+func (r *run[V, U, A]) phaseClaimed(ph phaseKind) []atomic.Bool {
+	if ph == scatterPhase {
+		return r.scatterClaimed
+	}
+	return r.gatherClaimed
+}
+
 // remainingBytes is D in the steal criterion: the unprocessed bytes of
-// the partition's streamed set this phase.
+// the partition's streamed set this phase. Safe to read while the
+// partition's producers run: the edge set is immutable within an
+// iteration, and PendingBytes is atomic.
 func (r *run[V, U, A]) remainingBytes(ph phaseKind, p int) int64 {
 	if ph == scatterPhase {
-		var total int64
-		for _, c := range r.edges[p] {
-			total += int64(len(c))
-		}
-		return total
+		return storedBytes(r.edges[p])
 	}
 	return r.tr.PendingBytes(p)
 }
 
-// vertexSetBytes is V in the steal criterion.
+// vertexSetBytes is V in the steal criterion (encoded-equivalent, as the
+// paper prices the transfer a real steal would cost).
 func (r *run[V, U, A]) vertexSetBytes(p int) int64 {
 	return int64(r.layout.Size(p)) * int64(r.kern.VBytes)
 }
@@ -404,21 +511,28 @@ func (r *run[V, U, A]) promoteEdges() {
 	}
 }
 
-// restore rewrites every partition's vertex chunks from the last
-// committed checkpoint after an injected failure.
+// restore decodes the last committed checkpoint back into the resident
+// vertex store after an injected failure — one of the places vertex
+// bytes genuinely move, so it reads through the codec and counts toward
+// BytesRead.
 func (r *run[V, U, A]) restore() {
 	for p, chunks := range r.ckptVerts {
 		if chunks == nil {
 			continue
 		}
-		r.verts[p] = chunks
+		verts := r.verts[p]
+		at := 0
 		for _, c := range chunks {
-			r.bytesWritten.Add(int64(len(c)))
+			at += r.kern.VCodec.DecodeSliceInto(verts[at:], c)
+			r.bytesRead.Add(int64(len(c)))
+		}
+		if at != len(verts) {
+			panic(fmt.Sprintf("native: checkpoint for partition %d held %d records, want %d", p, at, len(verts)))
 		}
 	}
 }
 
-// collectValues decodes the final vertex state out of the native store.
+// collectValues copies the final vertex state out of the resident store.
 func (r *run[V, U, A]) collectValues() []V {
 	values := make([]V, r.layout.NumVertices)
 	for p := 0; p < r.layout.NumPartitions; p++ {
@@ -426,12 +540,8 @@ func (r *run[V, U, A]) collectValues() []V {
 		if lo == hi {
 			continue
 		}
-		at := uint64(lo)
-		for _, chunk := range r.verts[p] {
-			at += uint64(r.kern.VCodec.DecodeSliceInto(values[at:], chunk))
-		}
-		if at != uint64(hi) {
-			panic(fmt.Sprintf("native: partition %d vertex chunks held %d records, want %d", p, at-uint64(lo), uint64(hi-lo)))
+		if copied := copy(values[lo:hi], r.verts[p]); uint64(copied) != uint64(hi-lo) {
+			panic(fmt.Sprintf("native: partition %d store held %d records, want %d", p, copied, uint64(hi-lo)))
 		}
 	}
 	return values

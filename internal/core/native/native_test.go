@@ -362,6 +362,12 @@ func TestNativeProgressReporting(t *testing.T) {
 	if last.BytesRead == 0 || last.Now == 0 {
 		t.Errorf("final tick not populated: %+v", last)
 	}
+	if last.StealsRejected != run.StealsRejected {
+		t.Errorf("last tick reports %d steals rejected, run has %d", last.StealsRejected, run.StealsRejected)
+	}
+	if last.SpillBytes != run.SpillBytes {
+		t.Errorf("last tick reports %d spill bytes, run has %d", last.SpillBytes, run.SpillBytes)
+	}
 	for i := 1; i < len(ticks); i++ {
 		if ticks[i].Iterations != ticks[i-1].Iterations+1 || ticks[i].Now < ticks[i-1].Now {
 			t.Errorf("ticks not monotonic: %+v -> %+v", ticks[i-1], ticks[i])
@@ -436,6 +442,69 @@ func TestNativeRejectsCentralDirectory(t *testing.T) {
 	c.CentralDirectory = true
 	if _, _, err := native.Run(c, &algorithms.PageRank{Iterations: 1}, edges, n); err == nil {
 		t.Fatal("central directory should be rejected by the native driver")
+	}
+}
+
+// TestNativeBarrierPipelinedEquivalence runs the same seed under the
+// streaming pipeline (default) and the two-barrier phase layout
+// (Config.PhaseBarrier) and requires bit-identical values plus identical
+// deterministic counters. Steal counters are excluded: they are
+// scheduling-dependent under both layouts. Always-steal at m=8
+// maximizes cross-machine interleaving, so a fold-order break in the
+// pipeline would show up as float drift here. The CHAOS_NATIVE_SPILL_
+// BUDGET rerun exercises the same pair with real spill traffic — the
+// byte counters still agree because a chunk's encoded-equivalent size
+// is the same spilled or resident.
+func TestNativeBarrierPipelinedEquivalence(t *testing.T) {
+	edges, n := rmatEdges(8, false, 21)
+	pipelined := cfg(8, n, 8)
+	pipelined.Alpha = math.Inf(1)
+	pipelined.CheckpointEvery = 2
+	barrier := pipelined
+	barrier.PhaseBarrier = true
+	v1, run1, err := native.Run(pipelined, &algorithms.PageRank{Iterations: 5}, edges, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, run2, err := native.Run(barrier, &algorithms.PageRank{Iterations: 5}, edges, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(v1, v2) {
+		t.Error("pipelined and barrier layouts produced different values")
+	}
+	if run1.Iterations != run2.Iterations {
+		t.Errorf("iterations: pipelined %d, barrier %d", run1.Iterations, run2.Iterations)
+	}
+	if run1.BytesRead != run2.BytesRead || run1.BytesWritten != run2.BytesWritten {
+		t.Errorf("byte tallies diverged: pipelined (%d, %d), barrier (%d, %d)",
+			run1.BytesRead, run1.BytesWritten, run2.BytesRead, run2.BytesWritten)
+	}
+	if run1.CheckpointBytes != run2.CheckpointBytes {
+		t.Errorf("checkpoint bytes: pipelined %d, barrier %d", run1.CheckpointBytes, run2.CheckpointBytes)
+	}
+}
+
+// TestNativeStealingOnStreamedPath drives the pipelined layout with
+// stealing fully on (alpha = infinity, m=8, so gather steals overlap
+// running scatters) and checks results against the reference — under
+// -race in CI, this is the pipeline's data-race harness.
+func TestNativeStealingOnStreamedPath(t *testing.T) {
+	edges, n := rmatEdges(8, false, 23)
+	want := refalgo.PageRank(graph.BuildAdjacency(edges, n), 5)
+	c := cfg(8, n, 8)
+	c.Alpha = math.Inf(1)
+	values, run, err := native.Run(c, &algorithms.PageRank{Iterations: 5}, edges, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range values {
+		if math.Abs(float64(values[i].Rank)-want[i]) > 1e-3*math.Max(1, want[i]) {
+			t.Fatalf("vertex %d: rank %g, want %g", i, values[i].Rank, want[i])
+		}
+	}
+	if run.StealsAccepted == 0 {
+		t.Error("always-steal run accepted no steals; the streamed steal path went unexercised")
 	}
 }
 

@@ -11,8 +11,8 @@ import (
 // ---------------------------------------------------------------------------
 // Pre-processing (§3): one pass over the input edge list, binning edges
 // by source partition into chunks, counting out-degrees if the program
-// wants them, then initializing and writing the vertex sets. Machines
-// bin their input slices concurrently; per-partition chunk lists are
+// wants them, then initializing the resident vertex sets. Machines bin
+// their input slices concurrently; per-partition chunk lists are
 // concatenated in machine order so the edge stream every later scatter
 // sees is deterministic.
 
@@ -112,9 +112,12 @@ func (r *run[V, U, A]) preprocess(edges []graph.Edge) {
 		}
 	}
 
-	// Initialize vertex values and record them. Init may keep private
-	// program state (it runs on the simulation thread under the DES
-	// driver), so this stays on one goroutine.
+	// Initialize vertex values straight into the resident store. Init
+	// may keep private program state (it runs on the simulation thread
+	// under the DES driver), so this stays on one goroutine. No bytes
+	// move — the store is the decoded values themselves — so nothing is
+	// tallied here; vertex bytes only count where the codec runs
+	// (checkpoints and their restore).
 	for p := 0; p < np; p++ {
 		size := r.layout.Size(p)
 		if size == 0 {
@@ -133,42 +136,22 @@ func (r *run[V, U, A]) preprocess(edges []graph.Edge) {
 			}
 			r.prog.Init(lo+graph.VertexID(i), &verts[i], d)
 		}
-		r.storeVertices(p, verts, false)
+		r.verts[p] = verts
 	}
 }
 
 // ---------------------------------------------------------------------------
-// Vertex chunk I/O against the native store.
+// Checkpoint encode: the one recurring place vertex bytes still move.
 
-func (r *run[V, U, A]) verticesPerChunk() int {
+// encodeVertices encodes partition p's resident vertex set into
+// fixed-geometry chunks for the §6.6 checkpoint shadow copy (phase 1),
+// returning the chunk list and its total encoded bytes.
+func (r *run[V, U, A]) encodeVertices(p int) ([][]byte, int64) {
+	verts := r.verts[p]
 	per := r.cfg.VertexChunkBytes / r.kern.VBytes
 	if per < 1 {
 		per = 1
 	}
-	return per
-}
-
-// loadVertices decodes a partition's vertex set out of the store.
-func (r *run[V, U, A]) loadVertices(p int) []V {
-	size := r.layout.Size(p)
-	if size == 0 {
-		return nil
-	}
-	verts := make([]V, size)
-	at := 0
-	for _, chunk := range r.verts[p] {
-		at += r.kern.VCodec.DecodeSliceInto(verts[at:], chunk)
-		r.bytesRead.Add(int64(len(chunk)))
-	}
-	return verts
-}
-
-// storeVertices encodes a partition's vertex set into fixed-position
-// chunks, optionally staging a checkpoint shadow copy (phase 1 of
-// §6.6). It returns the encoded bytes (checkpoint copy excluded) for
-// the flight recorder's apply-span tally.
-func (r *run[V, U, A]) storeVertices(p int, verts []V, checkpoint bool) int64 {
-	per := r.verticesPerChunk()
 	n := (len(verts) + per - 1) / per
 	chunks := make([][]byte, 0, n)
 	var encoded int64
@@ -178,23 +161,14 @@ func (r *run[V, U, A]) storeVertices(p int, verts []V, checkpoint bool) int64 {
 		data := r.kern.VCodec.EncodeSlice(verts[lo:hi])
 		chunks = append(chunks, data)
 		encoded += int64(len(data))
-		r.bytesWritten.Add(int64(len(data)))
-		if checkpoint {
-			r.bytesWritten.Add(int64(len(data)))
-			r.ckptBytes.Add(int64(len(data)))
-		}
 	}
-	r.verts[p] = chunks
-	if checkpoint {
-		// The stored chunks are immutable from here on (storeVertices
-		// replaces, never mutates), so the shadow copy shares them.
-		r.ckptPending[p] = chunks
-	}
-	return encoded
+	r.bytesWritten.Add(encoded)
+	r.ckptBytes.Add(encoded)
+	return chunks, encoded
 }
 
 // storedBytes sums a chunk list's encoded lengths (flight-recorder
-// tallies).
+// tallies and the scatter steal criterion's D).
 func storedBytes(chunks [][]byte) int64 {
 	var n int64
 	for _, c := range chunks {
@@ -205,17 +179,17 @@ func storedBytes(chunks [][]byte) int64 {
 
 // ---------------------------------------------------------------------------
 // Scatter phase (§5.1): stream the partition's edge chunks, run the
-// shared typed scatter kernel on the compute pool, and merge each
-// chunk's result — in the deterministic chunk order — into the update
-// transport: record slices move into the per-(src, dst) buckets
-// zero-copy, and only a spilling transport ever encodes them.
+// shared typed scatter kernel on the compute pool over the resident
+// vertex values, and merge each chunk's result — in the deterministic
+// chunk order — into the update transport: record slices move into the
+// per-(src, dst) buckets zero-copy, and only a spilling transport ever
+// encodes them.
 
 func (r *run[V, U, A]) scatterPartition(iter, mach, p int, stolen bool) {
 	kern := r.kern
 	t0 := r.elapsed()
-	bytesIn := storedBytes(r.verts[p]) // the vertex set about to be loaded
-	var bytesOut int64
-	verts := r.loadVertices(p)
+	var bytesIn, bytesOut int64
+	verts := r.verts[p]
 	chunks := r.edges[p]
 
 	// Dispatch every chunk's pure kernel to the shared pool, then merge
@@ -236,11 +210,12 @@ func (r *run[V, U, A]) scatterPartition(iter, mach, p int, stolen bool) {
 		bytesIn += int64(len(data))
 	}
 
-	np := r.layout.NumPartitions
-	var combined []map[graph.VertexID]U
+	combined := r.combined // nil unless combining
 	var combinedPer int
 	if kern.Combiner != nil {
-		combined = make([]map[graph.VertexID]U, np)
+		if combined[p] == nil {
+			combined[p] = make([]map[graph.VertexID]U, r.layout.NumPartitions)
+		}
 		combinedPer = max(r.cfg.ChunkBytes/kern.UpdBytes, 1)
 	}
 	var nextTail []byte
@@ -261,10 +236,10 @@ func (r *run[V, U, A]) scatterPartition(iter, mach, p int, stolen bool) {
 				if len(chunkMap) == 0 {
 					continue
 				}
-				mp := combined[tp]
+				mp := combined[p][tp]
 				if mp == nil {
 					mp = make(map[graph.VertexID]U, combinedPer)
-					combined[tp] = mp
+					combined[p][tp] = mp
 				}
 				for dst, val := range chunkMap {
 					if old, ok := mp[dst]; ok {
@@ -300,7 +275,7 @@ func (r *run[V, U, A]) scatterPartition(iter, mach, p int, stolen bool) {
 
 	// Flush the remaining combined updates at phase end.
 	if kern.Combiner != nil {
-		for tp, mp := range combined {
+		for tp, mp := range combined[p] {
 			if len(mp) > 0 {
 				enc, sb, sn := r.flushCombined(p, tp, mp)
 				bytesOut += enc
@@ -356,7 +331,8 @@ func (r *run[V, U, A]) putEdgeNextChunk(p int, data []byte) {
 // encoded-equivalent bytes plus any spill the Put triggered. Keys are
 // sorted so the record order — and with it downstream gather order and
 // any float folds — is deterministic (identical discipline to the DES
-// driver).
+// driver). The map is cleared, not discarded: it lives in r.combined
+// and is reused across iterations.
 func (r *run[V, U, A]) flushCombined(src, dst int, mp map[graph.VertexID]U) (encoded, spilledBytes int64, spilledChunks int) {
 	if len(mp) == 0 {
 		return 0, 0, 0
@@ -380,54 +356,63 @@ func (r *run[V, U, A]) flushCombined(src, dst int, mp map[graph.VertexID]U) (enc
 // ---------------------------------------------------------------------------
 // Gather + apply phase (§5.2, §5.3): stream the partition's update
 // chunks in (source partition, chunk) order — the deterministic fold
-// order — decode them on the compute pool, fold into accumulators, then
-// apply and write the vertex set back.
+// order — decoding and folding each source's chunks as soon as that
+// source's scatter completes, then apply to the resident vertex set.
 
 func (r *run[V, U, A]) gatherPartition(iter, mach, p int, stolen bool) {
 	t0 := r.elapsed()
-	bytesIn := storedBytes(r.verts[p]) // the vertex set about to be loaded
+	var bytesIn int64
 	var nchunks int
-	verts := r.loadVertices(p)
-	accums := make([]A, len(verts))
+	verts := r.verts[p]
+	accums := r.accums[p]
 	for i := range accums {
 		accums[i] = r.prog.InitAccum()
 	}
 	lo, _ := r.layout.Range(p)
 
-	// Drain the transport's chunks for this partition — already in the
-	// deterministic (source partition, chunk) order — and dispatch each
+	// Stream the transport's chunks for this partition source by source:
+	// wait for each source's scatter-completion signal, drain its bucket
+	// (the streaming edge of the pipeline — in the pinned (source
+	// partition, chunk) order, sources ascending), and dispatch each
 	// chunk's Load to the pool (a slice hand-back for resident chunks, a
 	// read+decode for spilled ones), with the fold into this partition's
 	// accumulators chained behind it in that same order — the DES
-	// driver's exact gather pattern. Folds are the bulk of gather
-	// compute, so running them as pool tasks keeps native jobs inside
-	// the scheduler's shared compute budget instead of doing the heavy
-	// lifting on unbudgeted machine goroutines.
+	// driver's exact gather pattern, minus the global barrier. Folds are
+	// the bulk of gather compute, so running them as pool tasks keeps
+	// native jobs inside the scheduler's shared compute budget instead
+	// of doing the heavy lifting on unbudgeted machine goroutines. The
+	// channel waits are on this machine goroutine, never on pool
+	// workers, so the pool cannot deadlock on them. Under
+	// Config.PhaseBarrier every channel is already closed and the loop
+	// degenerates to the classic full drain.
 	type gatherChunk struct {
 		drive.Task
 		recs []drive.UpdRec[U]
 	}
-	pending := r.tr.Drain(p)
 	var tail *drive.Task
-	for i := range pending {
-		pc := &pending[i]
-		gc := &gatherChunk{}
-		gc.Fn = func() { gc.recs = pc.Load() }
-		r.pool.Submit(&gc.Task)
-		r.bytesRead.Add(pc.Bytes)
-		nchunks++
-		bytesIn += pc.Bytes
-		ft := &drive.Task{Prev: tail, Fn: func() {
-			gc.Wait() // load complete
-			for i := range gc.recs {
-				u := &gc.recs[i]
-				accums[u.Dst-lo] = r.prog.Gather(accums[u.Dst-lo], u.Val, &verts[u.Dst-lo])
-			}
-			pc.Release(gc.recs)
-			gc.recs = nil
-		}}
-		r.pool.Submit(ft)
-		tail = ft
+	for src := 0; src < r.layout.NumPartitions; src++ {
+		<-r.scatterDone[src]
+		pending := r.tr.DrainFrom(p, src)
+		for i := range pending {
+			pc := &pending[i]
+			gc := &gatherChunk{}
+			gc.Fn = func() { gc.recs = pc.Load() }
+			r.pool.Submit(&gc.Task)
+			r.bytesRead.Add(pc.Bytes)
+			nchunks++
+			bytesIn += pc.Bytes
+			ft := &drive.Task{Prev: tail, Fn: func() {
+				gc.Wait() // load complete
+				for i := range gc.recs {
+					u := &gc.recs[i]
+					accums[u.Dst-lo] = r.prog.Gather(accums[u.Dst-lo], u.Val, &verts[u.Dst-lo])
+				}
+				pc.Release(gc.recs)
+				gc.recs = nil
+			}}
+			r.pool.Submit(ft)
+			tail = ft
+		}
 	}
 	if tail != nil {
 		tail.Wait()
@@ -441,7 +426,10 @@ func (r *run[V, U, A]) gatherPartition(iter, mach, p int, stolen bool) {
 	}
 	applyT0 := r.elapsed()
 
-	// Apply (serialized across partitions; see applyMu).
+	// Apply (serialized across partitions; see applyMu). The source loop
+	// above waited on all NumPartitions scatterDone channels, so Apply —
+	// which mutates the resident values scatters read — still runs
+	// strictly after every scatter of this iteration, pipelined or not.
 	r.applyMu.Lock()
 	var changed uint64
 	for i := range verts {
@@ -452,7 +440,13 @@ func (r *run[V, U, A]) gatherPartition(iter, mach, p int, stolen bool) {
 	r.applyMu.Unlock()
 	r.changed.Add(changed)
 
-	stored := r.storeVertices(p, verts, r.checkpointDue(iter))
+	// Stage the checkpoint shadow copy (phase 1 of §6.6) — the one
+	// recurring boundary vertex bytes still cross under the resident
+	// store.
+	var stored int64
+	if r.checkpointDue(iter) {
+		r.ckptPending[p], stored = r.encodeVertices(p)
+	}
 	if r.cfg.Trace != nil {
 		r.cfg.Trace(drive.Span{
 			Iter: iter, Machine: mach, Part: p, Phase: drive.PhaseApply, Stolen: stolen,
@@ -460,8 +454,8 @@ func (r *run[V, U, A]) gatherPartition(iter, mach, p int, stolen bool) {
 			BytesOut: stored,
 		})
 	}
-	// The consumed update set was deleted by the Drain above (§6.1):
-	// this goroutine owns column p of the transport's buckets for the
-	// whole gather phase, and the last released spilled chunk truncates
-	// the column's spill streams.
+	// The consumed update set was deleted by the drains above (§6.1):
+	// this goroutine owns column p of the transport's buckets from each
+	// source's completion signal on, and the last released spilled chunk
+	// truncates each bucket's spill stream.
 }

@@ -330,11 +330,17 @@ func TestProgressTicksFlowToViewsAndEvents(t *testing.T) {
 	job := s.jobs[jv.ID]
 	s.mu.Unlock()
 	for i := 1; i <= 3; i++ {
-		s.NoteProgress(job, chaos.Progress{Iterations: i, SimulatedSeconds: float64(i), BytesRead: int64(i) << 20})
+		s.NoteProgress(job, chaos.Progress{
+			Iterations: i, SimulatedSeconds: float64(i), BytesRead: int64(i) << 20,
+			StealsRejected: 2 * i, SpillBytes: int64(i) << 10,
+		})
 	}
 	got, _ := s.Get(jv.ID)
 	if got.Progress == nil || got.Progress.Iterations != 3 {
 		t.Fatalf("running view progress %+v, want iteration 3", got.Progress)
+	}
+	if got.Progress.StealsRejected != 6 || got.Progress.SpillBytes != 3<<10 {
+		t.Fatalf("running view progress %+v lost steal/spill counters", got.Progress)
 	}
 	g.release <- struct{}{}
 	waitFor(t, "job done", func() bool {

@@ -115,7 +115,11 @@ type jobOptions struct {
 	// Absent in pre-PR-5 journal records, which decode to "" and
 	// canonicalize to "sim" — the only engine that existed then.
 	Engine string `json:"engine,omitempty"`
-	Seed   int64  `json:"seed,omitempty"`
+	// NativeBarrier restores the native engine's barrier-per-phase
+	// layout (default false = the streaming pipeline). Values are
+	// identical either way; the knob is for A/B measurement.
+	NativeBarrier bool  `json:"nativeBarrier,omitempty"`
+	Seed          int64 `json:"seed,omitempty"`
 }
 
 // jobRequest is the POST /v1/jobs payload.
@@ -150,6 +154,7 @@ func (r jobRequest) resolve() (string, chaos.Options, error) {
 		MaxIterations:     r.Options.MaxIterations,
 		LatencyScale:      r.Options.LatencyScale,
 		ComputeWorkers:    r.Options.ComputeWorkers,
+		NativeBarrier:     r.Options.NativeBarrier,
 		Seed:              r.Options.Seed,
 	}
 	// The engine name is validated here so a typo fails the submission

@@ -192,6 +192,11 @@ func (o Options) Canonical() Options {
 	if eng, err := ParseEngine(c.Engine); err == nil {
 		c.Engine = eng
 	}
+	// NativeBarrier is a pure toggle too. It keeps final values
+	// bit-identical, but the report's steal counters and wall-clock are
+	// phase-layout-dependent, so the two layouts do not share a cache
+	// entry.
+	_ = c.NativeBarrier
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
@@ -210,7 +215,7 @@ var fingerprintFields = []string{
 	"Alpha", "DisableStealing", "AlwaysSteal", "CheckpointEvery",
 	"FailAtIteration", "CentralDirectory", "CombineUpdates",
 	"RewriteEdges", "ReplicateVertices", "MaxIterations", "LatencyScale",
-	"ComputeWorkers", "Engine", "Seed",
+	"ComputeWorkers", "Engine", "NativeBarrier", "Seed",
 }
 
 // Fingerprint returns a deterministic string identifying the effective
@@ -257,6 +262,7 @@ func (o Options) Fingerprint() string {
 	app("latencyScale", ftoa(c.LatencyScale))
 	app("computeWorkers", itoa(c.ComputeWorkers))
 	app("engine", c.Engine)
+	app("nativeBarrier", btoa(c.NativeBarrier))
 	app("seed", strconv.FormatInt(c.Seed, 10))
 	return b.String()
 }

@@ -28,6 +28,14 @@ type Progress struct {
 	BytesWritten int64 `json:"bytesWritten"`
 	// StealsAccepted counts steal proposals accepted so far.
 	StealsAccepted int `json:"stealsAccepted"`
+	// StealsRejected counts steal proposals the §5.4 criterion turned
+	// down so far.
+	StealsRejected int `json:"stealsRejected"`
+	// SpillBytes counts encoded bytes the native engine's update
+	// transport has written to spill files so far (always zero under the
+	// DES engine, whose simulated storage accounts bytes in
+	// BytesRead/BytesWritten).
+	SpillBytes int64 `json:"spillBytes,omitempty"`
 }
 
 // progressKey carries the subscriber through a context; the engine-side
@@ -65,6 +73,8 @@ func coreProgress(p core.Progress) Progress {
 		BytesRead:        p.BytesRead,
 		BytesWritten:     p.BytesWritten,
 		StealsAccepted:   p.StealsAccepted,
+		StealsRejected:   p.StealsRejected,
+		SpillBytes:       p.SpillBytes,
 	}
 }
 
@@ -77,5 +87,7 @@ func nativeProgress(p core.Progress) Progress {
 		BytesRead:      p.BytesRead,
 		BytesWritten:   p.BytesWritten,
 		StealsAccepted: p.StealsAccepted,
+		StealsRejected: p.StealsRejected,
+		SpillBytes:     p.SpillBytes,
 	}
 }

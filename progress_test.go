@@ -55,6 +55,10 @@ func TestProgressDeterminism(t *testing.T) {
 				t.Errorf("final tick %+v disagrees with report (%d iters, %d steals)",
 					last, gotRep.Iterations, gotRep.StealsAccepted)
 			}
+			if last.StealsRejected != gotRep.StealsRejected || last.SpillBytes != gotRep.SpillBytes {
+				t.Errorf("final tick %+v disagrees with report (%d steals rejected, %d spill bytes)",
+					last, gotRep.StealsRejected, gotRep.SpillBytes)
+			}
 			if last.SimulatedSeconds > gotRep.SimulatedSeconds {
 				t.Errorf("final tick clock %v past the report's %v",
 					last.SimulatedSeconds, gotRep.SimulatedSeconds)
